@@ -1,0 +1,245 @@
+// Benchmarks: one target per paper artefact (see DESIGN.md §5). Each runs
+// a scaled-down version of the corresponding experiment; the full-size
+// sweeps live in cmd/treep-bench, whose output is recorded in
+// EXPERIMENTS.md. Reported custom metrics carry the figure's headline
+// quantity (failure % or hops), so `go test -bench` output doubles as a
+// compact reproduction table.
+package treep
+
+import (
+	"testing"
+	"time"
+
+	"treep/internal/chord"
+	"treep/internal/experiment"
+	"treep/internal/flood"
+	"treep/internal/nodeprof"
+	"treep/internal/proto"
+	"treep/internal/routing"
+)
+
+// benchSweep is the shared scaled-down sweep configuration.
+func benchSweep() experiment.Options {
+	return experiment.Options{
+		N:              300,
+		Seeds:          []int64{1},
+		KillStep:       0.10,
+		MaxKill:        0.50,
+		WarmUp:         6 * time.Second,
+		Settle:         3 * time.Second,
+		LookupsPerStep: 60,
+	}
+}
+
+func reportFailAt(b *testing.B, res *experiment.SweepResult, algo proto.Algo, killPct float64, label string) {
+	b.Helper()
+	s := res.FailRateSeries(algo)
+	for i, x := range s.X {
+		if x == killPct {
+			b.ReportMetric(s.Y[i], label)
+			return
+		}
+	}
+}
+
+func BenchmarkFigA_FailedLookups_FixedNC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchSweep()
+		o.Policy = nodeprof.FixedPolicy{NC: 4}
+		res := experiment.RunKillSweep(o)
+		reportFailAt(b, res, proto.AlgoG, 30, "failpct@30kill")
+		reportFailAt(b, res, proto.AlgoG, 50, "failpct@50kill")
+	}
+}
+
+func BenchmarkFigB_AvgHops_FixedNC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchSweep()
+		res := experiment.RunKillSweep(o)
+		h := res.AvgHopsSeries(proto.AlgoG)
+		if len(h.Y) > 0 {
+			b.ReportMetric(h.Y[0], "hops@10kill")
+			b.ReportMetric(h.Y[len(h.Y)-1], "hops@50kill")
+		}
+	}
+}
+
+func BenchmarkFigC_FailedLookups_VarNC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchSweep()
+		o.Policy = nodeprof.CapacityPolicy{Min: 2, Max: 16}
+		res := experiment.RunKillSweep(o)
+		reportFailAt(b, res, proto.AlgoG, 30, "failpct@30kill")
+	}
+}
+
+func BenchmarkFigD_AvgHops_FixedVsVar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fixed := benchSweep()
+		res1 := experiment.RunKillSweep(fixed)
+		variable := benchSweep()
+		variable.Policy = nodeprof.CapacityPolicy{Min: 2, Max: 16}
+		res2 := experiment.RunKillSweep(variable)
+		h1, h2 := res1.AvgHopsSeries(proto.AlgoG), res2.AvgHopsSeries(proto.AlgoG)
+		if len(h1.Y) > 0 && len(h2.Y) > 0 {
+			b.ReportMetric(h1.Y[len(h1.Y)-1], "hops-fixed@50kill")
+			b.ReportMetric(h2.Y[len(h2.Y)-1], "hops-var@50kill")
+		}
+	}
+}
+
+func BenchmarkFigE_MinMaxEnvelope(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchSweep()
+		o.Seeds = []int64{1, 2, 3}
+		res := experiment.RunKillSweep(o)
+		lo, hi := res.FailEnvelope(proto.AlgoG)
+		if n := len(hi.Y); n > 0 {
+			b.ReportMetric(hi.Y[n-1]-lo.Y[n-1], "spread@50kill")
+		}
+		parts := res.PartitionSeries()
+		if n := len(parts.Y); n > 0 {
+			b.ReportMetric(parts.Y[n-1], "partitions@50kill")
+		}
+	}
+}
+
+func benchSurface(b *testing.B, policy nodeprof.ChildPolicy, algo proto.Algo) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		o := benchSweep()
+		o.Policy = policy
+		o.Algos = []proto.Algo{algo}
+		res := experiment.RunKillSweep(o)
+		surf := res.HopSurface(algo)
+		if h := surf.At(10); h.Total() > 0 {
+			b.ReportMetric(100*h.Fraction(h.Percentile(0.5)), "pct-at-modal-hops")
+			b.ReportMetric(float64(h.Percentile(0.5)), "modal-hops")
+		}
+	}
+}
+
+func BenchmarkFigF_HopSurface_G_FixedNC(b *testing.B) {
+	benchSurface(b, nodeprof.FixedPolicy{NC: 4}, proto.AlgoG)
+}
+
+func BenchmarkFigG_HopSurface_NG_FixedNC(b *testing.B) {
+	benchSurface(b, nodeprof.FixedPolicy{NC: 4}, proto.AlgoNG)
+}
+
+func BenchmarkFigH_HopSurface_G_VarNC(b *testing.B) {
+	benchSurface(b, nodeprof.CapacityPolicy{Min: 2, Max: 16}, proto.AlgoG)
+}
+
+func BenchmarkFigI_HopSurface_NG_VarNC(b *testing.B) {
+	benchSurface(b, nodeprof.CapacityPolicy{Min: 2, Max: 16}, proto.AlgoNG)
+}
+
+func BenchmarkAN1_HeightLaw(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := experiment.HeightLaw([]int{256, 1024}, nil, 1)
+		last := points[len(points)-1]
+		b.ReportMetric(float64(last.Height), "height@1024")
+		b.ReportMetric(last.Predicted, "predicted@1024")
+	}
+}
+
+func BenchmarkAN2_RoutingTableSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiment.TableSizes(300, 1)
+		if len(rows) > 0 {
+			b.ReportMetric(rows[0].AvgSize, "level0-table-size")
+			b.ReportMetric(rows[len(rows)-1].AvgSize, "top-table-size")
+		}
+	}
+}
+
+func BenchmarkAN3_LogNHops(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := experiment.LogNHops([]int{200, 800}, 1, 60)
+		b.ReportMetric(points[0].AvgHops, "hops@200")
+		b.ReportMetric(points[1].AvgHops, "hops@800")
+	}
+}
+
+func BenchmarkEXT1_Baselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// Chord under the same 20% kill.
+		cc := chord.New(300, 1)
+		cc.Run(4 * time.Second)
+		rng := cc.Kernel.Stream(5)
+		killed := 0
+		for killed < 60 {
+			nd := cc.Nodes[rng.Intn(len(cc.Nodes))]
+			if cc.Alive(nd) {
+				cc.Kill(nd)
+				killed++
+			}
+		}
+		cc.DropDead()
+		cc.Run(6 * time.Second)
+		alive := cc.AliveNodes()
+		found := 0
+		for j := 0; j < 60; j++ {
+			origin := alive[rng.Intn(len(alive))]
+			target := alive[rng.Intn(len(alive))]
+			want := target.ID()
+			origin.Lookup(cc, want, func(r chord.LookupResult) {
+				if r.Found && r.Succ == want {
+					found++
+				}
+			})
+		}
+		cc.Run(12 * time.Second)
+		b.ReportMetric(100*float64(60-found)/60, "chord-failpct@20kill")
+
+		// Flooding message cost for one lookup.
+		fc := flood.New(300, 4, 1)
+		before := fc.MessagesSent()
+		fc.Nodes[0].Lookup(fc, fc.Nodes[200].ID(), 8, func(flood.Result) {})
+		fc.Run(12 * time.Second)
+		b.ReportMetric(float64(fc.MessagesSent()-before), "flood-msgs-per-lookup")
+	}
+}
+
+func BenchmarkABL1_DistanceModels(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchSweep()
+		o.MaxKill = 0.30
+		res1 := experiment.RunKillSweep(o)
+		o2 := benchSweep()
+		o2.MaxKill = 0.30
+		o2.Model = routing.BranchingModel{Height: 6, Branching: 4}
+		res2 := experiment.RunKillSweep(o2)
+		reportFailAt(b, res1, proto.AlgoG, 30, "paper-failpct@30")
+		reportFailAt(b, res2, proto.AlgoG, 30, "branching-failpct@30")
+	}
+}
+
+func BenchmarkABL2_UpdatePolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchSweep()
+		o.MaxKill = 0.30
+		res1 := experiment.RunKillSweep(o)
+		o2 := benchSweep()
+		o2.MaxKill = 0.30
+		o2.PiggybackOnly = true
+		res2 := experiment.RunKillSweep(o2)
+		reportFailAt(b, res1, proto.AlgoG, 30, "immediate-failpct@30")
+		reportFailAt(b, res2, proto.AlgoG, 30, "piggyback-failpct@30")
+	}
+}
+
+func BenchmarkABL3_RetainUpper(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		o := benchSweep()
+		o.MaxKill = 0.30
+		res1 := experiment.RunKillSweep(o)
+		o2 := benchSweep()
+		o2.MaxKill = 0.30
+		o2.RetainUpperLevels = true
+		res2 := experiment.RunKillSweep(o2)
+		reportFailAt(b, res1, proto.AlgoG, 30, "demote-failpct@30")
+		reportFailAt(b, res2, proto.AlgoG, 30, "retain-failpct@30")
+	}
+}

@@ -1,0 +1,146 @@
+// treep-bench regenerates every figure and analytic claim of the TreeP
+// paper's evaluation (§IV and §III.e) plus the ablations listed in
+// DESIGN.md, printing the series the paper plots. Run with -quick for a
+// reduced sweep.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"treep/internal/experiment"
+	"treep/internal/metrics"
+	"treep/internal/nodeprof"
+	"treep/internal/proto"
+	"treep/internal/routing"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced network and trial count")
+	n := flag.Int("n", 1000, "network size for the kill sweeps")
+	trials := flag.Int("trials", 3, "trials (seeds) per sweep")
+	lookups := flag.Int("lookups", 150, "lookups per algorithm per step")
+	settle := flag.Duration("settle", 8*time.Second, "repair window after each kill step")
+	flag.Parse()
+
+	if *quick {
+		*n, *trials, *lookups = 400, 2, 60
+	}
+	seeds := make([]int64, *trials)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	base := experiment.Options{
+		N: *n, Seeds: seeds, LookupsPerStep: *lookups, Settle: *settle,
+		KillStep: 0.05, MaxKill: 0.80,
+	}
+
+	fmt.Printf("# TreeP paper reproduction — n=%d trials=%d lookups/step=%d settle=%v\n\n",
+		*n, *trials, *lookups, *settle)
+
+	// --- Case 1: fixed nc = 4 (paper §IV.a) -------------------------------
+	fixed := base
+	fixed.Policy = nodeprof.FixedPolicy{NC: 4}
+	start := time.Now()
+	resFixed := experiment.RunKillSweep(fixed)
+	fmt.Printf("## FIG-A — failed lookups %% vs killed %% (nc=4)  [%v]\n", time.Since(start).Truncate(time.Second))
+	printSeries(resFixed.KillPcts(),
+		resFixed.FailRateSeries(proto.AlgoG),
+		resFixed.FailRateSeries(proto.AlgoNG),
+		resFixed.FailRateSeries(proto.AlgoNGSA))
+
+	fmt.Println("## FIG-B — average hops vs killed % (nc=4)")
+	printSeries(resFixed.KillPcts(),
+		resFixed.AvgHopsSeries(proto.AlgoG),
+		resFixed.AvgHopsSeries(proto.AlgoNG),
+		resFixed.AvgHopsSeries(proto.AlgoNGSA))
+
+	fmt.Println("## FIG-E — min/max failed lookups envelope (G, nc=4) + partitions")
+	lo, hi := resFixed.FailEnvelope(proto.AlgoG)
+	printSeries(resFixed.KillPcts(), lo, hi, resFixed.PartitionSeries())
+
+	fmt.Println("## FIG-F — hop surface, algorithm G (nc=4): % of requests (cells) resolved in N hops")
+	fmt.Println(resFixed.HopSurface(proto.AlgoG).Render(12))
+	fmt.Println("## FIG-G — hop surface, algorithm NG (nc=4)")
+	fmt.Println(resFixed.HopSurface(proto.AlgoNG).Render(12))
+
+	// --- Case 2: nc variable (capacity-driven, paper §IV.b) ---------------
+	variable := base
+	variable.Policy = nodeprof.CapacityPolicy{Min: 2, Max: 16}
+	resVar := experiment.RunKillSweep(variable)
+	fmt.Println("## FIG-C — failed lookups % vs killed % (nc variable)")
+	printSeries(resVar.KillPcts(),
+		resVar.FailRateSeries(proto.AlgoG),
+		resVar.FailRateSeries(proto.AlgoNG),
+		resVar.FailRateSeries(proto.AlgoNGSA))
+
+	fmt.Println("## FIG-D — average hops: fixed nc vs variable nc (G)")
+	fx := resFixed.AvgHopsSeries(proto.AlgoG)
+	fx.Name = "hops/fixed-nc4"
+	vr := resVar.AvgHopsSeries(proto.AlgoG)
+	vr.Name = "hops/variable-nc"
+	printSeries(resFixed.KillPcts(), fx, vr)
+
+	fmt.Println("## FIG-H — hop surface, algorithm G (nc variable)")
+	fmt.Println(resVar.HopSurface(proto.AlgoG).Render(12))
+	fmt.Println("## FIG-I — hop surface, algorithm NG (nc variable)")
+	fmt.Println(resVar.HopSurface(proto.AlgoNG).Render(12))
+
+	// --- Analytic checks (§III.e/f) ----------------------------------------
+	fmt.Println("## AN-1 — height law h ≈ log_c((n+1)/2)")
+	fmt.Println(experiment.RenderHeightLaw(experiment.HeightLaw([]int{256, 1024, 4096}, nil, 1)))
+
+	fmt.Println("## AN-2 — routing-table sizes vs §III.e formulas")
+	fmt.Println(experiment.RenderTableSizes(experiment.TableSizes(minInt(*n, 1000), 1)))
+
+	fmt.Println("## AN-3 — lookup hops vs n (O(log n) claim)")
+	fmt.Println(experiment.RenderHops(experiment.LogNHops([]int{250, 500, 1000, 2000}, 1, *lookups)))
+
+	// --- Ablations ----------------------------------------------------------
+	abl := base
+	abl.Seeds = seeds[:1]
+	abl.MaxKill = 0.50
+
+	fmt.Println("## ABL-1 — distance model: paper L/2^(h-l) vs branching L/c^(h-l)")
+	ablBase := experiment.RunKillSweep(abl)
+	ablB := abl
+	ablB.Model = routing.BranchingModel{Height: 6, Branching: 4}
+	resB := experiment.RunKillSweep(ablB)
+	p1 := ablBase.FailRateSeries(proto.AlgoG)
+	p1.Name = "fail%/paper-model"
+	p2 := resB.FailRateSeries(proto.AlgoG)
+	p2.Name = "fail%/branching-model"
+	printSeries(ablBase.KillPcts(), p1, p2)
+
+	fmt.Println("## ABL-2 — immediate updates vs piggyback-only (§III.d)")
+	ablP := abl
+	ablP.PiggybackOnly = true
+	resP := experiment.RunKillSweep(ablP)
+	p3 := ablBase.FailRateSeries(proto.AlgoG)
+	p3.Name = "fail%/immediate"
+	p4 := resP.FailRateSeries(proto.AlgoG)
+	p4.Name = "fail%/piggyback"
+	printSeries(ablBase.KillPcts(), p3, p4)
+
+	fmt.Println("## ABL-3 — retain upper levels without children (§VI future work)")
+	ablR := abl
+	ablR.RetainUpperLevels = true
+	resR := experiment.RunKillSweep(ablR)
+	p5 := ablBase.FailRateSeries(proto.AlgoG)
+	p5.Name = "fail%/demote"
+	p6 := resR.FailRateSeries(proto.AlgoG)
+	p6.Name = "fail%/retain"
+	printSeries(ablBase.KillPcts(), p5, p6)
+}
+
+func printSeries(xs []float64, cols ...*metrics.Series) {
+	fmt.Println(metrics.Table("kill%", xs, cols))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

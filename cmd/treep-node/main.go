@@ -1,0 +1,65 @@
+// treep-node runs a standalone TreeP peer on a real UDP socket. Start the
+// first node with just -bind; point later nodes at any running peer with
+// -join host:port. The node prints its state once per period.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"treep"
+	"treep/internal/udptransport"
+)
+
+func main() {
+	bind := flag.String("bind", "127.0.0.1:0", "UDP address to listen on (IPv4)")
+	join := flag.String("join", "", "bootstrap peer host:port (empty: start a new overlay)")
+	every := flag.Duration("status", 5*time.Second, "status print interval")
+	seed := flag.Int64("seed", time.Now().UnixNano(), "random seed")
+	flag.Parse()
+
+	node, err := treep.StartUDPNode(treep.UDPOptions{Bind: *bind, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+
+	self := udptransport.UintToAddr(node.Addr())
+	fmt.Printf("treep-node listening on %s (overlay id %v)\n", self, node.ID())
+	fmt.Printf("others can join with: treep-node -join %s\n", self)
+
+	if *join != "" {
+		raddr, err := net.ResolveUDPAddr("udp4", *join)
+		if err != nil {
+			log.Fatalf("resolve -join %q: %v", *join, err)
+		}
+		boot := udptransport.AddrToUint(raddr)
+		if boot == 0 {
+			log.Fatalf("-join %q is not an IPv4 host:port", *join)
+		}
+		if err := node.Join(boot); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("joining overlay via %s\n", raddr)
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt)
+	tick := time.NewTicker(*every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			fmt.Printf("[%s] level=%d peers=%d\n",
+				time.Now().Format("15:04:05"), node.Level(), node.PeerCount())
+		case <-sigs:
+			fmt.Println("shutting down")
+			return
+		}
+	}
+}

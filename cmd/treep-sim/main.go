@@ -1,0 +1,86 @@
+// treep-sim runs one TreeP simulation scenario from flags and prints a
+// summary: hierarchy shape, lookup performance, message accounting, and
+// optional failure injection.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"treep"
+)
+
+func main() {
+	n := flag.Int("n", 1000, "number of peers")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	kill := flag.Float64("kill", 0, "fraction of peers to kill before measuring")
+	lookups := flag.Int("lookups", 200, "number of lookups to measure")
+	algoName := flag.String("algo", "G", "lookup algorithm: G, NG, NGSA")
+	variable := flag.Bool("variable-nc", false, "capacity-driven max children instead of nc=4")
+	settle := flag.Duration("settle", 10*time.Second, "repair window after the kill")
+	flag.Parse()
+
+	var algo treep.Algo
+	switch *algoName {
+	case "G":
+		algo = treep.AlgoG
+	case "NG":
+		algo = treep.AlgoNG
+	case "NGSA":
+		algo = treep.AlgoNGSA
+	default:
+		log.Fatalf("unknown algorithm %q", *algoName)
+	}
+
+	opts := treep.SimOptions{N: *n, Seed: *seed}
+	if *variable {
+		opts.Children = treep.CapacityChildren(2, 16)
+	}
+	nw, err := treep.NewSimNetwork(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("network: n=%d seed=%d levels=%v\n", *n, *seed, nw.Levels())
+	if *kill > 0 {
+		killed := nw.KillRandomFraction(*kill)
+		nw.Run(*settle)
+		fmt.Printf("killed %d peers (%.0f%%), settled %v, alive=%d levels=%v\n",
+			killed, *kill*100, *settle, nw.AliveCount(), nw.Levels())
+	}
+
+	ok, failed, hops := 0, 0, 0
+	for i := 0; i < *lookups; i++ {
+		origin := (i * 7919) % nw.N()
+		target := (i*104729 + 13) % nw.N()
+		if !nw.Alive(origin) || !nw.Alive(target) {
+			continue
+		}
+		res, err := nw.Lookup(origin, nw.NodeID(target), algo)
+		if err != nil {
+			continue
+		}
+		if res.Status == treep.LookupFound && res.Best.ID == nw.NodeID(target) {
+			ok++
+			hops += res.Hops
+		} else {
+			failed++
+		}
+	}
+	total := ok + failed
+	if total == 0 {
+		log.Fatal("no measurable lookups")
+	}
+	fmt.Printf("lookups (%s): %d ok, %d failed (%.1f%%), avg hops %.2f\n",
+		*algoName, ok, failed, 100*float64(failed)/float64(total),
+		float64(hops)/float64(maxInt(ok, 1)))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,47 @@
+// Churn resilience: reproduce the paper's §IV robustness experiment in
+// miniature — kill peers in 10% waves and watch lookup success and the
+// self-healing hierarchy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"treep"
+)
+
+func main() {
+	nw, err := treep.NewSimNetwork(treep.SimOptions{N: 400, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %-8s %-10s %-10s\n", "killed%", "alive", "lookupOK%", "avgHops")
+
+	for _, frac := range []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+		if frac > 0 {
+			nw.KillRandomFraction(0.1) // one more 10% wave
+			nw.Run(10 * time.Second)   // let the overlay repair
+		}
+		ok, total, hops := 0, 0, 0
+		for i := 0; i < 60; i++ {
+			origin := (i * 13) % nw.N()
+			target := (i*29 + 5) % nw.N()
+			if !nw.Alive(origin) || !nw.Alive(target) {
+				continue
+			}
+			total++
+			res, err := nw.Lookup(origin, nw.NodeID(target), treep.AlgoG)
+			if err == nil && res.Status == treep.LookupFound && res.Best.ID == nw.NodeID(target) {
+				ok++
+				hops += res.Hops
+			}
+		}
+		avg := 0.0
+		if ok > 0 {
+			avg = float64(hops) / float64(ok)
+		}
+		fmt.Printf("%-8.0f %-8d %-10.1f %-10.2f\n",
+			frac*100, nw.AliveCount(), 100*float64(ok)/float64(total), avg)
+	}
+}

@@ -1,0 +1,54 @@
+// DHT key-value store: the paper notes TreeP "can be easily modified to
+// provide DHT functionality" — store and fetch values from any peer, and
+// survive the owner's failure through ring replication.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"treep"
+)
+
+func main() {
+	nw, err := treep.NewSimNetwork(treep.SimOptions{N: 200, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Store a handful of records from different peers.
+	records := map[string]string{
+		"user/alice": "dublin",
+		"user/bob":   "cork",
+		"job/42":     "rendering",
+		"job/43":     "queued",
+	}
+	for k, v := range records {
+		if err := nw.Put(3, []byte(k), []byte(v)); err != nil {
+			log.Fatalf("put %q: %v", k, err)
+		}
+	}
+	fmt.Printf("stored %d records\n", len(records))
+
+	// Read them back from unrelated peers.
+	for k, want := range records {
+		v, err := nw.Get(150, []byte(k))
+		if err != nil {
+			log.Fatalf("get %q: %v", k, err)
+		}
+		fmt.Printf("get %-12q -> %q (want %q)\n", k, v, want)
+	}
+
+	// Failure tolerance: kill a slice of the network and read again.
+	nw.KillRandomFraction(0.15)
+	nw.Run(15 * time.Second)
+	survived := 0
+	for k := range records {
+		if _, err := nw.Get(120, []byte(k)); err == nil {
+			survived++
+		}
+	}
+	fmt.Printf("after killing 15%% of peers: %d/%d records still resolvable\n",
+		survived, len(records))
+}

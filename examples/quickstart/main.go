@@ -1,0 +1,45 @@
+// Quickstart: build a simulated TreeP overlay, inspect the hierarchy, and
+// resolve peers with the three lookup algorithms of the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"treep"
+)
+
+func main() {
+	// 500 heterogeneous peers, arranged into the B+tree-like hierarchy and
+	// settled into steady state.
+	nw, err := treep.NewSimNetwork(treep.SimOptions{N: 500, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("hierarchy (level -> peers):")
+	levels := nw.Levels()
+	for lvl := 0; lvl <= 8; lvl++ {
+		if n, ok := levels[lvl]; ok {
+			fmt.Printf("  level %d: %d peers\n", lvl, n)
+		}
+	}
+
+	// Resolve peer 321's coordinate from peer 7 with each algorithm.
+	target := nw.NodeID(321)
+	for _, algo := range []treep.Algo{treep.AlgoG, treep.AlgoNG, treep.AlgoNGSA} {
+		res, err := nw.Lookup(7, target, algo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5v -> status=%v hops=%d latency=%v\n", algo, res.Status, res.Hops, res.Latency)
+	}
+
+	// Keys hash into the same space; the lookup resolves their owner.
+	key := treep.HashKey([]byte("some-object"))
+	res, err := nw.Lookup(7, key, treep.AlgoG)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("owner of %v is peer %v (level %d)\n", key, res.Best.ID, res.Best.MaxLevel)
+}

@@ -1,0 +1,58 @@
+// Resource discovery and load balancing: the DGET-style grid-middleware
+// scenario that motivated TreeP — workers advertise attributes, a
+// scheduler discovers matches and places jobs on the least-loaded one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"treep"
+)
+
+func main() {
+	nw, err := treep.NewSimNetwork(treep.SimOptions{N: 250, Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ten workers advertise heterogeneous capabilities.
+	archs := []string{"amd64", "amd64", "amd64", "arm64", "arm64"}
+	for i := 0; i < 10; i++ {
+		dir := nw.Directory(i * 20)
+		res := treep.Resource{
+			Name:     fmt.Sprintf("worker-%02d", i),
+			Attrs:    map[string]string{"arch": archs[i%len(archs)], "queue": "batch"},
+			Capacity: 4 + i%5,
+			Load:     i % 3,
+		}
+		if err := dir.Advertise(res); err != nil {
+			log.Fatalf("advertise %s: %v", res.Name, err)
+		}
+	}
+
+	// A scheduler on an unrelated peer discovers the amd64 pool.
+	sched := nw.Directory(201)
+	pool, err := sched.Discover("arch", "amd64")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("amd64 pool: %d workers\n", len(pool))
+	for _, r := range pool {
+		fmt.Printf("  %-10s load %d/%d\n", r.Name, r.Load, r.Capacity)
+	}
+
+	// Place five jobs, re-advertising the updated load each time: the
+	// balancer spreads them across head-room.
+	for job := 0; job < 5; job++ {
+		best, err := sched.PickLeastLoaded("queue", "batch")
+		if err != nil {
+			log.Fatal(err)
+		}
+		best.Load++
+		if err := sched.Advertise(best); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("job %d -> %s (now %d/%d)\n", job, best.Name, best.Load, best.Capacity)
+	}
+}

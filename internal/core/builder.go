@@ -1,0 +1,201 @@
+package core
+
+import (
+	"sort"
+
+	"treep/internal/idspace"
+	"treep/internal/proto"
+)
+
+// BulkBuild materialises a steady-state TreeP hierarchy across the given
+// nodes, mirroring a B+tree bulk load: level-(j) members are elected
+// greedily from level-(j-1) in ID order, each group contributing its
+// strongest node, with group sizes set by the parent's child policy. The
+// §IV evaluation measures the overlay "when the system reaches its steady
+// state"; experiments start from this structure and let the live protocol
+// maintain it.
+//
+// The routing tables are seeded exactly as §III.c prescribes: level-0
+// direct plus indirect neighbours, per-level bus neighbours (direct and
+// indirect), children by midpoint tessellation, children of direct bus
+// neighbours, the parent slot, and the superior node list (ancestors plus
+// the parent's bus neighbours).
+//
+// It returns the number of members per level (index 0 = level 0 = all).
+func BulkBuild(nodes []*Node, maxHeight uint8) []int {
+	if len(nodes) == 0 {
+		return nil
+	}
+	sorted := make([]*Node, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID() < sorted[j].ID() })
+
+	// Elect members level by level.
+	levels := make([][]*Node, 1, maxHeight+1)
+	levels[0] = sorted
+	for lvl := uint8(1); lvl <= maxHeight; lvl++ {
+		prev := levels[len(levels)-1]
+		if len(prev) <= 2 {
+			break
+		}
+		var cur []*Node
+		i := 0
+		for i < len(prev) {
+			// Scout window: pick the strongest of the next few nodes as the
+			// group's parent, then size the group by that parent's policy.
+			w := 4
+			if w > len(prev)-i {
+				w = len(prev) - i
+			}
+			best := prev[i]
+			for _, cand := range prev[i+1 : i+w] {
+				if cand.Score() > best.Score() {
+					best = cand
+				}
+			}
+			g := best.MaxChildren()
+			if g < 2 {
+				g = 2
+			}
+			if g > len(prev)-i {
+				g = len(prev) - i
+			}
+			cur = append(cur, best)
+			i += g
+		}
+		levels = append(levels, cur)
+	}
+
+	// Assign top levels.
+	for lvl := len(levels) - 1; lvl >= 1; lvl-- {
+		for _, nd := range levels[lvl] {
+			if nd.maxLevel < uint8(lvl) {
+				nd.InstallLevel(uint8(lvl))
+			}
+		}
+	}
+
+	// Per-level sorted member refs (post level assignment, so refs carry
+	// the right MaxLevel).
+	memberRefs := make([][]proto.NodeRef, len(levels))
+	memberIDs := make([][]idspace.ID, len(levels))
+	for lvl := range levels {
+		refs := make([]proto.NodeRef, len(levels[lvl]))
+		ids := make([]idspace.ID, len(levels[lvl]))
+		for i, nd := range levels[lvl] {
+			refs[i] = nd.Ref()
+			ids[i] = nd.ID()
+		}
+		memberRefs[lvl] = refs
+		memberIDs[lvl] = ids
+	}
+
+	// parentOf: each node reports to the nearest member of level
+	// maxLevel+1 (midpoint tessellation).
+	parentRef := func(nd *Node) (proto.NodeRef, bool) {
+		need := int(nd.maxLevel) + 1
+		if need >= len(levels) {
+			return proto.NodeRef{}, false
+		}
+		idx := idspace.NearestIndex(memberIDs[need], nd.ID())
+		ref := memberRefs[need][idx]
+		if ref.Addr == nd.Addr() {
+			// A node cannot parent itself; this only happens on duplicate
+			// IDs, where any neighbour will do.
+			return proto.NodeRef{}, false
+		}
+		return ref, true
+	}
+
+	// children lists keyed by parent address.
+	childrenOf := map[uint64][]proto.NodeRef{}
+	for _, nd := range sorted {
+		if p, ok := parentRef(nd); ok {
+			childrenOf[p.Addr] = append(childrenOf[p.Addr], nd.Ref())
+		}
+	}
+
+	// neighbours returns up to `span` refs on each side of position i.
+	neighbours := func(refs []proto.NodeRef, i, span int) []proto.NodeRef {
+		var out []proto.NodeRef
+		for d := 1; d <= span; d++ {
+			if i-d >= 0 {
+				out = append(out, refs[i-d])
+			}
+			if i+d < len(refs) {
+				out = append(out, refs[i+d])
+			}
+		}
+		return out
+	}
+
+	// indexIn finds nd's position among the level's members.
+	indexIn := func(lvl int, nd *Node) int {
+		ids := memberIDs[lvl]
+		i := sort.Search(len(ids), func(i int) bool { return ids[i] >= nd.ID() })
+		for i < len(ids) && memberRefs[lvl][i].Addr != nd.Addr() {
+			i++
+		}
+		return i
+	}
+
+	// Seed every node's table.
+	for _, nd := range sorted {
+		// Level 0: direct + indirect neighbours (level0Span each side).
+		i0 := indexIn(0, nd)
+		nd.InstallLevel0(neighbours(memberRefs[0], i0, level0Span)...)
+
+		// Buses for levels 1..maxLevel.
+		for lvl := 1; lvl <= int(nd.maxLevel) && lvl < len(levels); lvl++ {
+			bi := indexIn(lvl, nd)
+			if bi < len(memberRefs[lvl]) {
+				nd.InstallBus(uint8(lvl), neighbours(memberRefs[lvl], bi, 2)...)
+			}
+		}
+
+		// Parent and superiors: the ancestor chain plus the parent's
+		// direct bus neighbours at the parent's level.
+		if p, ok := parentRef(nd); ok {
+			nd.InstallParent(p)
+			var sups []proto.NodeRef
+			cur := p
+			for {
+				need := int(cur.MaxLevel) + 1
+				if need >= len(levels) {
+					break
+				}
+				idx := idspace.NearestIndex(memberIDs[need], cur.ID)
+				up := memberRefs[need][idx]
+				if up.Addr == cur.Addr || up.Addr == nd.Addr() {
+					break
+				}
+				sups = append(sups, up)
+				cur = up
+			}
+			pi := idspace.NearestIndex(memberIDs[p.MaxLevel], p.ID)
+			for _, nb := range neighbours(memberRefs[p.MaxLevel], pi, 1) {
+				if nb.Addr != nd.Addr() {
+					sups = append(sups, nb)
+				}
+			}
+			nd.InstallSuperiors(sups...)
+		}
+
+		// Children + children of direct bus neighbours.
+		if kids := childrenOf[nd.Addr()]; len(kids) > 0 {
+			nd.InstallChildren(kids...)
+		}
+		if nd.maxLevel >= 1 {
+			bi := indexIn(int(nd.maxLevel), nd)
+			for _, nb := range neighbours(memberRefs[nd.maxLevel], bi, 1) {
+				nd.InstallNbrChildren(childrenOf[nb.Addr]...)
+			}
+		}
+	}
+
+	counts := make([]int, len(levels))
+	for lvl := range levels {
+		counts[lvl] = len(levels[lvl])
+	}
+	return counts
+}

@@ -1,0 +1,51 @@
+// Package core implements the TreeP overlay protocol of Hudzia et al.:
+// hierarchy creation and maintenance (§III.a–b), the six-table routing
+// state (§III.c–d), and the lookup machinery (§III.f), as an event-driven
+// state machine independent of any particular transport.
+//
+// Hierarchy model. A node occupies levels 0..MaxLevel of the overlay
+// (§III.c: the superior node list "consists of nodes with more than one
+// level"). The members of level j are exactly the nodes with MaxLevel ≥ j;
+// within each level they form a bus ordered by ID (§III.a), and the level-j
+// tessellation is the midpoint partition of the ID space among the level-j
+// members. A node's parent is the nearest member of level MaxLevel+1; its
+// children are the nodes that report to it. Elections promote parentless
+// well-connected nodes (§III.b), capacity overflows split B+tree-style by
+// promoting the strongest child, and parents with fewer than two children
+// demote after a capability-scaled countdown.
+//
+// All state transitions happen on a single logical event loop per node:
+// runtimes (the deterministic simulator, the UDP transport) serialise calls
+// into HandleMessage and timer callbacks. Node is not safe for concurrent
+// use by design — concurrency lives in the runtime, not the protocol.
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"treep/internal/proto"
+)
+
+// Timer is a cancellable single-shot timer handle.
+type Timer interface {
+	// Cancel stops the timer, reporting whether it was still pending.
+	Cancel() bool
+}
+
+// Env is everything a node needs from its runtime: identity, virtual or
+// real time, best-effort datagram sending, timers, and a deterministic
+// random stream. Implementations must invoke timer callbacks and
+// HandleMessage on the same logical event loop.
+type Env interface {
+	// Addr returns this node's transport address.
+	Addr() uint64
+	// Now returns the current time (virtual in simulation).
+	Now() time.Duration
+	// Send transmits a message best-effort; it must not block.
+	Send(to uint64, msg proto.Message)
+	// SetTimer schedules fn after d; the returned handle cancels it.
+	SetTimer(d time.Duration, fn func()) Timer
+	// Rand returns this node's random stream.
+	Rand() *rand.Rand
+}

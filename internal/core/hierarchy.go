@@ -1,0 +1,590 @@
+package core
+
+import (
+	"time"
+
+	"treep/internal/idspace"
+	"treep/internal/proto"
+	"treep/internal/rtable"
+)
+
+// --- elections (§III.b) -------------------------------------------------------
+
+// maybeStartElection triggers the §III.b election: "when a node reaches a
+// degree of 2 and does not have a parent, it will search for a parent by
+// contacting its neighbours". Each participant runs a countdown scaled
+// inversely to its capability; the first to expire claims parenthood.
+func (n *Node) maybeStartElection() {
+	if !n.started || n.electionTimer != nil {
+		return
+	}
+	if _, ok := n.table.Parent(); ok {
+		return
+	}
+	if n.maxLevel >= n.cfg.MaxHeight {
+		return
+	}
+	if n.degreeAt(n.maxLevel) < 2 {
+		return
+	}
+	// Cheap repair first: adopt a known member of the needed level.
+	if n.adoptParent() {
+		return
+	}
+	level := n.maxLevel + 1
+	n.Stats.ElectionsStarted++
+	l, r := n.busNeighbors(n.maxLevel)
+	for _, nb := range []proto.NodeRef{l, r} {
+		if !nb.IsZero() {
+			n.send(nb.Addr, &proto.ElectionCall{From: n.Ref(), Level: level})
+		}
+	}
+	n.startElectionCountdown(level)
+}
+
+func (n *Node) startElectionCountdown(level uint8) {
+	if n.electionTimer != nil {
+		return
+	}
+	d := n.cfg.Profile.ElectionCountdown(n.cfg.ElectionMin, n.cfg.ElectionMax, n.env.Rand())
+	n.electionTimer = n.env.SetTimer(d, func() {
+		n.electionTimer = nil
+		n.electionExpired(level)
+	})
+}
+
+// electionExpired is the countdown trigger: "when the countdown of a node
+// reaches 0 and if no other node was elected during this time, it will
+// signal to its neighbours that it is their new parent".
+func (n *Node) electionExpired(level uint8) {
+	if _, ok := n.table.Parent(); ok {
+		return // someone else won and we adopted them
+	}
+	if level != n.maxLevel+1 || level > n.cfg.MaxHeight {
+		return // stale countdown from before a level change
+	}
+	n.Stats.ElectionsWon++
+	n.promoteSelf(level)
+}
+
+func (n *Node) handleElectionCall(from uint64, m *proto.ElectionCall) {
+	n.noteRef(m.From, true)
+	if m.Level != n.maxLevel+1 {
+		return // different cohort
+	}
+	if _, ok := n.table.Parent(); ok {
+		// Already parented: tell the caller about our parent so it can
+		// adopt instead of electing.
+		if p, ok := n.table.Parent(); ok {
+			n.send(from, &proto.ParentClaim{From: p, Level: m.Level, Region: proto.FromIDSpace(idspace.FullRegion())})
+		}
+		return
+	}
+	n.startElectionCountdown(m.Level)
+}
+
+// promoteSelf raises the node to the given level: it joins the level's bus,
+// claims the tessellation it now owns, and looks for its own parent one
+// level further up.
+func (n *Node) promoteSelf(level uint8) {
+	if level <= n.maxLevel || level > n.cfg.MaxHeight {
+		return
+	}
+	n.maxLevel = level
+	n.Stats.Promotions++
+
+	// Join the bus: link towards the nearest known member.
+	if best, _, ok := n.bestKnownMember(level, n.cfg.ID); ok && best.MaxLevel >= level {
+		n.send(best.Addr, &proto.BusLinkReq{From: n.Ref(), Level: level})
+	}
+
+	// Claim children: announce to every known peer inside the region whose
+	// parent level we now are.
+	region := n.regionAt(level)
+	claim := &proto.ParentClaim{From: n.Ref(), Level: level, Region: proto.FromIDSpace(region)}
+	for _, c := range n.table.Candidates(nil) {
+		if c.Addr == n.Addr() || !region.Contains(c.ID) {
+			continue
+		}
+		if c.MaxLevel+1 == level {
+			n.send(c.Addr, claim)
+		}
+	}
+
+	// Find our own parent at level+1.
+	n.adoptParent()
+	n.pushUpdates()
+}
+
+// adoptParent starts courting the nearest known member of level
+// maxLevel+1: a child report goes out, and the slot is installed when the
+// candidate answers (confirmCourtship). A silent candidate is purged after
+// a short probation so repair does not stall on stale knowledge. It
+// returns whether a parent exists or a courtship is in progress.
+func (n *Node) adoptParent() bool {
+	if _, ok := n.table.Parent(); ok {
+		return true
+	}
+	if n.courting != 0 {
+		return true
+	}
+	best, _, ok := n.bestKnownMember(n.maxLevel+1, n.cfg.ID)
+	if !ok {
+		return false
+	}
+	n.courtRef(best)
+	return true
+}
+
+// courtRef probes ref as a prospective parent.
+func (n *Node) courtRef(ref proto.NodeRef) {
+	if ref.IsZero() || ref.Addr == n.Addr() {
+		return
+	}
+	if n.courtTimer != nil {
+		n.courtTimer.Cancel()
+	}
+	n.courting = ref.Addr
+	n.send(ref.Addr, &proto.ChildReport{From: n.Ref(), Degree: uint8(n.degreeAt(0))})
+	probation := n.cfg.ElectionMin
+	if probation < 500*time.Millisecond {
+		probation = 500 * time.Millisecond
+	}
+	n.courtTimer = n.env.SetTimer(3*probation, func() {
+		n.courtTimer = nil
+		dead := n.courting
+		n.courting = 0
+		if _, ok := n.table.Parent(); ok || dead == 0 {
+			return
+		}
+		// No answer: the candidate is gone; purge and try the next one.
+		n.table.RemoveEverywhere(dead)
+		n.adoptOrElect()
+	})
+}
+
+// confirmCourtship installs the courted parent once it has proven itself
+// alive by any direct message.
+func (n *Node) confirmCourtship(from uint64, ref proto.NodeRef) {
+	if n.courting == 0 || n.courting != from {
+		return
+	}
+	n.courting = 0
+	if n.courtTimer != nil {
+		n.courtTimer.Cancel()
+		n.courtTimer = nil
+	}
+	if _, ok := n.table.Parent(); ok {
+		return
+	}
+	if ref.MaxLevel < n.maxLevel+1 {
+		// We were promoted while courting; this candidate can no longer be
+		// our parent.
+		return
+	}
+	n.table.SetParent(ref, n.env.Now())
+	n.Stats.ParentAdopted++
+	if n.electionTimer != nil {
+		n.electionTimer.Cancel()
+		n.electionTimer = nil
+	}
+}
+
+// adoptOrElect is the parent-loss reaction: prefer the superior-node-list
+// repair, fall back to an election.
+func (n *Node) adoptOrElect() {
+	if n.adoptParent() {
+		return
+	}
+	n.maybeStartElection()
+}
+
+func (n *Node) handleParentClaim(from uint64, m *proto.ParentClaim) {
+	n.noteRef(m.From, true)
+	region := m.Region.ToIDSpace()
+	if m.Level == n.maxLevel+1 && region.Contains(n.cfg.ID) {
+		cur, has := n.table.Parent()
+		if !has || distTo(m.From.ID, n.cfg.ID) < distTo(cur.ID, n.cfg.ID) {
+			n.table.SetParent(m.From, n.env.Now())
+			n.Stats.ParentAdopted++
+			if n.electionTimer != nil {
+				n.electionTimer.Cancel()
+				n.electionTimer = nil
+			}
+			n.send(m.From.Addr, &proto.ChildReport{From: n.Ref(), Degree: uint8(n.degreeAt(0))})
+		}
+		return
+	}
+	if m.Level <= n.maxLevel {
+		// A peer on one of our buses; link up if it is now a direct
+		// neighbour.
+		n.table.BusLevel(m.Level).Upsert(m.From, proto.FNeighbor, n.env.Now(), n.table.NextVersion(), rtable.Direct)
+		l, r := n.busNeighbors(m.Level)
+		if l.Addr == m.From.Addr || r.Addr == m.From.Addr {
+			n.send(m.From.Addr, &proto.BusLinkReq{From: n.Ref(), Level: m.Level})
+		}
+	}
+}
+
+// --- parent/child maintenance (§III.a) ----------------------------------------
+
+func (n *Node) handleChildReport(from uint64, m *proto.ChildReport) {
+	child := m.From
+	n.noteRef(child, true)
+	needLevel := child.MaxLevel + 1
+
+	// Above our station: we cannot be this child's parent at all. Even
+	// here the redirect target must be strictly closer to the child than
+	// we are — redirect chains must monotonically decrease that distance
+	// or stale level knowledge lets them cycle at network speed.
+	if needLevel > n.maxLevel {
+		if best, seen, ok := n.bestKnownMember(needLevel, child.ID); ok &&
+			best.Addr != n.Addr() && best.Addr != from &&
+			distTo(best.ID, child.ID) < distTo(n.cfg.ID, child.ID) {
+			n.Stats.Reparents++
+			n.Stats.ReparentsStation++
+			n.send(from, &proto.Reparent{From: n.Ref(), NewParent: best,
+				AgeDs: proto.AgeFrom(n.env.Now(), seen)})
+			return
+		}
+		// No redirect available: refuse explicitly (zero NewParent) so the
+		// child stops courting us — its knowledge of our level is stale,
+		// and silence would leave it re-courting forever.
+		n.send(from, &proto.Reparent{From: n.Ref()})
+		return
+	}
+
+	// Tessellation ownership, decided by a globally consistent rule:
+	// redirect only to a member STRICTLY closer to the child than we are.
+	// Strictness matters — two parents evaluating region membership from
+	// different partial bus views would bounce a boundary child between
+	// each other forever; a shared distance comparison cannot cycle.
+	if best, seen, ok := n.bestKnownMember(needLevel, child.ID); ok && best.Addr != from {
+		if distTo(best.ID, child.ID) < distTo(n.cfg.ID, child.ID) {
+			n.Stats.Reparents++
+			n.Stats.ReparentsCloser++
+			n.send(from, &proto.Reparent{From: n.Ref(), NewParent: best,
+				AgeDs: proto.AgeFrom(n.env.Now(), seen)})
+			return
+		}
+	}
+
+	n.table.Children.Upsert(child, proto.FChild, n.env.Now(), n.table.NextVersion(), rtable.Direct)
+	n.maybeCancelDemotion()
+
+	// Ack so children learn our ancestors and bus neighbours (their
+	// superior node lists) and keep that knowledge fresh.
+	n.send(from, &proto.Pong{From: n.Ref(), Seq: 0, Entries: n.composeUpdate(from, true)})
+
+	n.maybeSplit()
+}
+
+func (n *Node) handleReparent(from uint64, m *proto.Reparent) {
+	// A refusal from a node we were courting: remember it so the
+	// candidate search stops offering it, then try the next option.
+	if m.NewParent.IsZero() && n.courting == from {
+		n.refused[from] = n.env.Now()
+		n.courting = 0
+		if n.courtTimer != nil {
+			n.courtTimer.Cancel()
+			n.courtTimer = nil
+		}
+		n.adoptOrElect()
+		return
+	}
+	cur, has := n.table.Parent()
+	if has && cur.Addr != from {
+		return // only the current parent may move us
+	}
+	if m.NewParent.IsZero() || m.NewParent.Addr == n.Addr() {
+		n.table.ClearParent()
+		n.ensureHierarchy()
+		return
+	}
+	// A redirect based on knowledge as old as the entry TTL is noise; a
+	// cluster of confused nodes must not re-mint freshness for a dead
+	// node by redirecting each other to it.
+	age := time.Duration(m.AgeDs) * 100 * time.Millisecond
+	if age >= n.cfg.EntryTTL {
+		n.ensureHierarchy()
+		return
+	}
+	// The hand-off target is hearsay until it answers: court it.
+	n.Stats.Reparents++
+	n.table.ClearParent()
+	n.noteRefAt(m.NewParent, false, n.env.Now()-age)
+	n.courtRef(m.NewParent)
+}
+
+// maybeSplit performs the B+tree-style split: when the children table
+// exceeds nc, the strongest child is promoted one level and takes over the
+// half of the tessellation around it ("A parent is also responsible for
+// promoting a child to its level of the hierarchy"). A cooldown keeps the
+// parent from re-issuing grants faster than a promotee can accept and the
+// moved children can re-home.
+func (n *Node) maybeSplit() {
+	if n.table.Children.Len() <= n.maxChildren {
+		return
+	}
+	now := n.env.Now()
+	if n.lastSplit != 0 && now-n.lastSplit < 2*n.cfg.ChildReport {
+		return
+	}
+	// Strongest child wins promotion (§III.a: promotion criteria are the
+	// node characteristics).
+	var best proto.NodeRef
+	var bestScore uint16
+	found := false
+	for _, r := range n.table.Children.Refs() {
+		if r.MaxLevel+1 > n.maxLevel || r.MaxLevel+1 > n.cfg.MaxHeight {
+			continue
+		}
+		if !found || r.Score > bestScore || (r.Score == bestScore && r.ID < best.ID) {
+			best, bestScore, found = r, r.Score, true
+		}
+	}
+	if !found {
+		return
+	}
+	newLvl := best.MaxLevel + 1
+	n.Stats.Splits++
+	n.lastSplit = now
+
+	// The promotee's bus neighbours at its new level: the members flanking
+	// it in our view (including ourselves when we are a member).
+	members := n.busMembersWithSelf(newLvl)
+	var left, right proto.NodeRef
+	for _, mref := range members {
+		if mref.ID < best.ID && mref.Addr != best.Addr {
+			left = mref
+		}
+		if mref.ID > best.ID && right.IsZero() && mref.Addr != best.Addr {
+			right = mref
+		}
+	}
+	region := cellAround(members, best)
+	n.send(best.Addr, &proto.PromoteGrant{
+		From: n.Ref(), Level: newLvl,
+		Region: proto.FromIDSpace(region),
+		Left:   left, Right: right,
+	})
+
+	// Re-home the children that fall into the promotee's new cell.
+	promoted := best
+	promoted.MaxLevel = newLvl
+	var moved []proto.NodeRef
+	for _, r := range n.table.Children.Refs() {
+		if r.Addr == best.Addr {
+			continue
+		}
+		if r.MaxLevel+1 == newLvl && region.Contains(r.ID) {
+			moved = append(moved, r)
+		}
+	}
+	for _, r := range moved {
+		n.Stats.Reparents++
+		n.Stats.ReparentsSplit++
+		n.send(r.Addr, &proto.Reparent{From: n.Ref(), NewParent: promoted})
+		n.table.Children.Remove(r.Addr)
+	}
+	// The promotee stops being a child when it reaches our own level.
+	if newLvl >= n.maxLevel {
+		n.table.Children.Remove(best.Addr)
+	}
+	n.table.BusLevel(newLvl).Upsert(promoted, proto.FNeighbor, n.env.Now(), n.table.NextVersion(), rtable.Direct)
+	n.pushUpdates()
+	n.maybeStartDemotion()
+}
+
+// cellAround computes the tessellation cell ref will own among the sorted
+// member list once inserted (ref is being promoted into the level, so it is
+// not a member yet). Used to scope a promotion grant.
+func cellAround(members []proto.NodeRef, ref proto.NodeRef) idspace.Region {
+	ids := make([]idspace.ID, 0, len(members)+1)
+	for _, m := range members {
+		if m.Addr == ref.Addr {
+			continue
+		}
+		ids = append(ids, m.ID)
+	}
+	pos := 0
+	for pos < len(ids) && ids[pos] < ref.ID {
+		pos++
+	}
+	ids = append(ids, 0)
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = ref.ID
+	return idspace.FullRegion().CellOf(ids, pos)
+}
+
+func (n *Node) handlePromoteGrant(from uint64, m *proto.PromoteGrant) {
+	p, has := n.table.Parent()
+	if !has || p.Addr != from {
+		return // only our parent promotes us
+	}
+	if m.Level != n.maxLevel+1 || m.Level > n.cfg.MaxHeight {
+		return
+	}
+	now := n.env.Now()
+	for _, nb := range []proto.NodeRef{m.Left, m.Right} {
+		if nb.IsZero() || nb.Addr == n.Addr() {
+			continue
+		}
+		n.table.BusLevel(m.Level).Upsert(nb, proto.FNeighbor, now, n.table.NextVersion(), rtable.Hearsay)
+	}
+	n.maxLevel = m.Level
+	n.Stats.Promotions++
+	// Link into the bus and announce the claimed tessellation.
+	l, r := n.busNeighbors(m.Level)
+	for _, nb := range []proto.NodeRef{l, r} {
+		if !nb.IsZero() {
+			n.send(nb.Addr, &proto.BusLinkReq{From: n.Ref(), Level: m.Level})
+		}
+	}
+	claim := &proto.ParentClaim{From: n.Ref(), Level: m.Level, Region: m.Region}
+	region := m.Region.ToIDSpace()
+	for _, c := range n.table.Candidates(nil) {
+		if c.Addr == n.Addr() || c.Addr == from || !region.Contains(c.ID) {
+			continue
+		}
+		if c.MaxLevel+1 == m.Level {
+			n.send(c.Addr, claim)
+		}
+	}
+	// Our parent may still cover us at the new level + 1; re-report so it
+	// refreshes our level, or get redirected to the right member.
+	n.send(from, &proto.ChildReport{From: n.Ref(), Degree: uint8(n.degreeAt(0))})
+	n.pushUpdates()
+}
+
+// --- demotion (§III.b) ----------------------------------------------------------
+
+// maybeStartDemotion arms the reverse countdown: "if a parent has less than
+// two children, it will start a countdown ... the higher the characteristic
+// the longer the countdown".
+func (n *Node) maybeStartDemotion() {
+	if !n.started || n.demotionTimer != nil || n.maxLevel == 0 {
+		return
+	}
+	if n.table.Children.Len() >= 2 {
+		return
+	}
+	if n.cfg.RetainUpperLevels && n.maxLevel > 1 {
+		// §VI future-work strategy: strong upper-level nodes keep their
+		// status even without children.
+		return
+	}
+	n.demotionTimer = n.env.SetTimer(n.cfg.Profile.DemotionCountdown(n.cfg.DemotionMin, n.cfg.DemotionMax), func() {
+		n.demotionTimer = nil
+		n.demotionExpired()
+	})
+}
+
+func (n *Node) maybeCancelDemotion() {
+	if n.demotionTimer != nil && n.table.Children.Len() >= 2 {
+		n.demotionTimer.Cancel()
+		n.demotionTimer = nil
+	}
+}
+
+// demotionExpired demotes the node one level: "at the end of the countdown,
+// if it still has less than two children it will leave its current level".
+func (n *Node) demotionExpired() {
+	if n.maxLevel == 0 || n.table.Children.Len() >= 2 {
+		return
+	}
+	oldLvl := n.maxLevel
+	left, right := n.busNeighbors(oldLvl)
+	successor := left
+	if successor.IsZero() || (!right.IsZero() && distTo(right.ID, n.cfg.ID) < distTo(left.ID, n.cfg.ID)) {
+		successor = right
+	}
+
+	// Tell the bus and hand children to the successor.
+	for _, nb := range []proto.NodeRef{left, right} {
+		if !nb.IsZero() {
+			n.send(nb.Addr, &proto.Demote{From: n.Ref(), Level: oldLvl, Successor: successor})
+		}
+	}
+	for _, c := range n.table.Children.Refs() {
+		n.Stats.Reparents++
+		n.send(c.Addr, &proto.Reparent{From: n.Ref(), NewParent: successor})
+	}
+
+	n.maxLevel = oldLvl - 1
+	n.Stats.Demotions++
+	delete(n.table.Bus, oldLvl)
+
+	// Our own parent requirement dropped a level; the old parent is still
+	// a member of the lower level's bus, but the successor may be nearer.
+	if !successor.IsZero() {
+		n.table.ClearParent()
+		n.courtRef(successor)
+	}
+	n.pushUpdates()
+	// Cascade: we may now be under-filled at the lower level too.
+	n.maybeStartDemotion()
+}
+
+func (n *Node) handleDemote(from uint64, m *proto.Demote) {
+	demoted := m.From
+	demoted.MaxLevel = m.Level - 1
+	// Remove the node from the vacated level, keep it at the one below.
+	if s, ok := n.table.Bus[m.Level]; ok {
+		s.Remove(from)
+	}
+	if m.Level-1 > 0 {
+		n.table.BusLevel(m.Level-1).Upsert(demoted, proto.FNeighbor, n.env.Now(), n.table.NextVersion(), rtable.Direct)
+	}
+	if p, ok := n.table.Parent(); ok && p.Addr == from {
+		n.table.ClearParent()
+		if !m.Successor.IsZero() && m.Successor.Addr != n.Addr() {
+			n.courtRef(m.Successor)
+		} else {
+			n.ensureHierarchy()
+		}
+	}
+	// Bus repair towards the successor.
+	if !m.Successor.IsZero() && m.Successor.Addr != n.Addr() && m.Level <= n.maxLevel {
+		n.send(m.Successor.Addr, &proto.BusLinkReq{From: n.Ref(), Level: m.Level})
+	}
+}
+
+// --- bus linking ----------------------------------------------------------------
+
+func (n *Node) handleBusLinkReq(from uint64, m *proto.BusLinkReq) {
+	n.noteRef(m.From, true)
+	lvl := m.Level
+	if lvl == 0 || lvl > n.cfg.MaxHeight {
+		return
+	}
+	n.table.BusLevel(lvl).Upsert(m.From, proto.FNeighbor, n.env.Now(), n.table.NextVersion(), rtable.Direct)
+	// Answer with the members flanking the requester in our view.
+	members := n.busMembersWithSelf(lvl)
+	var left, right proto.NodeRef
+	for _, mref := range members {
+		if mref.Addr == m.From.Addr {
+			continue
+		}
+		if mref.ID <= m.From.ID {
+			left = mref
+		} else if right.IsZero() {
+			right = mref
+		}
+	}
+	n.send(from, &proto.BusLinkAck{From: n.Ref(), Level: lvl, Left: left, Right: right})
+}
+
+func (n *Node) handleBusLinkAck(from uint64, m *proto.BusLinkAck) {
+	now := n.env.Now()
+	if m.Level == 0 || m.Level > n.maxLevel+1 {
+		return
+	}
+	n.table.BusLevel(m.Level).Upsert(m.From, proto.FNeighbor, now, n.table.NextVersion(), rtable.Direct)
+	for _, nb := range []proto.NodeRef{m.Left, m.Right} {
+		if nb.IsZero() || nb.Addr == n.Addr() {
+			continue
+		}
+		n.table.BusLevel(m.Level).Upsert(nb, proto.FNeighbor, now, n.table.NextVersion(), rtable.Hearsay)
+	}
+}

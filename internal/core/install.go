@@ -1,0 +1,81 @@
+package core
+
+import (
+	"treep/internal/proto"
+	"treep/internal/rtable"
+)
+
+// Direct state-installation API used by the BulkBuilder to materialise a
+// steady-state overlay without replaying the join protocol (§IV evaluates
+// "when the system reaches its steady state"). The live protocol then
+// maintains the installed structure.
+
+// InstallLevel sets the node's top level directly.
+func (n *Node) InstallLevel(maxLevel uint8) { n.maxLevel = maxLevel }
+
+// InstallLevel0 seeds level-0 neighbour entries.
+func (n *Node) InstallLevel0(refs ...proto.NodeRef) {
+	now := n.env.Now()
+	for _, r := range refs {
+		if r.IsZero() || r.Addr == n.Addr() {
+			continue
+		}
+		n.table.Level0.Upsert(r, proto.FNeighbor, now, n.table.NextVersion(), rtable.Direct)
+	}
+}
+
+// InstallBus seeds same-level neighbour entries at the given level.
+func (n *Node) InstallBus(level uint8, refs ...proto.NodeRef) {
+	if level == 0 {
+		n.InstallLevel0(refs...)
+		return
+	}
+	now := n.env.Now()
+	for _, r := range refs {
+		if r.IsZero() || r.Addr == n.Addr() {
+			continue
+		}
+		n.table.BusLevel(level).Upsert(r, proto.FNeighbor, now, n.table.NextVersion(), rtable.Direct)
+	}
+}
+
+// InstallChildren seeds the children table.
+func (n *Node) InstallChildren(refs ...proto.NodeRef) {
+	now := n.env.Now()
+	for _, r := range refs {
+		if r.IsZero() || r.Addr == n.Addr() {
+			continue
+		}
+		n.table.Children.Upsert(r, proto.FChild, now, n.table.NextVersion(), rtable.Direct)
+	}
+}
+
+// InstallNbrChildren seeds the children-of-neighbours table.
+func (n *Node) InstallNbrChildren(refs ...proto.NodeRef) {
+	now := n.env.Now()
+	for _, r := range refs {
+		if r.IsZero() || r.Addr == n.Addr() {
+			continue
+		}
+		n.table.NbrChildren.Upsert(r, proto.FChild|proto.FIndirect, now, n.table.NextVersion(), rtable.Direct)
+	}
+}
+
+// InstallParent seeds the parent slot.
+func (n *Node) InstallParent(ref proto.NodeRef) {
+	if ref.IsZero() || ref.Addr == n.Addr() {
+		return
+	}
+	n.table.SetParent(ref, n.env.Now())
+}
+
+// InstallSuperiors seeds the superior node list.
+func (n *Node) InstallSuperiors(refs ...proto.NodeRef) {
+	now := n.env.Now()
+	for _, r := range refs {
+		if r.IsZero() || r.Addr == n.Addr() {
+			continue
+		}
+		n.table.Superiors.Upsert(r, proto.FSuperior, now, n.table.NextVersion(), rtable.Direct)
+	}
+}

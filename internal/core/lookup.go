@@ -1,0 +1,175 @@
+package core
+
+import (
+	"time"
+
+	"treep/internal/idspace"
+	"treep/internal/proto"
+	"treep/internal/routing"
+)
+
+// LookupStatus is the origin-side outcome of a lookup.
+type LookupStatus uint8
+
+// Lookup outcomes as observed by the origin.
+const (
+	// LookupFound: a node answered with the target (or its owner).
+	LookupFound LookupStatus = iota
+	// LookupNotFound: a node on the path dead-ended and said so.
+	LookupNotFound
+	// LookupTimeout: no reply arrived in time (TTL death, message loss,
+	// or a partitioned network).
+	LookupTimeout
+)
+
+// String implements fmt.Stringer.
+func (s LookupStatus) String() string {
+	switch s {
+	case LookupFound:
+		return "found"
+	case LookupNotFound:
+		return "not-found"
+	case LookupTimeout:
+		return "timeout"
+	}
+	return "status(?)"
+}
+
+// LookupResult is delivered to the origin's callback.
+type LookupResult struct {
+	Status LookupStatus
+	// Best is the resolved node (valid when Status == LookupFound).
+	Best proto.NodeRef
+	// Hops is the number of overlay forwards the request took (0 when the
+	// origin resolved it locally; meaningless on timeout).
+	Hops int
+	// Latency is the origin-observed wall/virtual time to resolution.
+	Latency time.Duration
+}
+
+// Lookup resolves the node responsible for target using the given §III.f
+// algorithm and invokes cb exactly once (found, not-found, or timeout).
+// It returns the request id.
+func (n *Node) Lookup(target idspace.ID, algo proto.Algo, cb func(LookupResult)) uint64 {
+	n.nextReqID++
+	reqID := n.nextReqID
+	n.Stats.LookupsStarted++
+	start := n.env.Now()
+
+	req := &proto.LookupRequest{
+		Origin: n.Ref(),
+		Target: target,
+		ReqID:  reqID,
+		TTL:    n.cfg.MaxTTL,
+		Hops:   0,
+		Algo:   algo,
+	}
+
+	pl := &pendingLookup{cb: cb, algo: algo, started: start}
+	n.pending[reqID] = pl
+
+	finish := func(res LookupResult) {
+		if _, ok := n.pending[reqID]; !ok {
+			return
+		}
+		delete(n.pending, reqID)
+		if pl.timer != nil {
+			pl.timer.Cancel()
+		}
+		res.Latency = n.env.Now() - start
+		cb(res)
+	}
+
+	// Route the first step locally.
+	step := routing.Route(n.Ref(), n.table, req, false, 0, n.cfg.Routing)
+	switch step.Action {
+	case routing.Deliver:
+		n.Stats.LookupsDelivered++
+		finish(LookupResult{Status: LookupFound, Best: step.Found, Hops: 0})
+		return reqID
+	case routing.NotFound, routing.Drop:
+		n.Stats.LookupsNotFound++
+		finish(LookupResult{Status: LookupNotFound, Hops: 0})
+		return reqID
+	}
+
+	pl.timer = n.env.SetTimer(n.cfg.LookupTimeout, func() {
+		if _, ok := n.pending[reqID]; !ok {
+			return
+		}
+		delete(n.pending, reqID)
+		cb(LookupResult{Status: LookupTimeout, Hops: int(n.cfg.MaxTTL), Latency: n.env.Now() - start})
+	})
+
+	fwd := *req
+	fwd.TTL--
+	fwd.Hops++
+	fwd.Alternates = step.Alternates
+	n.Stats.LookupsForwarded++
+	n.send(step.Next.Addr, &fwd)
+	return reqID
+}
+
+// PendingLookups returns the number of in-flight origin lookups.
+func (n *Node) PendingLookups() int { return len(n.pending) }
+
+func (n *Node) handleLookupRequest(from uint64, m *proto.LookupRequest) {
+	parent, hasParent := n.table.Parent()
+	fromParent := hasParent && parent.Addr == from
+
+	step := routing.Route(n.Ref(), n.table, m, fromParent, from, n.cfg.Routing)
+	switch step.Action {
+	case routing.Deliver:
+		n.Stats.LookupsDelivered++
+		n.reply(m, &proto.LookupReply{
+			From: n.Ref(), ReqID: m.ReqID,
+			Status: proto.LookupFound, Best: step.Found, Hops: m.Hops,
+		})
+	case routing.Forward:
+		fwd := *m
+		fwd.TTL--
+		fwd.Hops++
+		fwd.Alternates = step.Alternates
+		n.Stats.LookupsForwarded++
+		n.send(step.Next.Addr, &fwd)
+	case routing.NotFound:
+		n.Stats.LookupsNotFound++
+		n.reply(m, &proto.LookupReply{
+			From: n.Ref(), ReqID: m.ReqID,
+			Status: proto.LookupNotFound, Hops: m.Hops,
+		})
+	case routing.Drop:
+		// "IF TTL > 255 THEN discard the request" — the origin times out.
+		n.Stats.LookupsDropped++
+	}
+}
+
+// reply delivers a lookup reply to the origin — directly over the wire,
+// or locally when a wandering request resolved back at its own origin
+// (common for key lookups whose owner is the asking node).
+func (n *Node) reply(req *proto.LookupRequest, rep *proto.LookupReply) {
+	if req.Origin.Addr == n.Addr() {
+		n.handleLookupReply(n.Addr(), rep)
+		return
+	}
+	n.send(req.Origin.Addr, rep)
+}
+
+func (n *Node) handleLookupReply(from uint64, m *proto.LookupReply) {
+	pl, ok := n.pending[m.ReqID]
+	if !ok {
+		return // duplicate or late reply
+	}
+	delete(n.pending, m.ReqID)
+	if pl.timer != nil {
+		pl.timer.Cancel()
+	}
+	res := LookupResult{Hops: int(m.Hops), Latency: n.env.Now() - pl.started}
+	if m.Status == proto.LookupFound {
+		res.Status = LookupFound
+		res.Best = m.Best
+	} else {
+		res.Status = LookupNotFound
+	}
+	pl.cb(res)
+}

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"treep/internal/idspace"
+	"treep/internal/proto"
+	"treep/internal/rtable"
+)
+
+// distTo abbreviates the Euclidean metric in protocol code.
+func distTo(a, b idspace.ID) uint64 { return idspace.Dist(a, b) }
+
+// --- periodic timers ---------------------------------------------------------
+
+func (n *Node) armKeepalive() {
+	if !n.started {
+		return
+	}
+	n.keepaliveTimer = n.env.SetTimer(n.cfg.KeepAlive, func() {
+		n.keepaliveTick()
+		n.armKeepalive()
+	})
+}
+
+func (n *Node) armSweep() {
+	if !n.started {
+		return
+	}
+	n.sweepTimer = n.env.SetTimer(n.cfg.SweepInterval, func() {
+		n.sweepTick()
+		n.armSweep()
+	})
+}
+
+func (n *Node) armReport() {
+	if !n.started {
+		return
+	}
+	n.reportTimer = n.env.SetTimer(n.cfg.ChildReport, func() {
+		n.reportTick()
+		n.armReport()
+	})
+}
+
+// keepaliveTick pings every active connection, piggybacking the routing
+// delta each peer has not yet seen (§III.d: "the update can be delayed,
+// waiting to be piggybacked during a keep-alive exchange").
+func (n *Node) keepaliveTick() {
+	for _, peer := range n.activePeers() {
+		n.sendPing(peer.Addr)
+	}
+}
+
+func (n *Node) sendPing(to uint64) {
+	n.pingSeq++
+	n.Stats.PingsSent++
+	n.send(to, &proto.Ping{From: n.Ref(), Seq: n.pingSeq, Entries: n.composeUpdate(to, false)})
+}
+
+// pushUpdates immediately ships pending deltas to all active peers; called
+// after membership changes when ImmediateUpdates is set (the paper's
+// current implementation: "the update is exchanged immediately").
+func (n *Node) pushUpdates() {
+	if !n.cfg.ImmediateUpdates || !n.started {
+		return
+	}
+	v := n.table.Version()
+	for _, peer := range n.activePeers() {
+		if n.lastSent[peer.Addr] < v {
+			n.sendPing(peer.Addr)
+		}
+	}
+}
+
+// sweepTick expires stale routing entries and repairs the structures that
+// lost members.
+func (n *Node) sweepTick() {
+	now := n.env.Now()
+	res := n.table.Sweep(now, n.cfg.EntryTTL)
+	if n.table.Level0.Len() == 0 {
+		// Every contact is gone: only an anchor can bring us back.
+		n.contactAnchor()
+	}
+	if res.Empty() {
+		n.ensureHierarchy()
+		return
+	}
+
+	// Level-0 repair: if a direct neighbour disappeared, promote the next
+	// nearest known contact to a direct link by greeting it.
+	if len(res.Level0) > 0 {
+		l, r := n.table.Level0.Neighbors(n.cfg.ID)
+		for _, nb := range []proto.NodeRef{l, r} {
+			if !nb.IsZero() {
+				n.send(nb.Addr, &proto.Hello{From: n.Ref(), MaxChildren: uint8(n.maxChildren)})
+			}
+		}
+	}
+
+	// Bus repair per level (ascending, for cross-process determinism):
+	// relink towards the new nearest member.
+	if len(res.Bus) > 0 {
+		levels := make([]int, 0, len(res.Bus))
+		for lvl := range res.Bus {
+			levels = append(levels, int(lvl))
+		}
+		sort.Ints(levels)
+		for _, l := range levels {
+			lvl := uint8(l)
+			if lvl > n.maxLevel {
+				continue
+			}
+			if best, _, ok := n.bestKnownMember(lvl, n.cfg.ID); ok {
+				n.Stats.BusRepairs++
+				n.send(best.Addr, &proto.BusLinkReq{From: n.Ref(), Level: lvl})
+			}
+		}
+	}
+
+	// Parent loss: purge the dead parent from every structure so it cannot
+	// be immediately re-adopted from the superior list, then repair —
+	// preferably by adopting a replacement from the replicated knowledge
+	// ("this replication of information provides a higher degree of
+	// robustness at minimum cost"), otherwise by election.
+	if res.ParentLost {
+		n.table.RemoveEverywhere(res.Parent.Addr)
+		n.adoptOrElect()
+	}
+
+	// Child loss: an under-filled parent starts its demotion countdown.
+	if len(res.Children) > 0 {
+		n.maybeStartDemotion()
+	}
+
+	n.ensureHierarchy()
+}
+
+// reportTick sends the child→parent heartbeat (§III.a: children that stop
+// reporting are deleted by the parent).
+func (n *Node) reportTick() {
+	if p, ok := n.table.Parent(); ok {
+		n.send(p.Addr, &proto.ChildReport{From: n.Ref(), Degree: uint8(n.degreeAt(0))})
+		return
+	}
+	n.adoptOrElect()
+	// Still nothing in motion: the overlay around us cannot help (no known
+	// candidate, not enough degree to elect). Pull fresh knowledge through
+	// an anchor (§III's anchor system) — isolation and fragment merging
+	// both need an out-of-band contact.
+	if _, ok := n.table.Parent(); !ok && n.courting == 0 && n.electionTimer == nil {
+		n.contactAnchor()
+	}
+}
+
+// contactAnchor greets a random anchor; isolated nodes rejoin through it.
+func (n *Node) contactAnchor() {
+	if len(n.cfg.Anchors) == 0 {
+		return
+	}
+	a := n.cfg.Anchors[n.env.Rand().Intn(len(n.cfg.Anchors))]
+	if a == n.Addr() {
+		return
+	}
+	if n.table.Level0.Len() == 0 {
+		// Fully dark: full re-join.
+		n.send(a, &proto.JoinRequest{From: n.Ref()})
+		return
+	}
+	n.send(a, &proto.Hello{From: n.Ref(), MaxChildren: uint8(n.maxChildren)})
+}
+
+// ensureHierarchy re-checks the standing conditions that drive hierarchy
+// dynamics; cheap because all triggers are guarded.
+func (n *Node) ensureHierarchy() {
+	if _, ok := n.table.Parent(); !ok {
+		n.maybeStartElection()
+	}
+	n.maybeStartDemotion()
+	n.maybeCancelDemotion()
+}
+
+// --- first contact and joins ---------------------------------------------------
+
+func (n *Node) handleHello(from uint64, m *proto.Hello) {
+	known := n.table.Level0.Get(from) != nil
+	n.table.Level0.Upsert(m.From, proto.FNeighbor, n.env.Now(), n.table.NextVersion(), rtable.Direct)
+	n.noteRef(m.From, true)
+	if !known {
+		// Mutual introduction: "When two nodes communicate for the first
+		// time they exchange information about their resources and state."
+		n.send(from, &proto.Hello{From: n.Ref(), MaxChildren: uint8(n.maxChildren)})
+	}
+}
+
+func (n *Node) handlePing(from uint64, m *proto.Ping) {
+	n.table.Level0.Upsert(m.From, proto.FNeighbor, n.env.Now(), n.table.NextVersion(), rtable.Direct)
+	n.noteRef(m.From, true)
+	n.applyEntries(from, m.From, m.Entries)
+	n.Stats.PongsSent++
+	n.send(from, &proto.Pong{From: n.Ref(), Seq: m.Seq, Entries: n.composeUpdate(from, n.table.Children.Get(from) != nil)})
+}
+
+func (n *Node) handlePong(from uint64, m *proto.Pong) {
+	n.table.Level0.Upsert(m.From, proto.FNeighbor, n.env.Now(), n.table.NextVersion(), rtable.Direct)
+	n.noteRef(m.From, true)
+	n.applyEntries(from, m.From, m.Entries)
+}
+
+func (n *Node) handleJoinRequest(from uint64, m *proto.JoinRequest) {
+	// Route the joiner to the level-0 position nearest its coordinate.
+	nearest, ok := n.table.Level0.Nearest(m.From.ID)
+	selfD := distTo(n.cfg.ID, m.From.ID)
+	if ok && distTo(nearest.ID, m.From.ID) < selfD && nearest.Addr != from {
+		n.send(from, &proto.JoinRedirect{From: n.Ref(), Closer: nearest})
+		return
+	}
+	// This node is the best known position: hand the joiner its
+	// neighbours and the responsible parent.
+	left, right := n.table.Level0.Neighbors(m.From.ID)
+	// The accepting node is itself one of the joiner's neighbours.
+	if n.cfg.ID <= m.From.ID {
+		if left.IsZero() || left.ID < n.cfg.ID {
+			left = n.Ref()
+		}
+	} else if right.IsZero() || right.ID > n.cfg.ID {
+		right = n.Ref()
+	}
+	var parent proto.NodeRef
+	if p, ok := n.table.Parent(); ok {
+		parent = p
+	}
+	if best, _, ok := n.bestKnownMember(m.From.MaxLevel+1, m.From.ID); ok {
+		parent = best
+	}
+	n.table.Level0.Upsert(m.From, proto.FNeighbor, n.env.Now(), n.table.NextVersion(), rtable.Direct)
+	n.send(from, &proto.JoinAccept{From: n.Ref(), Left: left, Right: right, Parent: parent})
+	n.pushUpdates()
+}
+
+func (n *Node) handleJoinRedirect(from uint64, m *proto.JoinRedirect) {
+	if m.Closer.IsZero() || m.Closer.Addr == n.Addr() {
+		return
+	}
+	n.noteRefAt(m.Closer, false, n.env.Now()-n.cfg.EntryTTL/2)
+	n.send(m.Closer.Addr, &proto.JoinRequest{From: n.Ref()})
+}
+
+func (n *Node) handleJoinAccept(from uint64, m *proto.JoinAccept) {
+	now := n.env.Now()
+	n.table.Level0.Upsert(m.From, proto.FNeighbor, now, n.table.NextVersion(), rtable.Direct)
+	for _, nb := range []proto.NodeRef{m.Left, m.Right} {
+		if nb.IsZero() || nb.Addr == n.Addr() {
+			continue
+		}
+		n.table.Level0.Upsert(nb, proto.FNeighbor, now, n.table.NextVersion(), rtable.Hearsay)
+		n.send(nb.Addr, &proto.Hello{From: n.Ref(), MaxChildren: uint8(n.maxChildren)})
+	}
+	if !m.Parent.IsZero() && m.Parent.Addr != n.Addr() {
+		// The suggested parent is hearsay from the acceptor: court it
+		// (half-TTL knowledge credit until it answers).
+		n.noteRefAt(m.Parent, false, n.env.Now()-n.cfg.EntryTTL/2)
+		n.courtRef(m.Parent)
+	}
+	n.ensureHierarchy()
+}
+
+// --- received-entry application ------------------------------------------------
+
+// noteRef files a freshly learned ref into the right structures based on
+// its advertised level (membership knowledge for routing and bus repair).
+// direct distinguishes the message sender itself from hearsay refs.
+func (n *Node) noteRef(r proto.NodeRef, direct bool) {
+	n.noteRefAt(r, direct, n.env.Now())
+}
+
+// noteRefAt is noteRef with an explicit validation instant (now minus the
+// shipped age, for relayed entries). It reports whether the ref was new to
+// any structure — fresh upper-level knowledge is forwarded up the tree.
+func (n *Node) noteRefAt(r proto.NodeRef, direct bool, validated time.Duration) bool {
+	if r.IsZero() || r.Addr == n.Addr() {
+		return false
+	}
+	mode := rtable.Hearsay
+	if direct {
+		mode = rtable.Direct
+	}
+	created := false
+	if r.MaxLevel > 0 {
+		for lvl := uint8(1); lvl <= r.MaxLevel && lvl <= n.cfg.MaxHeight; lvl++ {
+			// Record membership only at levels this node has a stake in:
+			// its own levels (bus upkeep) and one above (parent search) —
+			// and only the nearest few members per side, so tables stay at
+			// the §III.e sizes instead of accumulating the whole level.
+			if lvl > n.maxLevel+1 {
+				continue
+			}
+			set := n.table.BusLevel(lvl)
+			if set.Get(r.Addr) == nil {
+				if !direct && set.SideRank(n.cfg.ID, r.ID) >= busSpan {
+					continue
+				}
+				created = true
+			}
+			set.Upsert(r, proto.FNeighbor, validated, n.table.NextVersion(), mode)
+		}
+	}
+	return created
+}
+
+// applyEntries merges a received routing delta, applying the §III.c
+// placement rules relative to who sent it.
+func (n *Node) applyEntries(from uint64, sender proto.NodeRef, entries []proto.Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	now := n.env.Now()
+	parent, hasParent := n.table.Parent()
+	fromParent := hasParent && parent.Addr == from
+	// §III.c stores children of *direct* neighbours only.
+	bl, br := n.busNeighbors(n.maxLevel)
+	fromBusNbr := (!bl.IsZero() && bl.Addr == from) || (!br.IsZero() && br.Addr == from)
+	var upward []proto.Entry
+	for _, e := range entries {
+		if e.Ref.IsZero() || e.Ref.Addr == n.Addr() {
+			continue
+		}
+		// Shipped ages accumulate across hops; information already older
+		// than the entry TTL is dead on arrival.
+		age := e.AgeDuration()
+		if age >= n.cfg.EntryTTL {
+			continue
+		}
+		validated := now - age
+		n.Stats.UpdatesApplied++
+		switch {
+		case e.Flags&proto.FParent != 0 && fromParent:
+			// Parent's parent: an ancestor for the superior node list. The
+			// parent vouches for its own relations (acyclic chain), so the
+			// entry's liveness follows the parent's.
+			n.table.Superiors.Upsert(e.Ref, proto.FSuperior, validated, n.table.NextVersion(), rtable.Vouched)
+		case e.Flags&proto.FSuperior != 0 && fromParent:
+			// Ancestors propagate down the parent chain (Figure 2).
+			n.table.Superiors.Upsert(e.Ref, proto.FSuperior, validated, n.table.NextVersion(), rtable.Vouched)
+		case e.Flags&proto.FNeighbor != 0 && fromParent &&
+			e.Level >= n.maxLevel+1 && e.Ref.MaxLevel >= n.maxLevel+1:
+			// Parent's bus neighbours (at our parent level or above)
+			// complete the superior node list; the parent's level-0 ring
+			// ads stay out of it.
+			n.table.Superiors.Upsert(e.Ref, proto.FSuperior, validated, n.table.NextVersion(), rtable.Vouched)
+		case e.Flags&proto.FChild != 0 && fromBusNbr && n.maxLevel >= 1:
+			// Children of direct neighbours (§III.c children table — only
+			// nodes above level 0 maintain it); the neighbour vouches for
+			// its own reporting children. Capped so neighbour turnover
+			// cannot accumulate history.
+			set := n.table.NbrChildren
+			if set.Get(e.Ref.Addr) != nil || set.Len() < 2*n.maxChildren {
+				set.Upsert(e.Ref, proto.FChild|proto.FIndirect, validated, n.table.NextVersion(), rtable.Vouched)
+			}
+		case e.Level == 0:
+			// Indirect level-0 neighbours: keep the nearest few per side
+			// (§III.c allows l0 up to n-1; a handful per side is enough to
+			// bridge failure gaps while keeping the table near the paper's
+			// sizes).
+			if n.table.Level0.SideRank(n.cfg.ID, e.Ref.ID) < level0Span {
+				n.table.Level0.Upsert(e.Ref, proto.FNeighbor|proto.FIndirect, validated, n.table.NextVersion(), rtable.Hearsay)
+			}
+		}
+		// Independent of placement: learn level membership. Newly learned
+		// upper-level members are forwarded to our own parent — §III.d:
+		// a previously unknown parent entry "will be added and then
+		// forwarded to its own parent. Such exchange prevents the network
+		// from having two roots of the tree that are not connected."
+		if n.noteRefAt(e.Ref, false, validated) && e.Ref.MaxLevel > 0 && hasParent &&
+			from != parent.Addr && e.Ref.Addr != parent.Addr {
+			upward = append(upward, proto.Entry{
+				Ref: e.Ref, Level: e.Ref.MaxLevel, Flags: proto.FNeighbor,
+				Version: n.table.Version(), AgeDs: proto.AgeFrom(now, validated),
+			})
+		}
+	}
+	if len(upward) > 0 {
+		n.send(parent.Addr, &proto.Pong{From: n.Ref(), Entries: upward})
+	}
+	n.ensureHierarchy()
+}
+
+// level0Span is how many level-0 contacts a node retains per side. The
+// ring survives level0Span consecutive failures without external help.
+const level0Span = 4
+
+// busSpan is how many same-level members a node retains per side on each
+// bus; two suffice for the direct+indirect neighbour scheme of §III.c.
+const busSpan = 2

@@ -1,0 +1,555 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"treep/internal/idspace"
+	"treep/internal/proto"
+	"treep/internal/rtable"
+)
+
+// Node is one TreeP peer: the protocol state machine of §III. All methods
+// must be called from the node's single logical event loop (see package
+// comment).
+type Node struct {
+	cfg Config
+	env Env
+
+	// maxLevel is the node's top hierarchy level; the node is a member of
+	// every level 0..maxLevel.
+	maxLevel uint8
+	// score caches the capability score of the profile.
+	score float64
+	// maxChildren is nc under the configured child policy.
+	maxChildren int
+
+	table *rtable.Table
+
+	// lastSent tracks, per peer, the table version already shipped to it,
+	// implementing the "exchange only out-of-date data" delta protocol.
+	lastSent map[uint64]uint32
+	pingSeq  uint32
+
+	// Election/demotion countdowns (§III.b). One of each at a time.
+	electionTimer Timer
+	demotionTimer Timer
+
+	// courting is the address of a prospective parent that has been sent a
+	// child report but has not yet answered; the slot is only installed on
+	// the candidate's direct reply, so a dead candidate costs one short
+	// probation instead of a full entry TTL.
+	courting   uint64
+	courtTimer Timer
+
+	// lastSplit rate-limits promotion grants (see maybeSplit).
+	lastSplit time.Duration
+
+	// refused remembers peers that explicitly declined to parent us
+	// (usually because our knowledge of their level was stale), so the
+	// candidate search skips them for a TTL instead of re-courting in a
+	// livelock.
+	refused map[uint64]time.Duration
+
+	// Periodic timers.
+	keepaliveTimer Timer
+	sweepTimer     Timer
+	reportTimer    Timer
+
+	started bool
+
+	// Origin-side lookup bookkeeping.
+	pending   map[uint64]*pendingLookup
+	nextReqID uint64
+
+	// Stats counts protocol events; the experiment harness reads it.
+	Stats Stats
+
+	// extension receives messages the core protocol does not handle
+	// (DHT, discovery); it reports whether it consumed the message.
+	extension func(from uint64, msg proto.Message) bool
+}
+
+// SetExtension installs a handler for non-core messages (layered services
+// such as the DHT). One extension per node; services compose by chaining.
+func (n *Node) SetExtension(fn func(from uint64, msg proto.Message) bool) { n.extension = fn }
+
+// Send exposes best-effort sending to layered services.
+func (n *Node) Send(to uint64, msg proto.Message) { n.send(to, msg) }
+
+// SetTimer exposes the runtime timer to layered services.
+func (n *Node) SetTimer(d time.Duration, fn func()) Timer { return n.env.SetTimer(d, fn) }
+
+// Now exposes the runtime clock to layered services.
+func (n *Node) Now() time.Duration { return n.env.Now() }
+
+type pendingLookup struct {
+	cb      func(LookupResult)
+	timer   Timer
+	algo    proto.Algo
+	started time.Duration
+}
+
+// NewNode constructs a node; it does not touch the network until Start or
+// Join is called.
+func NewNode(cfg Config, env Env) *Node {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:      cfg,
+		env:      env,
+		score:    cfg.Profile.Score(),
+		table:    rtable.New(),
+		lastSent: map[uint64]uint32{},
+		pending:  map[uint64]*pendingLookup{},
+		refused:  map[uint64]time.Duration{},
+	}
+	n.maxChildren = cfg.ChildPolicy.MaxChildren(cfg.Profile)
+	if n.maxChildren < 2 {
+		n.maxChildren = 2
+	}
+	return n
+}
+
+// Ref returns the node's current wire identity.
+func (n *Node) Ref() proto.NodeRef {
+	return proto.NodeRef{
+		ID:       n.cfg.ID,
+		Addr:     n.env.Addr(),
+		MaxLevel: n.maxLevel,
+		Score:    proto.QuantizeScore(n.score),
+	}
+}
+
+// ID returns the node's coordinate.
+func (n *Node) ID() idspace.ID { return n.cfg.ID }
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() uint64 { return n.env.Addr() }
+
+// MaxLevel returns the node's top hierarchy level.
+func (n *Node) MaxLevel() uint8 { return n.maxLevel }
+
+// Score returns the capability score.
+func (n *Node) Score() float64 { return n.score }
+
+// MaxChildren returns nc for this node under the configured policy.
+func (n *Node) MaxChildren() int { return n.maxChildren }
+
+// Table exposes the routing table for analysis (AN-2 measures its size
+// against the §III.e formulas). Callers must not mutate it.
+func (n *Node) Table() *rtable.Table { return n.table }
+
+// Config returns the node's effective configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// String implements fmt.Stringer.
+func (n *Node) String() string {
+	return fmt.Sprintf("node(%s lvl%d)", n.cfg.ID, n.maxLevel)
+}
+
+// Start arms the periodic maintenance timers. Idempotent.
+func (n *Node) Start() {
+	if n.started {
+		return
+	}
+	n.started = true
+	n.armKeepalive()
+	n.armSweep()
+	n.armReport()
+}
+
+// Stop cancels all timers (node shutdown). In-flight messages addressed to
+// the node are the runtime's concern.
+func (n *Node) Stop() {
+	n.started = false
+	for _, t := range []Timer{n.keepaliveTimer, n.sweepTimer, n.reportTimer, n.electionTimer, n.demotionTimer, n.courtTimer} {
+		if t != nil {
+			t.Cancel()
+		}
+	}
+	n.electionTimer, n.demotionTimer, n.courtTimer = nil, nil, nil
+	n.courting = 0
+	for id, p := range n.pending {
+		if p.timer != nil {
+			p.timer.Cancel()
+		}
+		delete(n.pending, id)
+	}
+}
+
+// Join bootstraps the node into an existing overlay through any live peer
+// (§III.a: "the joining peers are assigned to the lowest [level]").
+func (n *Node) Join(bootstrap uint64) {
+	n.Start()
+	n.send(bootstrap, &proto.JoinRequest{From: n.Ref()})
+}
+
+// HandleMessage dispatches one received datagram. Unknown message types are
+// ignored (wire compatibility).
+func (n *Node) HandleMessage(from uint64, msg proto.Message) {
+	n.Stats.MsgsIn++
+	// Any authenticated-by-arrival communication refreshes the sender's
+	// timestamps (§III.c).
+	n.table.Touch(from, n.env.Now())
+	// A courted parent proves itself alive with any direct message —
+	// except one that explicitly declines the role (Reparent, Demote),
+	// which its own handler processes.
+	if n.courting == from {
+		switch msg.(type) {
+		case *proto.Reparent, *proto.Demote:
+		default:
+			if ref, ok := senderRef(msg); ok && ref.Addr == from {
+				n.confirmCourtship(from, ref)
+			}
+		}
+	}
+
+	switch m := msg.(type) {
+	case *proto.Hello:
+		n.handleHello(from, m)
+	case *proto.Ping:
+		n.handlePing(from, m)
+	case *proto.Pong:
+		n.handlePong(from, m)
+	case *proto.JoinRequest:
+		n.handleJoinRequest(from, m)
+	case *proto.JoinRedirect:
+		n.handleJoinRedirect(from, m)
+	case *proto.JoinAccept:
+		n.handleJoinAccept(from, m)
+	case *proto.ElectionCall:
+		n.handleElectionCall(from, m)
+	case *proto.ParentClaim:
+		n.handleParentClaim(from, m)
+	case *proto.ChildReport:
+		n.handleChildReport(from, m)
+	case *proto.PromoteGrant:
+		n.handlePromoteGrant(from, m)
+	case *proto.Demote:
+		n.handleDemote(from, m)
+	case *proto.Reparent:
+		n.handleReparent(from, m)
+	case *proto.BusLinkReq:
+		n.handleBusLinkReq(from, m)
+	case *proto.BusLinkAck:
+		n.handleBusLinkAck(from, m)
+	case *proto.LookupRequest:
+		n.handleLookupRequest(from, m)
+	case *proto.LookupReply:
+		n.handleLookupReply(from, m)
+	default:
+		if n.extension != nil {
+			n.extension(from, msg)
+		}
+	}
+}
+
+// senderRef extracts the self-identification a message carries about its
+// sender (not origin fields that name third parties).
+func senderRef(msg proto.Message) (proto.NodeRef, bool) {
+	switch m := msg.(type) {
+	case *proto.Hello:
+		return m.From, true
+	case *proto.Ping:
+		return m.From, true
+	case *proto.Pong:
+		return m.From, true
+	case *proto.JoinRequest:
+		return m.From, true
+	case *proto.JoinRedirect:
+		return m.From, true
+	case *proto.JoinAccept:
+		return m.From, true
+	case *proto.ElectionCall:
+		return m.From, true
+	case *proto.ParentClaim:
+		return m.From, true
+	case *proto.ChildReport:
+		return m.From, true
+	case *proto.PromoteGrant:
+		return m.From, true
+	case *proto.Demote:
+		return m.From, true
+	case *proto.Reparent:
+		return m.From, true
+	case *proto.BusLinkReq:
+		return m.From, true
+	case *proto.BusLinkAck:
+		return m.From, true
+	case *proto.LookupReply:
+		return m.From, true
+	}
+	return proto.NodeRef{}, false
+}
+
+// send transmits a message and counts it.
+func (n *Node) send(to uint64, msg proto.Message) {
+	if to == 0 || to == n.Addr() {
+		return
+	}
+	n.Stats.MsgsOut++
+	n.env.Send(to, msg)
+}
+
+// --- derived hierarchy state ------------------------------------------------
+
+// degreeAt returns the node's degree at the given level: the number of
+// same-level connections (level-0 table below, bus table above). §III.b
+// triggers elections at degree ≥ 2.
+func (n *Node) degreeAt(level uint8) int {
+	if level == 0 {
+		return n.table.Level0.Len()
+	}
+	if s, ok := n.table.Bus[level]; ok {
+		return s.Len()
+	}
+	return 0
+}
+
+// busMembersWithSelf returns the node's view of the level members,
+// including itself, sorted by ID. The slice is freshly allocated.
+func (n *Node) busMembersWithSelf(level uint8) []proto.NodeRef {
+	var refs []proto.NodeRef
+	if level == 0 {
+		refs = n.table.Level0.Refs()
+	} else if s, ok := n.table.Bus[level]; ok {
+		refs = s.Refs()
+	}
+	out := make([]proto.NodeRef, 0, len(refs)+1)
+	out = append(out, refs...)
+	out = append(out, n.Ref())
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// regionAt derives the node's tessellation cell at the given level from its
+// known bus members: cell boundaries fall midway between adjacent members
+// (§III.a). For level 0 or an unknown level the cell degenerates to the
+// node's own coordinate neighbourhood.
+func (n *Node) regionAt(level uint8) idspace.Region {
+	members := n.busMembersWithSelf(level)
+	ids := make([]idspace.ID, len(members))
+	for i, m := range members {
+		ids[i] = m.ID
+	}
+	idx := sort.Search(len(ids), func(i int) bool { return ids[i] >= n.cfg.ID })
+	// Self is in the list by construction; handle duplicate IDs by scanning.
+	for idx < len(ids) && members[idx].Addr != n.Addr() && ids[idx] == n.cfg.ID {
+		idx++
+	}
+	if idx >= len(ids) || ids[idx] != n.cfg.ID {
+		return idspace.FullRegion()
+	}
+	return idspace.FullRegion().CellOf(ids, idx)
+}
+
+// covers reports whether the node's tessellation at the given level
+// contains the coordinate.
+func (n *Node) covers(x idspace.ID, level uint8) bool {
+	if level > n.maxLevel {
+		return false
+	}
+	return n.regionAt(level).Contains(x)
+}
+
+// busNeighbors returns the node's direct left/right neighbours at a level
+// (either may be zero at the edges).
+func (n *Node) busNeighbors(level uint8) (left, right proto.NodeRef) {
+	if level == 0 {
+		return n.table.Level0.Neighbors(n.cfg.ID)
+	}
+	if s, ok := n.table.Bus[level]; ok {
+		return s.Neighbors(n.cfg.ID)
+	}
+	return proto.NodeRef{}, proto.NodeRef{}
+}
+
+// activePeers returns the distinct addresses of the node's actively
+// maintained connections: level-0 direct neighbours and per-level bus
+// neighbours (§III.a "all the edges of the hierarchy (called active
+// connections) are actively maintained"; parent and children links have
+// their own report mechanism).
+func (n *Node) activePeers() []proto.NodeRef {
+	var out []proto.NodeRef
+	seen := map[uint64]bool{n.Addr(): true}
+	add := func(r proto.NodeRef) {
+		if !r.IsZero() && !seen[r.Addr] {
+			seen[r.Addr] = true
+			out = append(out, r)
+		}
+	}
+	l, r := n.table.Level0.Neighbors(n.cfg.ID)
+	add(l)
+	add(r)
+	for lvl := uint8(1); lvl <= n.maxLevel; lvl++ {
+		bl, br := n.busNeighbors(lvl)
+		add(bl)
+		add(br)
+	}
+	return out
+}
+
+// bestKnownMember returns the nearest known member of the given level
+// (searching bus knowledge, superiors and the parent slot), excluding the
+// node itself, together with the time that knowledge was last validated —
+// callers relaying the ref to third parties must ship that age along. Ties
+// break on (ID, Addr) so behaviour is deterministic.
+func (n *Node) bestKnownMember(level uint8, near idspace.ID) (proto.NodeRef, time.Duration, bool) {
+	var best proto.NodeRef
+	var bestSeen time.Duration
+	var bestD uint64
+	found := false
+	now := n.env.Now()
+	consider := func(r proto.NodeRef, seen time.Duration) {
+		if r.IsZero() || r.Addr == n.Addr() || r.MaxLevel < level {
+			return
+		}
+		if t, ok := n.refused[r.Addr]; ok {
+			if now-t < n.cfg.EntryTTL {
+				return
+			}
+			delete(n.refused, r.Addr)
+		}
+		d := idspace.Dist(r.ID, near)
+		if !found || d < bestD ||
+			(d == bestD && (r.ID < best.ID || (r.ID == best.ID && r.Addr < best.Addr))) {
+			best, bestSeen, bestD, found = r, seen, d, true
+		}
+	}
+	considerSet := func(s *rtable.Set) {
+		for _, r := range s.Refs() {
+			seen := time.Duration(0)
+			if e := s.Get(r.Addr); e != nil {
+				seen = e.LastSeen
+			}
+			consider(r, seen)
+		}
+	}
+	for lvl := level; lvl <= n.cfg.MaxHeight; lvl++ {
+		if s, ok := n.table.Bus[lvl]; ok {
+			considerSet(s)
+		}
+	}
+	considerSet(n.table.Superiors)
+	if p, ok := n.table.Parent(); ok {
+		seen := time.Duration(0)
+		if pe, ok2 := n.table.ParentEntry(); ok2 {
+			seen = pe.LastSeen
+		}
+		consider(p, seen)
+	}
+	considerSet(n.table.Level0)
+	return best, bestSeen, found
+}
+
+// structuralEntries lists the node's own load-bearing relationships —
+// parent, level-0 neighbours, top-level bus neighbours, children — for
+// inclusion in every keep-alive. Unlike version-gated deltas these repeat
+// while the relationship holds, so the replicated knowledge that §III.c
+// relies on for robustness (superior lists, neighbours' children, indirect
+// neighbours) stays fresh at its consumers exactly as long as the provider
+// is alive.
+//
+// Only relations with fresh *direct* contact are advertised: a node may
+// vouch for peers it has actually heard from, never for hearsay. Without
+// this rule two survivors can keep a dead neighbour alive forever by
+// echoing each other's advertisements. Superiors are the one exception —
+// they are vouched for by the parent chain, which is acyclic, so staleness
+// there is bounded by depth × TTL rather than unbounded.
+func (n *Node) structuralEntries() []proto.Entry {
+	var out []proto.Entry
+	now := n.env.Now()
+	ttl := n.cfg.EntryTTL
+	v := n.table.Version()
+	if p, ok := n.table.Parent(); ok && !n.table.ParentExpired(now, ttl) {
+		pe, _ := n.table.ParentEntry()
+		out = append(out, proto.Entry{Ref: p, Level: p.MaxLevel, Flags: proto.FParent, Version: v,
+			AgeDs: proto.AgeFrom(now, pe.LastDirect)})
+	}
+	age := func(s *rtable.Set, addr uint64) uint16 {
+		if e := s.Get(addr); e != nil {
+			return proto.AgeFrom(now, e.LastDirect)
+		}
+		return 0
+	}
+	// Two direct-fresh ring contacts per side: the wider advertisement is
+	// what lets survivors bridge multi-node gaps after failures (§III.c
+	// allows l0 up to n-1; we keep it small but not minimal).
+	lrefs := n.table.Level0.NeighborsFreshK(n.cfg.ID, now, ttl, 2, true)
+	rrefs := n.table.Level0.NeighborsFreshK(n.cfg.ID, now, ttl, 2, false)
+	for _, nb := range append(lrefs, rrefs...) {
+		out = append(out, proto.Entry{Ref: nb, Level: 0, Flags: proto.FNeighbor, Version: v,
+			AgeDs: age(n.table.Level0, nb.Addr)})
+	}
+	for lvl := uint8(1); lvl <= n.maxLevel; lvl++ {
+		if s, ok := n.table.Bus[lvl]; ok {
+			bl, br := s.NeighborsFresh(n.cfg.ID, now, ttl)
+			for _, nb := range []proto.NodeRef{bl, br} {
+				if !nb.IsZero() {
+					out = append(out, proto.Entry{Ref: nb, Level: lvl, Flags: proto.FNeighbor, Version: v,
+						AgeDs: age(s, nb.Addr)})
+				}
+			}
+		}
+	}
+	for _, c := range n.table.Children.FreshRefs(now, ttl) {
+		out = append(out, proto.Entry{Ref: c, Level: c.MaxLevel, Flags: proto.FChild, Version: v,
+			AgeDs: age(n.table.Children, c.Addr)})
+	}
+	return out
+}
+
+// superiorEntries lists the node's superior list for shipment to its
+// children (their ancestors, Figure 2). Shipped only on the child-report
+// ack: no other peer applies them, and spreading them wide would let stale
+// upper-level refs circulate.
+func (n *Node) superiorEntries() []proto.Entry {
+	var out []proto.Entry
+	now := n.env.Now()
+	v := n.table.Version()
+	for _, s := range n.table.Superiors.Refs() {
+		var ds uint16
+		if e := n.table.Superiors.Get(s.Addr); e != nil {
+			ds = proto.AgeFrom(now, e.LastSeen)
+		}
+		out = append(out, proto.Entry{Ref: s, Level: s.MaxLevel, Flags: proto.FSuperior, Version: v, AgeDs: ds})
+	}
+	return out
+}
+
+// composeUpdate merges the version-gated delta for a peer with the
+// always-shipped structural entries (deduplicated by address+flags, delta
+// first). forChild additionally ships the superior list.
+func (n *Node) composeUpdate(peer uint64, forChild bool) []proto.Entry {
+	delta := n.table.Delta(n.lastSent[peer], n.env.Now())
+	n.lastSent[peer] = n.table.Version()
+	structural := n.structuralEntries()
+	if forChild {
+		structural = append(structural, n.superiorEntries()...)
+	}
+	if len(structural) == 0 {
+		return delta
+	}
+	type key struct {
+		addr  uint64
+		flags proto.EntryFlag
+	}
+	seen := make(map[key]bool, len(delta)+len(structural))
+	out := make([]proto.Entry, 0, len(delta)+len(structural))
+	for _, e := range delta {
+		k := key{e.Ref.Addr, e.Flags}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, e)
+		}
+	}
+	for _, e := range structural {
+		k := key{e.Ref.Addr, e.Flags}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package core
+
+// Stats counts protocol events on one node. Counters are plain fields —
+// nodes are single-threaded, and the experiment harness aggregates
+// snapshots between phases.
+type Stats struct {
+	MsgsIn  uint64
+	MsgsOut uint64
+
+	PingsSent      uint64
+	PongsSent      uint64
+	UpdatesApplied uint64
+
+	ElectionsStarted uint64
+	ElectionsWon     uint64
+	ParentAdopted    uint64
+	Splits           uint64
+	Promotions       uint64 // level gains (election wins + grants accepted)
+	Demotions        uint64
+	Reparents        uint64
+	ReparentsStation uint64 // redirects: child needs a level above ours
+	ReparentsCloser  uint64 // redirects: a member strictly closer exists
+	ReparentsSplit   uint64 // re-homes after a promotion grant
+	BusRepairs       uint64
+
+	LookupsStarted   uint64
+	LookupsForwarded uint64
+	LookupsDelivered uint64
+	LookupsNotFound  uint64
+	LookupsDropped   uint64 // TTL exhaustion observed at this node
+}
+
+// Add accumulates other into s (for network-wide aggregation).
+func (s *Stats) Add(o Stats) {
+	s.MsgsIn += o.MsgsIn
+	s.MsgsOut += o.MsgsOut
+	s.PingsSent += o.PingsSent
+	s.PongsSent += o.PongsSent
+	s.UpdatesApplied += o.UpdatesApplied
+	s.ElectionsStarted += o.ElectionsStarted
+	s.ElectionsWon += o.ElectionsWon
+	s.ParentAdopted += o.ParentAdopted
+	s.Splits += o.Splits
+	s.Promotions += o.Promotions
+	s.Demotions += o.Demotions
+	s.Reparents += o.Reparents
+	s.ReparentsStation += o.ReparentsStation
+	s.ReparentsCloser += o.ReparentsCloser
+	s.ReparentsSplit += o.ReparentsSplit
+	s.BusRepairs += o.BusRepairs
+	s.LookupsStarted += o.LookupsStarted
+	s.LookupsForwarded += o.LookupsForwarded
+	s.LookupsDelivered += o.LookupsDelivered
+	s.LookupsNotFound += o.LookupsNotFound
+	s.LookupsDropped += o.LookupsDropped
+}

@@ -1,0 +1,172 @@
+// Package dget is a minimal entity-based resource discovery and
+// load-balancing layer in the spirit of the DGET grid middleware that
+// TreeP was designed to serve ("provides the DGET grid middleware a P2P
+// basic functionality for discovery and load-balancing", §I).
+//
+// Resources advertise themselves under attribute keys (e.g. "arch=amd64",
+// "site=dublin"); each attribute hashes into the TreeP ID space and the
+// DHT stores the matching resource list at the owner node. Discovery is a
+// DHT read; the load balancer picks the least-loaded match.
+//
+// Registry updates are read-modify-write and therefore last-writer-wins
+// under concurrency — acceptable for soft-state discovery data that is
+// re-advertised periodically (grid resources refresh their records).
+package dget
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"treep/internal/dht"
+)
+
+// Resource is one advertised grid entity.
+type Resource struct {
+	// Name uniquely identifies the resource (e.g. "worker-17").
+	Name string `json:"name"`
+	// Attrs are the discoverable attributes.
+	Attrs map[string]string `json:"attrs"`
+	// Capacity is the resource's job capacity.
+	Capacity int `json:"capacity"`
+	// Load is the current number of running jobs.
+	Load int `json:"load"`
+	// Addr is the owner node's overlay address, so a scheduler can contact
+	// the resource after discovery.
+	Addr uint64 `json:"addr"`
+}
+
+// HeadRoom returns remaining capacity.
+func (r Resource) HeadRoom() int { return r.Capacity - r.Load }
+
+// attrKey renders the DHT key for one attribute pair.
+func attrKey(k, v string) []byte { return []byte("dget/attr/" + k + "=" + v) }
+
+// Directory performs discovery operations through one node's DHT service.
+type Directory struct {
+	dht *dht.Service
+}
+
+// NewDirectory wraps a DHT service.
+func NewDirectory(s *dht.Service) *Directory { return &Directory{dht: s} }
+
+// ErrNoMatch is returned when discovery finds no resource.
+var ErrNoMatch = errors.New("dget: no matching resource")
+
+// Advertise registers (or refreshes) the resource under every attribute it
+// carries. cb fires once with the first error or nil after all attribute
+// lists are updated.
+func (d *Directory) Advertise(res Resource, cb func(error)) {
+	if res.Name == "" {
+		cb(errors.New("dget: resource needs a name"))
+		return
+	}
+	keys := make([][]byte, 0, len(res.Attrs))
+	for k, v := range res.Attrs {
+		keys = append(keys, attrKey(k, v))
+	}
+	if len(keys) == 0 {
+		cb(errors.New("dget: resource needs at least one attribute"))
+		return
+	}
+	// Sort for deterministic update order.
+	sort.Slice(keys, func(i, j int) bool { return string(keys[i]) < string(keys[j]) })
+
+	remaining := len(keys)
+	var firstErr error
+	done := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 {
+			cb(firstErr)
+		}
+	}
+	for _, key := range keys {
+		key := key
+		d.updateList(key, res, done)
+	}
+}
+
+// updateList reads the attribute's list, upserts res, writes it back.
+func (d *Directory) updateList(key []byte, res Resource, cb func(error)) {
+	d.dht.Get(key, func(value []byte, err error) {
+		var list []Resource
+		if err == nil {
+			if jerr := json.Unmarshal(value, &list); jerr != nil {
+				list = nil
+			}
+		} else if !errors.Is(err, dht.ErrNotFound) {
+			cb(err)
+			return
+		}
+		replaced := false
+		for i := range list {
+			if list[i].Name == res.Name {
+				list[i] = res
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			list = append(list, res)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+		buf, jerr := json.Marshal(list)
+		if jerr != nil {
+			cb(fmt.Errorf("dget: encode registry: %w", jerr))
+			return
+		}
+		d.dht.Put(key, buf, cb)
+	})
+}
+
+// Discover returns all resources advertised under attribute k=v.
+func (d *Directory) Discover(k, v string, cb func([]Resource, error)) {
+	d.dht.Get(attrKey(k, v), func(value []byte, err error) {
+		if err != nil {
+			if errors.Is(err, dht.ErrNotFound) {
+				cb(nil, ErrNoMatch)
+				return
+			}
+			cb(nil, err)
+			return
+		}
+		var list []Resource
+		if jerr := json.Unmarshal(value, &list); jerr != nil {
+			cb(nil, fmt.Errorf("dget: decode registry: %w", jerr))
+			return
+		}
+		if len(list) == 0 {
+			cb(nil, ErrNoMatch)
+			return
+		}
+		cb(list, nil)
+	})
+}
+
+// PickLeastLoaded discovers resources under k=v and returns the one with
+// the most head-room (ties by name for determinism). This is the
+// load-balancing primitive the paper positions TreeP to provide.
+func (d *Directory) PickLeastLoaded(k, v string, cb func(Resource, error)) {
+	d.Discover(k, v, func(list []Resource, err error) {
+		if err != nil {
+			cb(Resource{}, err)
+			return
+		}
+		best := list[0]
+		for _, r := range list[1:] {
+			if r.HeadRoom() > best.HeadRoom() ||
+				(r.HeadRoom() == best.HeadRoom() && r.Name < best.Name) {
+				best = r
+			}
+		}
+		if best.HeadRoom() <= 0 {
+			cb(Resource{}, fmt.Errorf("dget: all %d resources saturated: %w", len(list), ErrNoMatch))
+			return
+		}
+		cb(best, nil)
+	})
+}

@@ -1,0 +1,145 @@
+package dget
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"treep/internal/dht"
+	"treep/internal/simrt"
+)
+
+func cluster(t *testing.T, n int, seed int64) (*simrt.Cluster, []*Directory) {
+	t.Helper()
+	c := simrt.New(simrt.Options{N: n, Seed: seed, Bulk: true})
+	dirs := make([]*Directory, n)
+	for i, nd := range c.Nodes {
+		dirs[i] = NewDirectory(dht.Attach(nd))
+	}
+	c.StartAll()
+	c.Run(6 * time.Second)
+	return c, dirs
+}
+
+func TestAdvertiseAndDiscover(t *testing.T) {
+	c, dirs := cluster(t, 100, 1)
+	res := Resource{
+		Name:     "worker-1",
+		Attrs:    map[string]string{"arch": "amd64", "site": "dublin"},
+		Capacity: 8,
+		Load:     2,
+		Addr:     c.Nodes[10].Addr(),
+	}
+	var advErr error
+	done := false
+	dirs[10].Advertise(res, func(err error) { advErr = err; done = true })
+	c.Run(10 * time.Second)
+	if !done || advErr != nil {
+		t.Fatalf("advertise: done=%v err=%v", done, advErr)
+	}
+
+	var got []Resource
+	var disErr error
+	done = false
+	dirs[55].Discover("arch", "amd64", func(rs []Resource, err error) { got, disErr, done = rs, err, true })
+	c.Run(10 * time.Second)
+	if !done || disErr != nil {
+		t.Fatalf("discover: done=%v err=%v", done, disErr)
+	}
+	if len(got) != 1 || got[0].Name != "worker-1" || got[0].HeadRoom() != 6 {
+		t.Fatalf("discovered %+v", got)
+	}
+	// The other attribute also resolves.
+	done = false
+	dirs[70].Discover("site", "dublin", func(rs []Resource, err error) { got, disErr, done = rs, err, true })
+	c.Run(10 * time.Second)
+	if !done || disErr != nil || len(got) != 1 {
+		t.Fatalf("site discover: %v %v", got, disErr)
+	}
+}
+
+func TestDiscoverNoMatch(t *testing.T) {
+	c, dirs := cluster(t, 80, 2)
+	var err error
+	done := false
+	dirs[0].Discover("arch", "sparc", func(_ []Resource, e error) { err = e; done = true })
+	c.Run(10 * time.Second)
+	if !done || !errors.Is(err, ErrNoMatch) {
+		t.Fatalf("done=%v err=%v", done, err)
+	}
+	_ = c
+}
+
+func TestPickLeastLoaded(t *testing.T) {
+	c, dirs := cluster(t, 100, 3)
+	for i, load := range []int{7, 2, 5} {
+		res := Resource{
+			Name:     fmt.Sprintf("worker-%d", i),
+			Attrs:    map[string]string{"queue": "batch"},
+			Capacity: 8,
+			Load:     load,
+			Addr:     c.Nodes[i].Addr(),
+		}
+		ok := false
+		dirs[i].Advertise(res, func(err error) { ok = err == nil })
+		c.Run(10 * time.Second)
+		if !ok {
+			t.Fatalf("advertise %d failed", i)
+		}
+	}
+	var picked Resource
+	var err error
+	done := false
+	dirs[40].PickLeastLoaded("queue", "batch", func(r Resource, e error) { picked, err, done = r, e, true })
+	c.Run(10 * time.Second)
+	if !done || err != nil {
+		t.Fatalf("pick: done=%v err=%v", done, err)
+	}
+	if picked.Name != "worker-1" {
+		t.Fatalf("picked %+v, want the least loaded worker-1", picked)
+	}
+}
+
+func TestAdvertiseRefreshReplaces(t *testing.T) {
+	c, dirs := cluster(t, 80, 4)
+	res := Resource{Name: "w", Attrs: map[string]string{"a": "b"}, Capacity: 4, Load: 1}
+	dirs[0].Advertise(res, func(error) {})
+	c.Run(10 * time.Second)
+	res.Load = 3
+	dirs[0].Advertise(res, func(error) {})
+	c.Run(10 * time.Second)
+	var got []Resource
+	dirs[5].Discover("a", "b", func(rs []Resource, _ error) { got = rs })
+	c.Run(10 * time.Second)
+	if len(got) != 1 || got[0].Load != 3 {
+		t.Fatalf("refresh did not replace: %+v", got)
+	}
+}
+
+func TestAdvertiseValidation(t *testing.T) {
+	_, dirs := cluster(t, 16, 5)
+	var err error
+	dirs[0].Advertise(Resource{}, func(e error) { err = e })
+	if err == nil {
+		t.Fatal("nameless resource accepted")
+	}
+	dirs[0].Advertise(Resource{Name: "x"}, func(e error) { err = e })
+	if err == nil {
+		t.Fatal("attribute-less resource accepted")
+	}
+}
+
+func TestSaturatedPoolRejected(t *testing.T) {
+	c, dirs := cluster(t, 80, 6)
+	res := Resource{Name: "full", Attrs: map[string]string{"q": "z"}, Capacity: 2, Load: 2}
+	dirs[0].Advertise(res, func(error) {})
+	c.Run(10 * time.Second)
+	var err error
+	done := false
+	dirs[9].PickLeastLoaded("q", "z", func(_ Resource, e error) { err = e; done = true })
+	c.Run(10 * time.Second)
+	if !done || err == nil {
+		t.Fatalf("saturated pool must be rejected: done=%v err=%v", done, err)
+	}
+}

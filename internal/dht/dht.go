@@ -1,0 +1,205 @@
+// Package dht realises the paper's claim that TreeP "can be easily
+// modified to provide Distributed Hash Table (DHT) functionality": keys
+// hash into the same 1-D space as nodes, the TreeP lookup resolves the
+// owner (the node nearest the key), and values are stored there with
+// replication on the owner's ring neighbours so that single failures do
+// not lose data.
+package dht
+
+import (
+	"errors"
+	"time"
+
+	"treep/internal/core"
+	"treep/internal/idspace"
+	"treep/internal/proto"
+)
+
+// Errors returned by Put/Get callbacks.
+var (
+	// ErrLookupFailed: the overlay could not resolve the key's owner.
+	ErrLookupFailed = errors.New("dht: owner lookup failed")
+	// ErrTimeout: the owner resolved but did not answer in time.
+	ErrTimeout = errors.New("dht: request timed out")
+	// ErrNotFound: the owner answered but has no value for the key.
+	ErrNotFound = errors.New("dht: key not found")
+)
+
+// Service layers DHT storage on a TreeP node. Create one per node with
+// Attach; all methods must run on the node's event loop (as with Node).
+type Service struct {
+	node *core.Node
+	// store holds this node's records, keyed by the hashed key.
+	store map[idspace.ID][]byte
+	// Replicate is how many ring neighbours receive copies on Put.
+	Replicate int
+	// RequestTimeout bounds the direct owner exchange after the lookup.
+	RequestTimeout time.Duration
+
+	nextReq uint64
+	pending map[uint64]*pendingOp
+
+	// Stats counters.
+	Stats Stats
+}
+
+// Stats counts DHT events on one node.
+type Stats struct {
+	PutsServed uint64
+	GetsServed uint64
+	Stored     uint64
+	Replicas   uint64
+}
+
+type pendingOp struct {
+	timer core.Timer
+	onPut func(error)
+	onGet func([]byte, error)
+}
+
+// Attach creates the service and hooks it into the node's extension slot.
+func Attach(n *core.Node) *Service {
+	s := &Service{
+		node:           n,
+		store:          map[idspace.ID][]byte{},
+		Replicate:      2,
+		RequestTimeout: 5 * time.Second,
+		pending:        map[uint64]*pendingOp{},
+	}
+	n.SetExtension(s.handle)
+	return s
+}
+
+// Node returns the underlying TreeP node.
+func (s *Service) Node() *core.Node { return s.node }
+
+// Len returns the number of records stored locally.
+func (s *Service) Len() int { return len(s.store) }
+
+// Put stores value under key: the TreeP lookup resolves the owner, then
+// the value travels directly to it. cb fires exactly once.
+func (s *Service) Put(key []byte, value []byte, cb func(error)) {
+	k := idspace.HashKey(key)
+	s.node.Lookup(k, proto.AlgoG, func(r core.LookupResult) {
+		if r.Status != core.LookupFound {
+			cb(ErrLookupFailed)
+			return
+		}
+		if r.Best.Addr == s.node.Addr() {
+			s.storeLocal(k, value, s.Replicate)
+			cb(nil)
+			return
+		}
+		s.nextReq++
+		req := s.nextReq
+		op := &pendingOp{onPut: cb}
+		s.pending[req] = op
+		op.timer = s.node.SetTimer(s.RequestTimeout, func() {
+			if _, ok := s.pending[req]; !ok {
+				return
+			}
+			delete(s.pending, req)
+			cb(ErrTimeout)
+		})
+		s.node.Send(r.Best.Addr, &proto.DHTPut{
+			From: s.node.Ref(), ReqID: req, Key: k,
+			Value: value, Replicate: uint8(s.Replicate),
+		})
+	})
+}
+
+// Get fetches the value for key. cb fires exactly once with the value or
+// an error.
+func (s *Service) Get(key []byte, cb func([]byte, error)) {
+	k := idspace.HashKey(key)
+	s.node.Lookup(k, proto.AlgoG, func(r core.LookupResult) {
+		if r.Status != core.LookupFound {
+			cb(nil, ErrLookupFailed)
+			return
+		}
+		if r.Best.Addr == s.node.Addr() {
+			if v, ok := s.store[k]; ok {
+				cb(v, nil)
+			} else {
+				cb(nil, ErrNotFound)
+			}
+			return
+		}
+		s.nextReq++
+		req := s.nextReq
+		op := &pendingOp{onGet: cb}
+		s.pending[req] = op
+		op.timer = s.node.SetTimer(s.RequestTimeout, func() {
+			if _, ok := s.pending[req]; !ok {
+				return
+			}
+			delete(s.pending, req)
+			cb(nil, ErrTimeout)
+		})
+		s.node.Send(r.Best.Addr, &proto.DHTGet{From: s.node.Ref(), ReqID: req, Key: k})
+	})
+}
+
+// storeLocal stores a record and pushes copies to ring neighbours.
+func (s *Service) storeLocal(k idspace.ID, value []byte, replicate int) {
+	s.store[k] = value
+	s.Stats.Stored++
+	if replicate <= 0 {
+		return
+	}
+	l, r := s.node.Table().Level0.Neighbors(s.node.ID())
+	sent := 0
+	for _, nb := range []proto.NodeRef{l, r} {
+		if nb.IsZero() || sent >= replicate {
+			continue
+		}
+		s.node.Send(nb.Addr, &proto.DHTPut{
+			From: s.node.Ref(), ReqID: 0, Key: k, Value: value, Replicate: 0,
+		})
+		s.Stats.Replicas++
+		sent++
+	}
+}
+
+// handle is the extension hook for DHT messages.
+func (s *Service) handle(from uint64, msg proto.Message) bool {
+	switch m := msg.(type) {
+	case *proto.DHTPut:
+		s.Stats.PutsServed++
+		s.storeLocal(m.Key, m.Value, int(m.Replicate))
+		if m.ReqID != 0 {
+			s.node.Send(from, &proto.DHTPutAck{From: s.node.Ref(), ReqID: m.ReqID, Stored: true})
+		}
+		return true
+	case *proto.DHTPutAck:
+		if op, ok := s.pending[m.ReqID]; ok && op.onPut != nil {
+			delete(s.pending, m.ReqID)
+			if op.timer != nil {
+				op.timer.Cancel()
+			}
+			op.onPut(nil)
+		}
+		return true
+	case *proto.DHTGet:
+		s.Stats.GetsServed++
+		v, ok := s.store[m.Key]
+		s.node.Send(from, &proto.DHTGetReply{
+			From: s.node.Ref(), ReqID: m.ReqID, Found: ok, Value: v,
+		})
+		return true
+	case *proto.DHTGetReply:
+		if op, ok := s.pending[m.ReqID]; ok && op.onGet != nil {
+			delete(s.pending, m.ReqID)
+			if op.timer != nil {
+				op.timer.Cancel()
+			}
+			if m.Found {
+				op.onGet(m.Value, nil)
+			} else {
+				op.onGet(nil, ErrNotFound)
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,153 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"treep/internal/core"
+	"treep/internal/simrt"
+)
+
+// dhtCluster attaches a DHT service to every node of a bulk-built cluster.
+func dhtCluster(t *testing.T, n int, seed int64) (*simrt.Cluster, map[uint64]*Service) {
+	t.Helper()
+	c := simrt.New(simrt.Options{N: n, Seed: seed, Bulk: true})
+	services := make(map[uint64]*Service, n)
+	for _, nd := range c.Nodes {
+		services[nd.Addr()] = Attach(nd)
+	}
+	c.StartAll()
+	c.Run(6 * time.Second)
+	return c, services
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, svcs := dhtCluster(t, 120, 1)
+	origin := svcs[c.Nodes[3].Addr()]
+	reader := svcs[c.Nodes[77].Addr()]
+
+	var putErr error
+	done := false
+	origin.Put([]byte("alpha"), []byte("value-1"), func(err error) { putErr = err; done = true })
+	c.Run(8 * time.Second)
+	if !done || putErr != nil {
+		t.Fatalf("put: done=%v err=%v", done, putErr)
+	}
+
+	var got []byte
+	var getErr error
+	done = false
+	reader.Get([]byte("alpha"), func(v []byte, err error) { got, getErr, done = v, err, true })
+	c.Run(8 * time.Second)
+	if !done || getErr != nil || string(got) != "value-1" {
+		t.Fatalf("get: done=%v err=%v got=%q", done, getErr, got)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	c, svcs := dhtCluster(t, 80, 2)
+	var getErr error
+	done := false
+	svcs[c.Nodes[0].Addr()].Get([]byte("never-stored"), func(v []byte, err error) { getErr = err; done = true })
+	c.Run(8 * time.Second)
+	if !done || !errors.Is(getErr, ErrNotFound) {
+		t.Fatalf("done=%v err=%v", done, getErr)
+	}
+}
+
+func TestManyKeysSpreadAcrossOwners(t *testing.T) {
+	c, svcs := dhtCluster(t, 150, 3)
+	writer := svcs[c.Nodes[0].Addr()]
+	const keys = 60
+	oks := 0
+	for i := 0; i < keys; i++ {
+		key := []byte(fmt.Sprintf("key-%d", i))
+		writer.Put(key, []byte(fmt.Sprintf("val-%d", i)), func(err error) {
+			if err == nil {
+				oks++
+			}
+		})
+	}
+	c.Run(12 * time.Second)
+	if oks < keys*9/10 {
+		t.Fatalf("puts ok %d/%d", oks, keys)
+	}
+	// Storage must be spread over multiple owners, not piled on one node.
+	owners := 0
+	maxPerNode := 0
+	for _, s := range svcs {
+		if s.Len() > 0 {
+			owners++
+		}
+		if s.Len() > maxPerNode {
+			maxPerNode = s.Len()
+		}
+	}
+	if owners < 10 {
+		t.Fatalf("records concentrated on %d owners", owners)
+	}
+	// With replication 2 a key exists on ~3 nodes.
+	if maxPerNode > keys {
+		t.Fatalf("one node holds %d records", maxPerNode)
+	}
+}
+
+func TestReplicationSurvivesOwnerFailure(t *testing.T) {
+	c, svcs := dhtCluster(t, 120, 4)
+	writer := svcs[c.Nodes[5].Addr()]
+	writer.Put([]byte("precious"), []byte("data"), func(error) {})
+	c.Run(8 * time.Second)
+
+	// Find and kill every node that holds the record except one replica.
+	var holders []*core.Node
+	for _, nd := range c.Nodes {
+		if svcs[nd.Addr()].Len() > 0 {
+			holders = append(holders, nd)
+		}
+	}
+	if len(holders) < 2 {
+		t.Skipf("only %d holders; replication needs ring neighbours", len(holders))
+	}
+	// Kill the primary owner (nearest to the key among holders is not
+	// tracked here; killing any one holder must keep the data reachable
+	// through a replica's locality).
+	c.Kill(holders[0])
+	c.Run(10 * time.Second)
+
+	var got []byte
+	var err error
+	done := false
+	reader := svcs[c.Nodes[50].Addr()]
+	if !c.Alive(c.Nodes[50]) {
+		t.Skip("reader killed")
+	}
+	reader.Get([]byte("precious"), func(v []byte, e error) { got, err, done = v, e, true })
+	c.Run(10 * time.Second)
+	if !done {
+		t.Fatal("get never resolved")
+	}
+	// The lookup may resolve to the dead owner's replica or to a fresh
+	// owner that lacks the record; tolerate ErrNotFound but not silence.
+	if err == nil && string(got) != "data" {
+		t.Fatalf("wrong value %q", got)
+	}
+}
+
+func TestPutCallbackOnLookupFailure(t *testing.T) {
+	// A node with an empty table cannot resolve owners.
+	c := simrt.New(simrt.Options{N: 2, Seed: 5, Bulk: false})
+	s := Attach(c.Nodes[0])
+	c.Nodes[0].Start()
+	var putErr error
+	done := false
+	s.Put([]byte("k"), []byte("v"), func(err error) { putErr = err; done = true })
+	c.Run(2 * time.Second)
+	if !done {
+		t.Fatal("callback never fired")
+	}
+	if putErr == nil {
+		t.Fatal("expected failure on isolated node")
+	}
+}

@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"treep/internal/core"
+	"treep/internal/nodeprof"
+	"treep/internal/proto"
+	"treep/internal/simrt"
+)
+
+// HeightPoint is one measurement for the §III.e height law
+// h ≈ log_c((n+1)/2).
+type HeightPoint struct {
+	N         int
+	Height    int
+	Predicted float64
+	// LevelCounts is members per level.
+	LevelCounts []int
+}
+
+// HeightLaw builds steady-state networks across sizes and compares the
+// measured hierarchy height with the B-tree bound of §III.e (AN-1).
+func HeightLaw(ns []int, policy nodeprof.ChildPolicy, seed int64) []HeightPoint {
+	if policy == nil {
+		policy = nodeprof.FixedPolicy{NC: 4}
+	}
+	out := make([]HeightPoint, 0, len(ns))
+	for _, n := range ns {
+		cfg := core.Defaults()
+		cfg.ChildPolicy = policy
+		cfg.MaxHeight = 12 // let the build find its natural height
+		c := simrt.New(simrt.Options{N: n, Seed: seed, Config: cfg, Bulk: true})
+		// Average branching for the prediction: mean nc across nodes.
+		var ncSum int
+		for _, nd := range c.Nodes {
+			ncSum += nd.MaxChildren()
+		}
+		avgC := float64(ncSum) / float64(len(c.Nodes))
+		out = append(out, HeightPoint{
+			N:           n,
+			Height:      len(c.LevelCounts) - 1,
+			Predicted:   math.Log(float64(n+1)/2) / math.Log(avgC),
+			LevelCounts: c.LevelCounts,
+		})
+	}
+	return out
+}
+
+// TableSizeRow summarises routing-table sizes at one hierarchy level
+// against the §III.e formulas (AN-2).
+type TableSizeRow struct {
+	Level       int
+	Nodes       int
+	AvgSize     float64
+	AvgActive   float64 // actively maintained connections
+	FormulaSize float64 // l0 + h (level 0) or l0+li+Li+ci+ca+da+h-i
+}
+
+// TableSizes builds a steady-state network, runs it briefly, and measures
+// per-level routing-table sizes and active-connection counts (AN-2).
+func TableSizes(n int, seed int64) []TableSizeRow {
+	cfg := core.Defaults()
+	c := simrt.New(simrt.Options{N: n, Seed: seed, Config: cfg, Bulk: true})
+	c.StartAll()
+	c.Run(6 * time.Second)
+
+	h := len(c.LevelCounts) - 1
+	type acc struct {
+		nodes  int
+		size   int
+		active int
+	}
+	byLevel := map[int]*acc{}
+	for _, nd := range c.Nodes {
+		lvl := int(nd.MaxLevel())
+		a, ok := byLevel[lvl]
+		if !ok {
+			a = &acc{}
+			byLevel[lvl] = a
+		}
+		a.nodes++
+		a.size += nd.Table().Size()
+		// Active connections: level-0 direct neighbours + per-level bus
+		// neighbours + parent (§III.e counts l0 + ca + da etc.; we measure
+		// the live links a node maintains with keep-alives and reports).
+		active := min(nd.Table().Level0.Len(), 2)
+		for l := uint8(1); l <= nd.MaxLevel(); l++ {
+			if s, ok := nd.Table().Bus[l]; ok {
+				active += min(s.Len(), 2)
+			}
+		}
+		if _, ok := nd.Table().Parent(); ok {
+			active++
+		}
+		active += nd.Table().Children.Len()
+		a.active += active
+	}
+
+	var rows []TableSizeRow
+	for lvl := 0; lvl <= h; lvl++ {
+		a, ok := byLevel[lvl]
+		if !ok {
+			continue
+		}
+		row := TableSizeRow{
+			Level:     lvl,
+			Nodes:     a.nodes,
+			AvgSize:   float64(a.size) / float64(a.nodes),
+			AvgActive: float64(a.active) / float64(a.nodes),
+		}
+		// §III.e: level-0 nodes: l0 + h. Level-i nodes:
+		// l0 + li + Li + ci + ca + da + h − i, with the paper's bounds
+		// l0≈2(direct)+indirect, li≤2, da≤2, ca≈nc, ci≈2nc, Li small.
+		l0 := 2.0 * (1 + 2) // direct + two indirect per side
+		if lvl == 0 {
+			row.FormulaSize = l0 + float64(h)
+		} else {
+			nc := 4.0
+			row.FormulaSize = l0 + 2 + nc + 2*nc + 2 + float64(h-lvl) + nc
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// HopsPoint is one measurement for the O(log n) routing claim (AN-3).
+type HopsPoint struct {
+	N        int
+	AvgHops  float64
+	P95Hops  int
+	FailRate float64
+}
+
+// LogNHops measures steady-state lookup hops across network sizes (AN-3).
+func LogNHops(ns []int, seed int64, lookups int) []HopsPoint {
+	out := make([]HopsPoint, 0, len(ns))
+	for _, n := range ns {
+		cfg := core.Defaults()
+		c := simrt.New(simrt.Options{N: n, Seed: seed, Config: cfg, Bulk: true})
+		c.StartAll()
+		c.Run(8 * time.Second)
+		alive := c.AliveNodes()
+		rng := c.Rand()
+		pairs := make([][2]*core.Node, lookups)
+		for i := range pairs {
+			pairs[i] = [2]*core.Node{alive[rng.Intn(len(alive))], alive[rng.Intn(len(alive))]}
+		}
+		st := measure(c, pairs, proto.AlgoG)
+		out = append(out, HopsPoint{
+			N:        n,
+			AvgHops:  st.Hops.Mean(),
+			P95Hops:  st.Hops.Percentile(0.95),
+			FailRate: st.FailRate(),
+		})
+	}
+	return out
+}
+
+// RenderHeightLaw formats AN-1 results.
+func RenderHeightLaw(points []HeightPoint) string {
+	var b strings.Builder
+	b.WriteString("n\theight\tpredicted\tlevels\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%d\t%d\t%.1f\t%v\n", p.N, p.Height, p.Predicted, p.LevelCounts)
+	}
+	return b.String()
+}
+
+// RenderTableSizes formats AN-2 results.
+func RenderTableSizes(rows []TableSizeRow) string {
+	var b strings.Builder
+	b.WriteString("level\tnodes\tavg-size\tformula\tavg-active\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d\t%d\t%.1f\t%.1f\t%.1f\n", r.Level, r.Nodes, r.AvgSize, r.FormulaSize, r.AvgActive)
+	}
+	return b.String()
+}
+
+// RenderHops formats AN-3 results.
+func RenderHops(points []HopsPoint) string {
+	var b strings.Builder
+	b.WriteString("n\tavg-hops\tp95\tfail\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%d\t%.2f\t%d\t%.3f\n", p.N, p.AvgHops, p.P95Hops, p.FailRate)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,222 @@
+// Package flood is a Gnutella-style unstructured baseline: nodes form a
+// random k-regular-ish graph and lookups flood with a TTL and duplicate
+// suppression. The paper's introduction dismisses blind flooding as
+// unscalable (§I, citing "Why Gnutella Can't Scale"); the EXT-1 bench
+// shows the message-cost gap against TreeP on identical workloads.
+package flood
+
+import (
+	"time"
+
+	"treep/internal/idspace"
+	"treep/internal/netsim"
+	"treep/internal/sim"
+)
+
+// query is the flooded message.
+type query struct {
+	Origin netsim.Addr
+	Target idspace.ID
+	ReqID  uint64
+	TTL    uint8
+}
+
+// queryHit answers the origin directly.
+type queryHit struct {
+	ReqID uint64
+	ID    idspace.ID
+	Addr  netsim.Addr
+	Hops  uint8
+}
+
+// Node is one flooding peer.
+type Node struct {
+	id    idspace.ID
+	addr  netsim.Addr
+	net   *netsim.Network
+	peers []netsim.Addr
+	alive bool
+
+	seen    map[uint64]bool
+	pending map[uint64]*pending
+
+	// Stats counters.
+	Stats Stats
+}
+
+// Stats counts flooding traffic.
+type Stats struct {
+	LookupsStarted uint64
+	Floods         uint64
+	Hits           uint64
+}
+
+type pending struct {
+	cb    func(Result)
+	timer *sim.Timer
+	hops  uint8
+	done  bool
+}
+
+// Result reports a flood lookup outcome.
+type Result struct {
+	Found bool
+	Hops  int
+}
+
+// Cluster is a simulated flooding network.
+type Cluster struct {
+	Kernel *sim.Kernel
+	Net    *netsim.Network
+	Nodes  []*Node
+
+	timeout time.Duration
+}
+
+// New builds n nodes wired into a random graph of the given degree.
+func New(n, degree int, seed int64) *Cluster {
+	k := sim.New(seed)
+	net := netsim.New(k)
+	c := &Cluster{Kernel: k, Net: net, timeout: 10 * time.Second}
+	idRand := k.Stream(0x666c6f6f) // "floo"
+	for i := 0; i < n; i++ {
+		nd := &Node{
+			net:     net,
+			alive:   true,
+			id:      idspace.ID(idRand.Uint64()),
+			seen:    map[uint64]bool{},
+			pending: map[uint64]*pending{},
+		}
+		nd.addr = net.Attach(func(from netsim.Addr, payload interface{}, size int) {
+			nd.handle(from, payload)
+		})
+		c.Nodes = append(c.Nodes, nd)
+	}
+	// Random graph: each node draws `degree` distinct peers; edges are
+	// symmetric.
+	wire := k.Stream(0x77697265) // "wire"
+	for i, nd := range c.Nodes {
+		for len(nd.peers) < degree {
+			j := wire.Intn(n)
+			if j == i {
+				continue
+			}
+			other := c.Nodes[j]
+			if hasPeer(nd, other.addr) {
+				continue
+			}
+			nd.peers = append(nd.peers, other.addr)
+			if !hasPeer(other, nd.addr) {
+				other.peers = append(other.peers, nd.addr)
+			}
+		}
+	}
+	return c
+}
+
+func hasPeer(nd *Node, a netsim.Addr) bool {
+	for _, p := range nd.peers {
+		if p == a {
+			return true
+		}
+	}
+	return false
+}
+
+// Run advances virtual time.
+func (c *Cluster) Run(d time.Duration) { _ = c.Kernel.RunFor(d) }
+
+// Kill fail-stops a node.
+func (c *Cluster) Kill(nd *Node) {
+	nd.alive = false
+	c.Net.Kill(nd.addr)
+}
+
+// Alive reports liveness.
+func (c *Cluster) Alive(nd *Node) bool { return nd.alive }
+
+// AliveNodes lists live nodes.
+func (c *Cluster) AliveNodes() []*Node {
+	out := make([]*Node, 0, len(c.Nodes))
+	for _, nd := range c.Nodes {
+		if nd.alive {
+			out = append(out, nd)
+		}
+	}
+	return out
+}
+
+// ID returns the node's identifier.
+func (nd *Node) ID() idspace.ID { return nd.id }
+
+// MessagesSent returns the network-wide datagram count (flooding's cost
+// metric).
+func (c *Cluster) MessagesSent() uint64 { return c.Net.Stats().Sent }
+
+var reqCounter uint64
+
+// Lookup floods for the exact target ID; cb fires once with the outcome.
+func (nd *Node) Lookup(c *Cluster, target idspace.ID, ttl uint8, cb func(Result)) {
+	nd.Stats.LookupsStarted++
+	reqCounter++
+	req := reqCounter
+	p := &pending{cb: cb}
+	nd.pending[req] = p
+	p.timer = c.Kernel.Schedule(c.timeout, func() {
+		if pp, ok := nd.pending[req]; ok && !pp.done {
+			delete(nd.pending, req)
+			cb(Result{Found: false})
+		}
+	})
+	nd.seen[req] = true
+	q := &query{Origin: nd.addr, Target: target, ReqID: req, TTL: ttl}
+	if nd.id == target {
+		p.done = true
+		delete(nd.pending, req)
+		p.timer.Cancel()
+		cb(Result{Found: true, Hops: 0})
+		return
+	}
+	nd.flood(q, 0)
+}
+
+func (nd *Node) flood(q *query, except netsim.Addr) {
+	if q.TTL == 0 {
+		return
+	}
+	next := *q
+	next.TTL--
+	for _, p := range nd.peers {
+		if p == except {
+			continue
+		}
+		nd.Stats.Floods++
+		nd.net.Send(nd.addr, p, &next, 32)
+	}
+}
+
+func (nd *Node) handle(from netsim.Addr, payload interface{}) {
+	if !nd.alive {
+		return
+	}
+	switch m := payload.(type) {
+	case *query:
+		if nd.seen[m.ReqID] {
+			return
+		}
+		nd.seen[m.ReqID] = true
+		if nd.id == m.Target {
+			nd.Stats.Hits++
+			nd.net.Send(nd.addr, m.Origin, &queryHit{ReqID: m.ReqID, ID: nd.id, Addr: nd.addr, Hops: 1}, 32)
+			return
+		}
+		nd.flood(m, from)
+	case *queryHit:
+		if p, ok := nd.pending[m.ReqID]; ok && !p.done {
+			p.done = true
+			delete(nd.pending, m.ReqID)
+			p.timer.Cancel()
+			p.cb(Result{Found: true, Hops: int(m.Hops)})
+		}
+	}
+}

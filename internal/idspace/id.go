@@ -1,0 +1,198 @@
+// Package idspace models the one-dimensional identifier space on which the
+// TreeP overlay is built.
+//
+// TreeP (Hudzia et al., 2005) maps every peer onto a 1-D coordinate space
+// via its node ID; the hierarchy is a tessellation of that space at each
+// level. This package provides the ID type, the Euclidean metric the paper's
+// distance function is built from, interval ("region") arithmetic for
+// tessellations, and the ID-assignment strategies discussed in §III
+// (random, hash of address, and range-balanced placement).
+package idspace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+)
+
+// ID is a coordinate in the 1-D identifier space. The space is the full
+// uint64 range [0, MaxID]. IDs are *not* treated as a ring: the paper uses
+// plain Euclidean distance on the line (its hierarchy is a B+tree over an
+// interval, not a Chord-style circle).
+type ID uint64
+
+// MaxID is the largest coordinate in the space.
+const MaxID ID = ^ID(0)
+
+// SpaceExtent is the total extent L of the ID space as a float64. It is the
+// "L" term of the paper's distance function D (see package routing).
+const SpaceExtent = float64(MaxID)
+
+// String renders the ID in fixed-width hexadecimal, which keeps log output
+// sortable in ID order.
+func (id ID) String() string { return fmt.Sprintf("%016x", uint64(id)) }
+
+// Dist returns the Euclidean distance d(a, b) = |a - b| on the line.
+func Dist(a, b ID) uint64 {
+	if a > b {
+		return uint64(a - b)
+	}
+	return uint64(b - a)
+}
+
+// DistF returns Dist as a float64, the form used inside the routing distance
+// function where it is compared against fractions of SpaceExtent.
+func DistF(a, b ID) float64 { return float64(Dist(a, b)) }
+
+// Less reports whether a sorts before b in the space. It exists so call
+// sites read as intent rather than as integer comparison.
+func Less(a, b ID) bool { return a < b }
+
+// Between reports whether x lies in the closed interval [lo, hi].
+// lo must be ≤ hi; Between does not wrap.
+func Between(x, lo, hi ID) bool { return lo <= x && x <= hi }
+
+// Mid returns the midpoint of a and b without overflow.
+func Mid(a, b ID) ID {
+	if a > b {
+		a, b = b, a
+	}
+	return a + (b-a)/2
+}
+
+// FromFraction maps f in [0,1] to an ID. Values outside [0,1] are clamped.
+// It is used by range-balanced assignment and by tests that need evenly
+// spread coordinates.
+func FromFraction(f float64) ID {
+	if f <= 0 {
+		return 0
+	}
+	if f >= 1 {
+		return MaxID
+	}
+	return ID(f * SpaceExtent)
+}
+
+// Fraction returns the ID's position in the space as a value in [0,1].
+func (id ID) Fraction() float64 { return float64(id) / SpaceExtent }
+
+// HashAddr derives an ID from an opaque address string (e.g. "ip:port"),
+// the paper's "hash of the IP/Port numbers" assignment. FNV-1a provides
+// the byte absorption; a splitmix64 finaliser spreads the result across
+// the whole space — raw FNV of short suffix-varying strings ("node-1",
+// "node-2", …) differs only in low bits, which would pile every key onto
+// one owner.
+func HashAddr(addr string) ID {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(addr))
+	return ID(finalize(h.Sum64()))
+}
+
+// HashKey derives an ID for an arbitrary byte key. The DHT and discovery
+// layers use it to place objects in the same space as nodes.
+func HashKey(key []byte) ID {
+	h := fnv.New64a()
+	_, _ = h.Write(key)
+	return ID(finalize(h.Sum64()))
+}
+
+// finalize is the splitmix64 finaliser: a bijective mixer that spreads
+// low-bit differences across all 64 bits.
+func finalize(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Assigner produces node IDs under one of the strategies of §III: the ID
+// "can be assigned randomly or based on a hash of the IP/Port numbers",
+// or chosen from a range to keep the tree balanced.
+type Assigner interface {
+	// Assign returns the ID for the i-th of n nodes. addr is the node's
+	// transport address (used only by hash assignment).
+	Assign(i, n int, addr string) ID
+}
+
+// RandomAssigner draws IDs uniformly at random from the whole space using
+// its own rand source, so that runs are reproducible from a seed.
+type RandomAssigner struct{ Rand *rand.Rand }
+
+// Assign implements Assigner.
+func (r RandomAssigner) Assign(i, n int, addr string) ID {
+	return ID(r.Rand.Uint64())
+}
+
+// HashAssigner derives each ID from the node's address.
+type HashAssigner struct{}
+
+// Assign implements Assigner.
+func (HashAssigner) Assign(i, n int, addr string) ID { return HashAddr(addr) }
+
+// BalancedAssigner spreads n nodes evenly over the space with optional
+// jitter, realising the paper's "preliminary search for an ID range to
+// choose from ... allow the system to maintain a balanced tree".
+// JitterFrac ∈ [0,1) perturbs each coordinate by at most that fraction of
+// one inter-node gap.
+type BalancedAssigner struct {
+	Rand       *rand.Rand
+	JitterFrac float64
+}
+
+// Assign implements Assigner.
+func (b BalancedAssigner) Assign(i, n int, addr string) ID {
+	if n <= 0 {
+		return 0
+	}
+	gap := SpaceExtent / float64(n)
+	base := gap * (float64(i) + 0.5)
+	if b.JitterFrac > 0 && b.Rand != nil {
+		base += (b.Rand.Float64() - 0.5) * gap * b.JitterFrac
+	}
+	if base < 0 {
+		base = 0
+	}
+	return FromFraction(base / SpaceExtent)
+}
+
+// SortIDs sorts ids ascending in place and returns the slice.
+func SortIDs(ids []ID) []ID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Dedup removes duplicate IDs from a sorted slice in place.
+func Dedup(sorted []ID) []ID {
+	if len(sorted) < 2 {
+		return sorted
+	}
+	out := sorted[:1]
+	for _, id := range sorted[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// NearestIndex returns the index into the sorted slice ids of the ID whose
+// Euclidean distance to x is smallest. Ties resolve to the lower ID so the
+// choice is deterministic. It panics on an empty slice — callers decide what
+// an empty neighbourhood means.
+func NearestIndex(ids []ID, x ID) int {
+	if len(ids) == 0 {
+		panic("idspace: NearestIndex on empty slice")
+	}
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= x })
+	switch {
+	case i == 0:
+		return 0
+	case i == len(ids):
+		return len(ids) - 1
+	}
+	if Dist(ids[i-1], x) <= Dist(ids[i], x) {
+		return i - 1
+	}
+	return i
+}

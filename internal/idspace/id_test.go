@@ -1,0 +1,254 @@
+package idspace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		a, b ID
+		want uint64
+	}{
+		{0, 0, 0},
+		{0, 1, 1},
+		{1, 0, 1},
+		{MaxID, 0, uint64(MaxID)},
+		{0, MaxID, uint64(MaxID)},
+		{100, 250, 150},
+		{MaxID, MaxID, 0},
+	}
+	for _, c := range cases {
+		if got := Dist(c.a, c.b); got != c.want {
+			t.Errorf("Dist(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDistProperties(t *testing.T) {
+	symmetric := func(a, b uint64) bool {
+		return Dist(ID(a), ID(b)) == Dist(ID(b), ID(a))
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	identity := func(a uint64) bool { return Dist(ID(a), ID(a)) == 0 }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+	triangle := func(a, b, c uint64) bool {
+		ab := Dist(ID(a), ID(b))
+		bc := Dist(ID(b), ID(c))
+		ac := Dist(ID(a), ID(c))
+		// uint64 sums can overflow; compare in big-ish space via float is
+		// lossy, so use the fact that ab+bc overflowing means it certainly
+		// exceeds ac.
+		sum := ab + bc
+		if sum < ab { // overflow
+			return true
+		}
+		return ac <= sum
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Errorf("triangle inequality: %v", err)
+	}
+}
+
+func TestMid(t *testing.T) {
+	cases := []struct {
+		a, b, want ID
+	}{
+		{0, 0, 0},
+		{0, 2, 1},
+		{2, 0, 1},
+		{0, MaxID, MaxID / 2},
+		{MaxID - 1, MaxID, MaxID - 1},
+		{10, 11, 10},
+	}
+	for _, c := range cases {
+		if got := Mid(c.a, c.b); got != c.want {
+			t.Errorf("Mid(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	noOverflow := func(a, b uint64) bool {
+		m := Mid(ID(a), ID(b))
+		lo, hi := ID(a), ID(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return m >= lo && m <= hi
+	}
+	if err := quick.Check(noOverflow, nil); err != nil {
+		t.Errorf("midpoint bounds: %v", err)
+	}
+}
+
+func TestFromFractionAndBack(t *testing.T) {
+	if FromFraction(-0.5) != 0 {
+		t.Error("negative fraction should clamp to 0")
+	}
+	if FromFraction(2) != MaxID {
+		t.Error("fraction > 1 should clamp to MaxID")
+	}
+	for _, f := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		id := FromFraction(f)
+		got := id.Fraction()
+		if diff := got - f; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("roundtrip fraction %v -> %v", f, got)
+		}
+	}
+}
+
+func TestHashAddrDeterministicAndDispersed(t *testing.T) {
+	a := HashAddr("10.0.0.1:4000")
+	b := HashAddr("10.0.0.1:4000")
+	if a != b {
+		t.Fatal("HashAddr not deterministic")
+	}
+	if HashAddr("10.0.0.1:4000") == HashAddr("10.0.0.1:4001") {
+		t.Error("adjacent addresses should not collide")
+	}
+	if HashKey([]byte("k1")) == HashKey([]byte("k2")) {
+		t.Error("distinct keys should not collide")
+	}
+}
+
+func TestRandomAssignerReproducible(t *testing.T) {
+	a1 := RandomAssigner{Rand: rand.New(rand.NewSource(7))}
+	a2 := RandomAssigner{Rand: rand.New(rand.NewSource(7))}
+	for i := 0; i < 100; i++ {
+		if a1.Assign(i, 100, "") != a2.Assign(i, 100, "") {
+			t.Fatal("same seed must give same IDs")
+		}
+	}
+}
+
+func TestBalancedAssignerSpread(t *testing.T) {
+	n := 64
+	a := BalancedAssigner{}
+	prev := ID(0)
+	for i := 0; i < n; i++ {
+		id := a.Assign(i, n, "")
+		if i > 0 && id <= prev {
+			t.Fatalf("balanced IDs must be strictly increasing: i=%d %v <= %v", i, id, prev)
+		}
+		prev = id
+	}
+	// The first node should sit near 1/(2n) of the space.
+	first := a.Assign(0, n, "").Fraction()
+	want := 1.0 / float64(2*n)
+	if diff := first - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("first balanced ID at fraction %v, want ~%v", first, want)
+	}
+	if (BalancedAssigner{}).Assign(0, 0, "") != 0 {
+		t.Error("n=0 should yield 0")
+	}
+}
+
+func TestBalancedAssignerJitterStaysOrdered(t *testing.T) {
+	n := 256
+	a := BalancedAssigner{Rand: rand.New(rand.NewSource(3)), JitterFrac: 0.5}
+	prev := ID(0)
+	for i := 0; i < n; i++ {
+		id := a.Assign(i, n, "")
+		if i > 0 && id <= prev {
+			t.Fatalf("jittered balanced IDs should keep order at jitter 0.5: i=%d", i)
+		}
+		prev = id
+	}
+}
+
+func TestSortAndDedup(t *testing.T) {
+	ids := []ID{5, 3, 5, 1, 3, 9}
+	SortIDs(ids)
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] > ids[i] {
+			t.Fatal("not sorted")
+		}
+	}
+	d := Dedup(ids)
+	want := []ID{1, 3, 5, 9}
+	if len(d) != len(want) {
+		t.Fatalf("dedup length %d, want %d", len(d), len(want))
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dedup[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+	if got := Dedup(nil); len(got) != 0 {
+		t.Error("dedup nil should be empty")
+	}
+	one := Dedup([]ID{42})
+	if len(one) != 1 || one[0] != 42 {
+		t.Error("dedup single element")
+	}
+}
+
+func TestNearestIndex(t *testing.T) {
+	ids := []ID{10, 20, 30, 40}
+	cases := []struct {
+		x    ID
+		want int
+	}{
+		{0, 0}, {10, 0}, {14, 0},
+		{15, 0}, // tie 10 vs 20 resolves low
+		{16, 1}, {20, 1},
+		{29, 2}, {35, 2}, // tie 30 vs 40 resolves low
+		{36, 3}, {100, 3},
+	}
+	for _, c := range cases {
+		if got := NearestIndex(ids, c.x); got != c.want {
+			t.Errorf("NearestIndex(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNearestIndexPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty slice")
+		}
+	}()
+	NearestIndex(nil, 0)
+}
+
+func TestNearestIndexIsNearest(t *testing.T) {
+	prop := func(raw []uint64, x uint64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ids := make([]ID, len(raw))
+		for i, r := range raw {
+			ids[i] = ID(r)
+		}
+		ids = Dedup(SortIDs(ids))
+		got := NearestIndex(ids, ID(x))
+		best := Dist(ids[got], ID(x))
+		for _, id := range ids {
+			if Dist(id, ID(x)) < best {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	if !Between(5, 1, 10) || !Between(1, 1, 10) || !Between(10, 1, 10) {
+		t.Error("inclusive bounds")
+	}
+	if Between(0, 1, 10) || Between(11, 1, 10) {
+		t.Error("outside bounds")
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if got := ID(0xff).String(); got != "00000000000000ff" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,174 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := &Histogram{}
+	if h.Total() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatal("empty histogram invariants")
+	}
+	for _, v := range []int{1, 2, 2, 3, 3, 3} {
+		h.Observe(v)
+	}
+	if h.Total() != 6 || h.Count(2) != 2 || h.Count(3) != 3 || h.Count(9) != 0 {
+		t.Fatalf("counts wrong: %+v", h)
+	}
+	if h.Max() != 3 {
+		t.Fatalf("max %d", h.Max())
+	}
+	if mean := h.Mean(); mean < 2.3 || mean > 2.4 {
+		t.Fatalf("mean %v", mean)
+	}
+	if h.Percentile(0.5) != 2 || h.Percentile(1) != 3 {
+		t.Fatalf("percentiles %d %d", h.Percentile(0.5), h.Percentile(1))
+	}
+	if h.Fraction(3) != 0.5 || h.FractionLE(2) != 0.5 {
+		t.Fatalf("fractions %v %v", h.Fraction(3), h.FractionLE(2))
+	}
+	h.Observe(-5) // clamps to 0
+	if h.Count(0) != 1 {
+		t.Fatal("negative clamp")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := &Histogram{}, &Histogram{}
+	a.Observe(1)
+	b.Observe(5)
+	b.Observe(1)
+	a.Merge(b)
+	if a.Total() != 3 || a.Count(1) != 2 || a.Count(5) != 1 {
+		t.Fatalf("merge: %+v", a)
+	}
+}
+
+func TestHistogramPercentileProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		h := &Histogram{}
+		for _, v := range raw {
+			h.Observe(int(v) % 32)
+		}
+		if h.Total() == 0 {
+			return true
+		}
+		// Percentile must be monotone in p.
+		prev := -1
+		for _, p := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSurface(t *testing.T) {
+	s := NewSurface()
+	s.At(10).Observe(5)
+	s.At(10).Observe(5)
+	s.At(30).Observe(7)
+	if got := s.KillPcts(); len(got) != 2 || got[0] != 10 || got[1] != 30 {
+		t.Fatalf("kill pcts %v", got)
+	}
+	if s.At(10).Fraction(5) != 1 {
+		t.Fatal("fraction at 10%")
+	}
+	out := s.Render(8)
+	if !strings.Contains(out, "kill%") || !strings.Contains(out, "100.0") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var m MinMax
+	if m.Seen() {
+		t.Fatal("empty seen")
+	}
+	m.Observe(5)
+	m.Observe(2)
+	m.Observe(9)
+	if m.Min() != 2 || m.Max() != 9 || m.Spread() != 7 || !m.Seen() {
+		t.Fatalf("minmax %+v", m)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Sets() != 5 {
+		t.Fatal("initial sets")
+	}
+	if !uf.Union(0, 1) || uf.Union(0, 1) {
+		t.Fatal("union semantics")
+	}
+	uf.Union(2, 3)
+	if uf.Sets() != 3 {
+		t.Fatalf("sets %d", uf.Sets())
+	}
+	if uf.Find(0) != uf.Find(1) || uf.Find(0) == uf.Find(2) {
+		t.Fatal("find")
+	}
+	uf.Union(1, 3)
+	if uf.Sets() != 2 || uf.Find(0) != uf.Find(2) {
+		t.Fatal("transitive union")
+	}
+}
+
+func TestUnionFindRandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 64
+	uf := NewUnionFind(n)
+	// Reference components via adjacency + flood fill.
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for i := 0; i < 100; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		uf.Union(a, b)
+		adj[a][b], adj[b][a] = true, true
+	}
+	// Count components by DFS.
+	seen := make([]bool, n)
+	comps := 0
+	var dfs func(int)
+	dfs = func(v int) {
+		seen[v] = true
+		for w, ok := range adj[v] {
+			if ok && !seen[w] {
+				dfs(w)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if !seen[v] {
+			comps++
+			dfs(v)
+		}
+	}
+	if uf.Sets() != comps {
+		t.Fatalf("union-find %d vs dfs %d", uf.Sets(), comps)
+	}
+}
+
+func TestSeriesAndTable(t *testing.T) {
+	s := &Series{Name: "G"}
+	s.Add(10, 0.5)
+	s.Add(20, 0.7)
+	if out := s.Render(); !strings.Contains(out, "G\t10.00\t0.500") {
+		t.Fatalf("series render:\n%s", out)
+	}
+	tbl := Table("kill%", []float64{10, 20}, []*Series{s})
+	if !strings.Contains(tbl, "kill%\tG") || !strings.Contains(tbl, "10\t0.50") {
+		t.Fatalf("table:\n%s", tbl)
+	}
+}

@@ -1,0 +1,57 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// LatencyModel produces one-way datagram delays.
+type LatencyModel interface {
+	Delay(from, to Addr, rng *rand.Rand) time.Duration
+}
+
+// FixedLatency delays every datagram by the same amount; the right model
+// for analytical checks because hop counts translate linearly to time.
+type FixedLatency time.Duration
+
+// Delay implements LatencyModel.
+func (f FixedLatency) Delay(_, _ Addr, _ *rand.Rand) time.Duration { return time.Duration(f) }
+
+// UniformLatency draws delays uniformly from [Min, Max].
+type UniformLatency struct {
+	Min, Max time.Duration
+}
+
+// Delay implements LatencyModel.
+func (u UniformLatency) Delay(_, _ Addr, rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
+}
+
+// ClusteredLatency models a two-tier topology: endpoints whose addresses
+// fall in the same cluster (addr / ClusterSize) see Near latency, others
+// see Far latency, each with ±25% jitter. It is a cheap stand-in for the
+// LAN/WAN mix of a grid deployment (the paper targets grid middleware).
+type ClusteredLatency struct {
+	ClusterSize uint64
+	Near, Far   time.Duration
+}
+
+// Delay implements LatencyModel.
+func (c ClusteredLatency) Delay(from, to Addr, rng *rand.Rand) time.Duration {
+	base := c.Far
+	if c.ClusterSize > 0 && uint64(from)/c.ClusterSize == uint64(to)/c.ClusterSize {
+		base = c.Near
+	}
+	if base <= 0 {
+		return 0
+	}
+	jitter := time.Duration(rng.Int63n(int64(base)/2+1)) - base/4
+	d := base + jitter
+	if d < 0 {
+		d = 0
+	}
+	return d
+}

@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestFixedLatency(t *testing.T) {
+	m := FixedLatency(7 * time.Millisecond)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if d := m.Delay(1, 2, rng); d != 7*time.Millisecond {
+			t.Fatalf("delay %v", d)
+		}
+	}
+}
+
+func TestUniformLatencyBounds(t *testing.T) {
+	m := UniformLatency{Min: 10 * time.Millisecond, Max: 20 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 1000; i++ {
+		d := m.Delay(1, 2, rng)
+		if d < m.Min || d > m.Max {
+			t.Fatalf("delay %v outside [%v,%v]", d, m.Min, m.Max)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 100 {
+		t.Errorf("uniform latency not dispersed: %d distinct values", len(seen))
+	}
+	degenerate := UniformLatency{Min: 5 * time.Millisecond, Max: 5 * time.Millisecond}
+	if d := degenerate.Delay(1, 2, rng); d != 5*time.Millisecond {
+		t.Errorf("degenerate uniform = %v", d)
+	}
+}
+
+func TestClusteredLatency(t *testing.T) {
+	m := ClusteredLatency{ClusterSize: 10, Near: 2 * time.Millisecond, Far: 50 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	var nearSum, farSum time.Duration
+	const n = 500
+	for i := 0; i < n; i++ {
+		nearSum += m.Delay(1, 2, rng)   // same cluster (0)
+		farSum += m.Delay(1, 2000, rng) // different cluster
+	}
+	if nearSum/n >= farSum/n {
+		t.Fatalf("near avg %v should be < far avg %v", nearSum/n, farSum/n)
+	}
+	for i := 0; i < 100; i++ {
+		if d := m.Delay(1, 999, rng); d < 0 {
+			t.Fatal("negative delay")
+		}
+	}
+	zero := ClusteredLatency{ClusterSize: 10}
+	if d := zero.Delay(1, 2, rng); d != 0 {
+		t.Errorf("zero-base latency should be 0, got %v", d)
+	}
+}

@@ -1,0 +1,215 @@
+// Package netsim simulates a UDP/IP substrate on top of the sim kernel.
+//
+// TreeP is "a UDP based overlay architecture" (§III); its evaluation is a
+// packet-switching simulation in which "routing decisions are made locally
+// to each node without knowledge of the global state of the network" (§IV).
+// netsim supplies exactly that: unreliable, unordered, best-effort datagram
+// delivery between addressable endpoints, with configurable latency and
+// loss models, node failure injection, and per-message accounting.
+//
+// The package is protocol-agnostic — the TreeP overlay, the Chord baseline
+// and the flooding baseline all run unmodified on top of it. Payloads
+// travel as Go values (zero-copy) for simulation speed; wire fidelity is
+// covered by the proto package's codec tests and by the real UDP transport.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"treep/internal/sim"
+)
+
+// Addr identifies an endpoint. Address 0 is reserved as "no address".
+type Addr uint64
+
+// NoAddr is the zero, invalid address.
+const NoAddr Addr = 0
+
+// String implements fmt.Stringer.
+func (a Addr) String() string { return fmt.Sprintf("addr(%d)", uint64(a)) }
+
+// Handler receives datagrams addressed to an endpoint.
+type Handler func(from Addr, payload interface{}, size int)
+
+// Stats aggregates network-wide message accounting.
+type Stats struct {
+	Sent       uint64 // datagrams handed to the network
+	Delivered  uint64 // datagrams delivered to a live endpoint
+	LostRandom uint64 // dropped by the loss model
+	LostDead   uint64 // addressed to a dead or unknown endpoint
+	Bytes      uint64 // wire bytes of all sent datagrams
+}
+
+// TraceEvent describes one datagram for the optional trace hook.
+type TraceEvent struct {
+	At       time.Duration
+	From, To Addr
+	Size     int
+	Payload  interface{}
+	Dropped  bool
+	Reason   string // "", "loss", "dead"
+}
+
+// Network is a simulated datagram network. It is not safe for concurrent
+// use; one network belongs to one sim.Kernel and runs on its event loop.
+type Network struct {
+	kernel  *sim.Kernel
+	latency LatencyModel
+	// lossRate is the probability a datagram is silently dropped in flight.
+	lossRate float64
+	rng      *rand.Rand
+	next     Addr
+	eps      map[Addr]*endpoint
+	stats    Stats
+	trace    func(TraceEvent)
+	// mtu drops datagrams larger than this size when > 0, mirroring the
+	// 64 KiB UDP limit by default.
+	mtu int
+}
+
+type endpoint struct {
+	addr    Addr
+	handler Handler
+	alive   bool
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency sets the latency model (default: Uniform 10–60 ms, roughly a
+// wide-area mix).
+func WithLatency(m LatencyModel) Option { return func(n *Network) { n.latency = m } }
+
+// WithLoss sets the random loss probability in [0,1).
+func WithLoss(p float64) Option { return func(n *Network) { n.lossRate = p } }
+
+// WithMTU sets the maximum datagram size in bytes (0 disables the check).
+func WithMTU(mtu int) Option { return func(n *Network) { n.mtu = mtu } }
+
+// WithTrace installs a hook invoked for every datagram send.
+func WithTrace(fn func(TraceEvent)) Option { return func(n *Network) { n.trace = fn } }
+
+// New creates a network bound to the kernel.
+func New(k *sim.Kernel, opts ...Option) *Network {
+	n := &Network{
+		kernel:  k,
+		latency: UniformLatency{Min: 10 * time.Millisecond, Max: 60 * time.Millisecond},
+		rng:     k.Stream(0x6e6574), // "net"
+		next:    1,
+		eps:     map[Addr]*endpoint{},
+		mtu:     64 << 10,
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Kernel returns the kernel the network runs on.
+func (n *Network) Kernel() *sim.Kernel { return n.kernel }
+
+// Attach registers a new endpoint and returns its address. The handler is
+// invoked from the kernel's event loop for each delivered datagram.
+func (n *Network) Attach(h Handler) Addr {
+	if h == nil {
+		panic("netsim: Attach with nil handler")
+	}
+	a := n.next
+	n.next++
+	n.eps[a] = &endpoint{addr: a, handler: h, alive: true}
+	return a
+}
+
+// SetHandler replaces the handler of an existing endpoint (used by runtimes
+// that attach before constructing the protocol state machine).
+func (n *Network) SetHandler(a Addr, h Handler) {
+	ep, ok := n.eps[a]
+	if !ok {
+		panic(fmt.Sprintf("netsim: SetHandler on unknown %v", a))
+	}
+	ep.handler = h
+}
+
+// Kill marks the endpoint dead: it stops receiving, and datagrams to it are
+// dropped. In-flight datagrams scheduled before the kill are also dropped on
+// arrival (the process is gone). Killing an unknown or dead endpoint is a
+// no-op so failure injectors can be sloppy.
+func (n *Network) Kill(a Addr) {
+	if ep, ok := n.eps[a]; ok {
+		ep.alive = false
+	}
+}
+
+// Revive brings a killed endpoint back (node restart). The endpoint keeps
+// its address and handler.
+func (n *Network) Revive(a Addr) {
+	if ep, ok := n.eps[a]; ok {
+		ep.alive = true
+	}
+}
+
+// Alive reports whether the endpoint exists and is live.
+func (n *Network) Alive(a Addr) bool {
+	ep, ok := n.eps[a]
+	return ok && ep.alive
+}
+
+// Size returns the number of attached endpoints (live or dead).
+func (n *Network) Size() int { return len(n.eps) }
+
+// Stats returns a copy of the accumulated counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ResetStats zeroes the counters (used between experiment phases so that
+// steady-state maintenance traffic is not charged to the lookup phase).
+func (n *Network) ResetStats() { n.stats = Stats{} }
+
+// Send transmits one datagram. Delivery is best-effort: the datagram may be
+// dropped by the loss model, because the destination is dead, or because it
+// exceeds the MTU. size is the datagram's wire size in bytes (payload is
+// carried by reference for speed; see package comment).
+func (n *Network) Send(from, to Addr, payload interface{}, size int) {
+	n.stats.Sent++
+	n.stats.Bytes += uint64(size)
+
+	drop := func(reason string) {
+		if n.trace != nil {
+			n.trace(TraceEvent{At: n.kernel.Now(), From: from, To: to, Size: size, Payload: payload, Dropped: true, Reason: reason})
+		}
+	}
+
+	if n.mtu > 0 && size > n.mtu {
+		n.stats.LostDead++ // accounted as undeliverable
+		drop("mtu")
+		return
+	}
+	ep, ok := n.eps[to]
+	if !ok {
+		n.stats.LostDead++
+		drop("dead")
+		return
+	}
+	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
+		n.stats.LostRandom++
+		drop("loss")
+		return
+	}
+	if n.trace != nil {
+		n.trace(TraceEvent{At: n.kernel.Now(), From: from, To: to, Size: size, Payload: payload})
+	}
+	delay := n.latency.Delay(from, to, n.rng)
+	n.kernel.Schedule(delay, func() {
+		// Liveness is checked at arrival, not at send: UDP gives the sender
+		// no feedback, so a datagram to a dead host leaves the sender
+		// normally and vanishes in the network.
+		if !ep.alive {
+			n.stats.LostDead++
+			drop("dead")
+			return
+		}
+		n.stats.Delivered++
+		ep.handler(from, payload, size)
+	})
+}

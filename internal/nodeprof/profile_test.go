@@ -1,0 +1,141 @@
+package nodeprof
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func serverProfile() Profile {
+	return Profile{CPUGHz: 8, MemoryMB: 16384, BandwidthKB: 12800,
+		StorageGB: 500, Uptime: 45 * 24 * time.Hour, SysLoad: 0.1, NetLoad: 0.1}
+}
+
+func weakProfile() Profile {
+	return Profile{CPUGHz: 1, MemoryMB: 512, BandwidthKB: 128,
+		StorageGB: 10, Uptime: time.Hour, SysLoad: 0.9, NetLoad: 0.8}
+}
+
+func TestScoreBoundsAndOrdering(t *testing.T) {
+	s := serverProfile().Score()
+	w := weakProfile().Score()
+	if s <= 0 || s > 1 || w < 0 || w > 1 {
+		t.Fatalf("scores out of [0,1]: server=%v weak=%v", s, w)
+	}
+	if s <= w {
+		t.Fatalf("server score %v must exceed weak score %v", s, w)
+	}
+	var zero Profile
+	if z := zero.Score(); z < 0 || z > 1 {
+		t.Errorf("zero profile score %v out of range", z)
+	}
+}
+
+func TestScoreMonotoneInEachDimension(t *testing.T) {
+	base := Profile{CPUGHz: 2, MemoryMB: 2048, BandwidthKB: 1024,
+		StorageGB: 50, Uptime: 24 * time.Hour, SysLoad: 0.5, NetLoad: 0.5}
+	s0 := base.Score()
+
+	up := base
+	up.CPUGHz = 4
+	if up.Score() < s0 {
+		t.Error("score must not decrease with more CPU")
+	}
+	up = base
+	up.MemoryMB = 8192
+	if up.Score() < s0 {
+		t.Error("score must not decrease with more memory")
+	}
+	up = base
+	up.BandwidthKB = 4096
+	if up.Score() < s0 {
+		t.Error("score must not decrease with more bandwidth")
+	}
+	up = base
+	up.Uptime = 10 * 24 * time.Hour
+	if up.Score() < s0 {
+		t.Error("score must not decrease with more uptime")
+	}
+	up = base
+	up.SysLoad = 0.9
+	if up.Score() > s0 {
+		t.Error("score must not increase with more system load")
+	}
+	up = base
+	up.NetLoad = 0.9
+	if up.Score() > s0 {
+		t.Error("score must not increase with more network load")
+	}
+}
+
+func TestElectionCountdownOrdering(t *testing.T) {
+	min, max := 100*time.Millisecond, 2*time.Second
+	s := serverProfile().ElectionCountdown(min, max, nil)
+	w := weakProfile().ElectionCountdown(min, max, nil)
+	if s >= w {
+		t.Fatalf("stronger node must get shorter countdown: server=%v weak=%v", s, w)
+	}
+	if s < min || w > max {
+		t.Fatalf("countdowns outside [min,max]: %v %v", s, w)
+	}
+}
+
+func TestElectionCountdownJitterStaysBounded(t *testing.T) {
+	min, max := 100*time.Millisecond, 2*time.Second
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		d := serverProfile().ElectionCountdown(min, max, rng)
+		if d < min || d > max {
+			t.Fatalf("jittered countdown %v outside bounds", d)
+		}
+	}
+}
+
+func TestElectionCountdownSwappedBounds(t *testing.T) {
+	d := serverProfile().ElectionCountdown(2*time.Second, 100*time.Millisecond, nil)
+	if d < 100*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("swapped bounds should be normalised, got %v", d)
+	}
+}
+
+func TestDemotionCountdownOrdering(t *testing.T) {
+	min, max := time.Second, 10*time.Second
+	s := serverProfile().DemotionCountdown(min, max)
+	w := weakProfile().DemotionCountdown(min, max)
+	if s <= w {
+		t.Fatalf("stronger node must get LONGER demotion countdown: server=%v weak=%v", s, w)
+	}
+}
+
+func TestFixedPolicy(t *testing.T) {
+	p := FixedPolicy{NC: 4}
+	if p.MaxChildren(serverProfile()) != 4 || p.MaxChildren(weakProfile()) != 4 {
+		t.Error("fixed policy must ignore the profile")
+	}
+	if p.Name() != "fixed-nc4" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+func TestCapacityPolicy(t *testing.T) {
+	p := CapacityPolicy{Min: 2, Max: 16}
+	s := p.MaxChildren(serverProfile())
+	w := p.MaxChildren(weakProfile())
+	if s <= w {
+		t.Fatalf("capacity policy must give stronger nodes more children: %d vs %d", s, w)
+	}
+	if w < 2 || s > 16 {
+		t.Fatalf("children out of bounds: %d %d", w, s)
+	}
+	degenerate := CapacityPolicy{Min: 4, Max: 4}
+	if degenerate.MaxChildren(serverProfile()) != 4 {
+		t.Error("degenerate capacity policy should return Min")
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	s := serverProfile().String()
+	if s == "" {
+		t.Error("String must not be empty")
+	}
+}

@@ -1,0 +1,596 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"treep/internal/idspace"
+)
+
+// Wire format: a 3-byte header (magic 'T', version, message type) followed
+// by the fixed-layout body. Integers are big-endian. Variable-length
+// sections (entry lists, DHT values) carry a uint16 count/length prefix.
+const (
+	wireMagic   = 0x54 // 'T'
+	wireVersion = 1
+	headerSize  = 3
+)
+
+// Codec errors.
+var (
+	ErrShort   = errors.New("proto: truncated message")
+	ErrMagic   = errors.New("proto: bad magic byte")
+	ErrVersion = errors.New("proto: unsupported protocol version")
+	ErrType    = errors.New("proto: unknown message type")
+	ErrTrail   = errors.New("proto: trailing bytes after message body")
+)
+
+// maxListLen bounds decoded list lengths; a datagram cannot legitimately
+// carry more (64 KiB / 19-byte refs), and the bound stops hostile length
+// prefixes from forcing huge allocations.
+const maxListLen = 4096
+
+// Encode serialises a message, header included.
+func Encode(m Message) []byte {
+	w := &writer{buf: make([]byte, 0, headerSize+m.EncodedSize())}
+	w.u8(wireMagic)
+	w.u8(wireVersion)
+	w.u8(uint8(m.Type()))
+	m.encodeBody(w)
+	return w.buf
+}
+
+// Decode parses one datagram into a fresh message value. The whole buffer
+// must be consumed: trailing garbage is an error, as a corrupted datagram
+// must not half-parse.
+func Decode(b []byte) (Message, error) {
+	if len(b) < headerSize {
+		return nil, ErrShort
+	}
+	if b[0] != wireMagic {
+		return nil, ErrMagic
+	}
+	if b[1] != wireVersion {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, b[1])
+	}
+	t := MsgType(b[2])
+	m := newMessage(t)
+	if m == nil {
+		return nil, fmt.Errorf("%w: %d", ErrType, b[2])
+	}
+	r := &reader{buf: b[headerSize:]}
+	m.decodeBody(r)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, ErrTrail
+	}
+	return m, nil
+}
+
+// WireSize returns the total datagram size for a message, header included.
+// The simulator charges this many bytes per send without serialising.
+func WireSize(m Message) int { return headerSize + m.EncodedSize() }
+
+func newMessage(t MsgType) Message {
+	switch t {
+	case THello:
+		return &Hello{}
+	case TPing:
+		return &Ping{}
+	case TPong:
+		return &Pong{}
+	case TJoinRequest:
+		return &JoinRequest{}
+	case TJoinRedirect:
+		return &JoinRedirect{}
+	case TJoinAccept:
+		return &JoinAccept{}
+	case TElectionCall:
+		return &ElectionCall{}
+	case TParentClaim:
+		return &ParentClaim{}
+	case TChildReport:
+		return &ChildReport{}
+	case TPromoteGrant:
+		return &PromoteGrant{}
+	case TDemote:
+		return &Demote{}
+	case TBusLinkReq:
+		return &BusLinkReq{}
+	case TBusLinkAck:
+		return &BusLinkAck{}
+	case TLookupRequest:
+		return &LookupRequest{}
+	case TLookupReply:
+		return &LookupReply{}
+	case TDHTPut:
+		return &DHTPut{}
+	case TDHTPutAck:
+		return &DHTPutAck{}
+	case TDHTGet:
+		return &DHTGet{}
+	case TDHTGetReply:
+		return &DHTGetReply{}
+	case TReparent:
+		return &Reparent{}
+	}
+	return nil
+}
+
+// --- writer ----------------------------------------------------------------
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *writer) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+func (w *writer) ref(r NodeRef) {
+	w.u64(uint64(r.ID))
+	w.u64(r.Addr)
+	w.u8(r.MaxLevel)
+	w.u16(r.Score)
+}
+
+func (w *writer) region(r Region) {
+	w.u64(uint64(r.Lo))
+	w.u64(uint64(r.Hi))
+}
+
+func (w *writer) entry(e Entry) {
+	w.ref(e.Ref)
+	w.u8(e.Level)
+	w.u8(uint8(e.Flags))
+	w.u32(e.Version)
+	w.u16(e.AgeDs)
+}
+
+func (w *writer) entries(es []Entry) {
+	w.u16(uint16(len(es)))
+	for _, e := range es {
+		w.entry(e)
+	}
+}
+
+func (w *writer) refs(rs []NodeRef) {
+	w.u16(uint16(len(rs)))
+	for _, r := range rs {
+		w.ref(r)
+	}
+}
+
+func (w *writer) bytes(b []byte) {
+	w.u16(uint16(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// --- reader ----------------------------------------------------------------
+
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = ErrShort
+	}
+	r.buf = nil
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || len(r.buf) < 1 {
+		r.fail()
+		return 0
+	}
+	v := r.buf[0]
+	r.buf = r.buf[1:]
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || len(r.buf) < 2 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.buf)
+	r.buf = r.buf[2:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.buf) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.buf)
+	r.buf = r.buf[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || len(r.buf) < 8 {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.buf)
+	r.buf = r.buf[8:]
+	return v
+}
+
+func (r *reader) boolean() bool { return r.u8() != 0 }
+
+func (r *reader) ref() NodeRef {
+	return NodeRef{
+		ID:       idspace.ID(r.u64()),
+		Addr:     r.u64(),
+		MaxLevel: r.u8(),
+		Score:    r.u16(),
+	}
+}
+
+func (r *reader) region() Region {
+	return Region{Lo: idspace.ID(r.u64()), Hi: idspace.ID(r.u64())}
+}
+
+func (r *reader) entry() Entry {
+	return Entry{
+		Ref:     r.ref(),
+		Level:   r.u8(),
+		Flags:   EntryFlag(r.u8()),
+		Version: r.u32(),
+		AgeDs:   r.u16(),
+	}
+}
+
+func (r *reader) entries() []Entry {
+	n := int(r.u16())
+	if r.err != nil {
+		return nil
+	}
+	if n > maxListLen || len(r.buf) < n*entrySize {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = r.entry()
+	}
+	return out
+}
+
+func (r *reader) refs() []NodeRef {
+	n := int(r.u16())
+	if r.err != nil {
+		return nil
+	}
+	if n > maxListLen || len(r.buf) < n*nodeRefSize {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]NodeRef, n)
+	for i := range out {
+		out[i] = r.ref()
+	}
+	return out
+}
+
+func (r *reader) bytesField() []byte {
+	n := int(r.u16())
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf)
+	r.buf = r.buf[n:]
+	return out
+}
+
+// --- per-message encode/decode/size ----------------------------------------
+
+// Type implements Message.
+func (*Hello) Type() MsgType { return THello }
+
+// EncodedSize implements Message.
+func (*Hello) EncodedSize() int { return nodeRefSize + 1 }
+
+func (m *Hello) encodeBody(w *writer) { w.ref(m.From); w.u8(m.MaxChildren) }
+func (m *Hello) decodeBody(r *reader) { m.From = r.ref(); m.MaxChildren = r.u8() }
+
+// Type implements Message.
+func (*Ping) Type() MsgType { return TPing }
+
+// EncodedSize implements Message.
+func (m *Ping) EncodedSize() int { return nodeRefSize + 4 + 2 + len(m.Entries)*entrySize }
+
+func (m *Ping) encodeBody(w *writer) { w.ref(m.From); w.u32(m.Seq); w.entries(m.Entries) }
+func (m *Ping) decodeBody(r *reader) { m.From = r.ref(); m.Seq = r.u32(); m.Entries = r.entries() }
+
+// Type implements Message.
+func (*Pong) Type() MsgType { return TPong }
+
+// EncodedSize implements Message.
+func (m *Pong) EncodedSize() int { return nodeRefSize + 4 + 2 + len(m.Entries)*entrySize }
+
+func (m *Pong) encodeBody(w *writer) { w.ref(m.From); w.u32(m.Seq); w.entries(m.Entries) }
+func (m *Pong) decodeBody(r *reader) { m.From = r.ref(); m.Seq = r.u32(); m.Entries = r.entries() }
+
+// Type implements Message.
+func (*JoinRequest) Type() MsgType { return TJoinRequest }
+
+// EncodedSize implements Message.
+func (*JoinRequest) EncodedSize() int { return nodeRefSize }
+
+func (m *JoinRequest) encodeBody(w *writer) { w.ref(m.From) }
+func (m *JoinRequest) decodeBody(r *reader) { m.From = r.ref() }
+
+// Type implements Message.
+func (*JoinRedirect) Type() MsgType { return TJoinRedirect }
+
+// EncodedSize implements Message.
+func (*JoinRedirect) EncodedSize() int { return 2 * nodeRefSize }
+
+func (m *JoinRedirect) encodeBody(w *writer) { w.ref(m.From); w.ref(m.Closer) }
+func (m *JoinRedirect) decodeBody(r *reader) { m.From = r.ref(); m.Closer = r.ref() }
+
+// Type implements Message.
+func (*JoinAccept) Type() MsgType { return TJoinAccept }
+
+// EncodedSize implements Message.
+func (*JoinAccept) EncodedSize() int { return 4 * nodeRefSize }
+
+func (m *JoinAccept) encodeBody(w *writer) {
+	w.ref(m.From)
+	w.ref(m.Left)
+	w.ref(m.Right)
+	w.ref(m.Parent)
+}
+
+func (m *JoinAccept) decodeBody(r *reader) {
+	m.From = r.ref()
+	m.Left = r.ref()
+	m.Right = r.ref()
+	m.Parent = r.ref()
+}
+
+// Type implements Message.
+func (*ElectionCall) Type() MsgType { return TElectionCall }
+
+// EncodedSize implements Message.
+func (*ElectionCall) EncodedSize() int { return nodeRefSize + 1 }
+
+func (m *ElectionCall) encodeBody(w *writer) { w.ref(m.From); w.u8(m.Level) }
+func (m *ElectionCall) decodeBody(r *reader) { m.From = r.ref(); m.Level = r.u8() }
+
+// Type implements Message.
+func (*ParentClaim) Type() MsgType { return TParentClaim }
+
+// EncodedSize implements Message.
+func (*ParentClaim) EncodedSize() int { return nodeRefSize + 1 + regionSize }
+
+func (m *ParentClaim) encodeBody(w *writer) { w.ref(m.From); w.u8(m.Level); w.region(m.Region) }
+func (m *ParentClaim) decodeBody(r *reader) {
+	m.From = r.ref()
+	m.Level = r.u8()
+	m.Region = r.region()
+}
+
+// Type implements Message.
+func (*ChildReport) Type() MsgType { return TChildReport }
+
+// EncodedSize implements Message.
+func (*ChildReport) EncodedSize() int { return nodeRefSize + 1 }
+
+func (m *ChildReport) encodeBody(w *writer) { w.ref(m.From); w.u8(m.Degree) }
+func (m *ChildReport) decodeBody(r *reader) { m.From = r.ref(); m.Degree = r.u8() }
+
+// Type implements Message.
+func (*PromoteGrant) Type() MsgType { return TPromoteGrant }
+
+// EncodedSize implements Message.
+func (*PromoteGrant) EncodedSize() int { return nodeRefSize + 1 + regionSize + 2*nodeRefSize }
+
+func (m *PromoteGrant) encodeBody(w *writer) {
+	w.ref(m.From)
+	w.u8(m.Level)
+	w.region(m.Region)
+	w.ref(m.Left)
+	w.ref(m.Right)
+}
+
+func (m *PromoteGrant) decodeBody(r *reader) {
+	m.From = r.ref()
+	m.Level = r.u8()
+	m.Region = r.region()
+	m.Left = r.ref()
+	m.Right = r.ref()
+}
+
+// Type implements Message.
+func (*Demote) Type() MsgType { return TDemote }
+
+// EncodedSize implements Message.
+func (*Demote) EncodedSize() int { return nodeRefSize + 1 + nodeRefSize }
+
+func (m *Demote) encodeBody(w *writer) { w.ref(m.From); w.u8(m.Level); w.ref(m.Successor) }
+func (m *Demote) decodeBody(r *reader) { m.From = r.ref(); m.Level = r.u8(); m.Successor = r.ref() }
+
+// Type implements Message.
+func (*BusLinkReq) Type() MsgType { return TBusLinkReq }
+
+// EncodedSize implements Message.
+func (*BusLinkReq) EncodedSize() int { return nodeRefSize + 1 }
+
+func (m *BusLinkReq) encodeBody(w *writer) { w.ref(m.From); w.u8(m.Level) }
+func (m *BusLinkReq) decodeBody(r *reader) { m.From = r.ref(); m.Level = r.u8() }
+
+// Type implements Message.
+func (*BusLinkAck) Type() MsgType { return TBusLinkAck }
+
+// EncodedSize implements Message.
+func (*BusLinkAck) EncodedSize() int { return nodeRefSize + 1 + 2*nodeRefSize }
+
+func (m *BusLinkAck) encodeBody(w *writer) {
+	w.ref(m.From)
+	w.u8(m.Level)
+	w.ref(m.Left)
+	w.ref(m.Right)
+}
+
+func (m *BusLinkAck) decodeBody(r *reader) {
+	m.From = r.ref()
+	m.Level = r.u8()
+	m.Left = r.ref()
+	m.Right = r.ref()
+}
+
+// Type implements Message.
+func (*LookupRequest) Type() MsgType { return TLookupRequest }
+
+// EncodedSize implements Message.
+func (m *LookupRequest) EncodedSize() int {
+	return nodeRefSize + 8 + 8 + 1 + 1 + 1 + 2 + len(m.Alternates)*nodeRefSize
+}
+
+func (m *LookupRequest) encodeBody(w *writer) {
+	w.ref(m.Origin)
+	w.u64(uint64(m.Target))
+	w.u64(m.ReqID)
+	w.u8(m.TTL)
+	w.u8(m.Hops)
+	w.u8(uint8(m.Algo))
+	w.refs(m.Alternates)
+}
+
+func (m *LookupRequest) decodeBody(r *reader) {
+	m.Origin = r.ref()
+	m.Target = idspace.ID(r.u64())
+	m.ReqID = r.u64()
+	m.TTL = r.u8()
+	m.Hops = r.u8()
+	m.Algo = Algo(r.u8())
+	m.Alternates = r.refs()
+}
+
+// Type implements Message.
+func (*LookupReply) Type() MsgType { return TLookupReply }
+
+// EncodedSize implements Message.
+func (*LookupReply) EncodedSize() int { return nodeRefSize + 8 + 1 + nodeRefSize + 1 }
+
+func (m *LookupReply) encodeBody(w *writer) {
+	w.ref(m.From)
+	w.u64(m.ReqID)
+	w.u8(uint8(m.Status))
+	w.ref(m.Best)
+	w.u8(m.Hops)
+}
+
+func (m *LookupReply) decodeBody(r *reader) {
+	m.From = r.ref()
+	m.ReqID = r.u64()
+	m.Status = LookupStatus(r.u8())
+	m.Best = r.ref()
+	m.Hops = r.u8()
+}
+
+// Type implements Message.
+func (*DHTPut) Type() MsgType { return TDHTPut }
+
+// EncodedSize implements Message.
+func (m *DHTPut) EncodedSize() int { return nodeRefSize + 8 + 8 + 2 + len(m.Value) + 1 }
+
+func (m *DHTPut) encodeBody(w *writer) {
+	w.ref(m.From)
+	w.u64(m.ReqID)
+	w.u64(uint64(m.Key))
+	w.bytes(m.Value)
+	w.u8(m.Replicate)
+}
+
+func (m *DHTPut) decodeBody(r *reader) {
+	m.From = r.ref()
+	m.ReqID = r.u64()
+	m.Key = idspace.ID(r.u64())
+	m.Value = r.bytesField()
+	m.Replicate = r.u8()
+}
+
+// Type implements Message.
+func (*DHTPutAck) Type() MsgType { return TDHTPutAck }
+
+// EncodedSize implements Message.
+func (*DHTPutAck) EncodedSize() int { return nodeRefSize + 8 + 1 }
+
+func (m *DHTPutAck) encodeBody(w *writer) { w.ref(m.From); w.u64(m.ReqID); w.boolean(m.Stored) }
+func (m *DHTPutAck) decodeBody(r *reader) {
+	m.From = r.ref()
+	m.ReqID = r.u64()
+	m.Stored = r.boolean()
+}
+
+// Type implements Message.
+func (*DHTGet) Type() MsgType { return TDHTGet }
+
+// EncodedSize implements Message.
+func (*DHTGet) EncodedSize() int { return nodeRefSize + 8 + 8 }
+
+func (m *DHTGet) encodeBody(w *writer) { w.ref(m.From); w.u64(m.ReqID); w.u64(uint64(m.Key)) }
+func (m *DHTGet) decodeBody(r *reader) {
+	m.From = r.ref()
+	m.ReqID = r.u64()
+	m.Key = idspace.ID(r.u64())
+}
+
+// Type implements Message.
+func (*DHTGetReply) Type() MsgType { return TDHTGetReply }
+
+// EncodedSize implements Message.
+func (m *DHTGetReply) EncodedSize() int { return nodeRefSize + 8 + 1 + 2 + len(m.Value) }
+
+func (m *DHTGetReply) encodeBody(w *writer) {
+	w.ref(m.From)
+	w.u64(m.ReqID)
+	w.boolean(m.Found)
+	w.bytes(m.Value)
+}
+
+func (m *DHTGetReply) decodeBody(r *reader) {
+	m.From = r.ref()
+	m.ReqID = r.u64()
+	m.Found = r.boolean()
+	m.Value = r.bytesField()
+}
+
+// Type implements Message.
+func (*Reparent) Type() MsgType { return TReparent }
+
+// EncodedSize implements Message.
+func (*Reparent) EncodedSize() int { return 2*nodeRefSize + 2 }
+
+func (m *Reparent) encodeBody(w *writer) { w.ref(m.From); w.ref(m.NewParent); w.u16(m.AgeDs) }
+func (m *Reparent) decodeBody(r *reader) { m.From = r.ref(); m.NewParent = r.ref(); m.AgeDs = r.u16() }

@@ -1,0 +1,272 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"treep/internal/idspace"
+)
+
+func sampleRef(rng *rand.Rand) NodeRef {
+	return NodeRef{
+		ID:       idspace.ID(rng.Uint64()),
+		Addr:     rng.Uint64() | 1, // non-zero
+		MaxLevel: uint8(rng.Intn(8)),
+		Score:    uint16(rng.Intn(65536)),
+	}
+}
+
+func sampleEntries(rng *rand.Rand, n int) []Entry {
+	if n == 0 {
+		return nil
+	}
+	out := make([]Entry, n)
+	for i := range out {
+		out[i] = Entry{
+			Ref:     sampleRef(rng),
+			Level:   uint8(rng.Intn(8)),
+			Flags:   EntryFlag(rng.Intn(32)),
+			Version: rng.Uint32(),
+			AgeDs:   uint16(rng.Intn(65536)),
+		}
+	}
+	return out
+}
+
+func sampleRefs(rng *rand.Rand, n int) []NodeRef {
+	if n == 0 {
+		return nil
+	}
+	out := make([]NodeRef, n)
+	for i := range out {
+		out[i] = sampleRef(rng)
+	}
+	return out
+}
+
+// sampleMessages returns one randomised instance of every message type.
+func sampleMessages(rng *rand.Rand) []Message {
+	val := make([]byte, rng.Intn(64))
+	rng.Read(val)
+	if len(val) == 0 {
+		val = nil
+	}
+	return []Message{
+		&Hello{From: sampleRef(rng), MaxChildren: uint8(rng.Intn(32))},
+		&Ping{From: sampleRef(rng), Seq: rng.Uint32(), Entries: sampleEntries(rng, rng.Intn(5))},
+		&Pong{From: sampleRef(rng), Seq: rng.Uint32(), Entries: sampleEntries(rng, rng.Intn(5))},
+		&JoinRequest{From: sampleRef(rng)},
+		&JoinRedirect{From: sampleRef(rng), Closer: sampleRef(rng)},
+		&JoinAccept{From: sampleRef(rng), Left: sampleRef(rng), Right: NodeRef{}, Parent: sampleRef(rng)},
+		&ElectionCall{From: sampleRef(rng), Level: uint8(rng.Intn(8))},
+		&ParentClaim{From: sampleRef(rng), Level: 2, Region: Region{Lo: 5, Hi: idspace.MaxID - 5}},
+		&ChildReport{From: sampleRef(rng), Degree: uint8(rng.Intn(8))},
+		&PromoteGrant{From: sampleRef(rng), Level: 3, Region: Region{Lo: 0, Hi: 99}, Left: sampleRef(rng), Right: NodeRef{}},
+		&Demote{From: sampleRef(rng), Level: 1, Successor: sampleRef(rng)},
+		&BusLinkReq{From: sampleRef(rng), Level: 4},
+		&BusLinkAck{From: sampleRef(rng), Level: 4, Left: sampleRef(rng), Right: sampleRef(rng)},
+		&LookupRequest{Origin: sampleRef(rng), Target: idspace.ID(rng.Uint64()), ReqID: rng.Uint64(),
+			TTL: uint8(rng.Intn(256)), Hops: uint8(rng.Intn(256)), Algo: Algo(rng.Intn(3)),
+			Alternates: sampleRefs(rng, rng.Intn(4))},
+		&LookupReply{From: sampleRef(rng), ReqID: rng.Uint64(), Status: LookupStatus(rng.Intn(2)),
+			Best: sampleRef(rng), Hops: uint8(rng.Intn(256))},
+		&DHTPut{From: sampleRef(rng), ReqID: rng.Uint64(), Key: idspace.ID(rng.Uint64()), Value: val, Replicate: 2},
+		&DHTPutAck{From: sampleRef(rng), ReqID: rng.Uint64(), Stored: rng.Intn(2) == 0},
+		&DHTGet{From: sampleRef(rng), ReqID: rng.Uint64(), Key: idspace.ID(rng.Uint64())},
+		&DHTGetReply{From: sampleRef(rng), ReqID: rng.Uint64(), Found: rng.Intn(2) == 0, Value: val},
+		&Reparent{From: sampleRef(rng), NewParent: sampleRef(rng), AgeDs: uint16(rng.Intn(65536))},
+	}
+}
+
+func TestRoundTripAllTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		for _, m := range sampleMessages(rng) {
+			b := Encode(m)
+			got, err := Decode(b)
+			if err != nil {
+				t.Fatalf("%v: decode: %v", m.Type(), err)
+			}
+			if !reflect.DeepEqual(m, got) {
+				t.Fatalf("%v: round-trip mismatch:\n in: %#v\nout: %#v", m.Type(), m, got)
+			}
+		}
+	}
+}
+
+func TestEncodedSizeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		for _, m := range sampleMessages(rng) {
+			b := Encode(m)
+			if len(b) != WireSize(m) {
+				t.Fatalf("%v: WireSize=%d but encoded %d bytes", m.Type(), WireSize(m), len(b))
+			}
+			if len(b)-headerSize != m.EncodedSize() {
+				t.Fatalf("%v: EncodedSize=%d but body is %d bytes", m.Type(), m.EncodedSize(), len(b)-headerSize)
+			}
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrShort) {
+		t.Errorf("nil: %v", err)
+	}
+	if _, err := Decode([]byte{wireMagic, wireVersion}); !errors.Is(err, ErrShort) {
+		t.Errorf("2 bytes: %v", err)
+	}
+	if _, err := Decode([]byte{0xFF, wireVersion, byte(THello)}); !errors.Is(err, ErrMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	if _, err := Decode([]byte{wireMagic, 99, byte(THello)}); !errors.Is(err, ErrVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+	if _, err := Decode([]byte{wireMagic, wireVersion, 0}); !errors.Is(err, ErrType) {
+		t.Errorf("type 0: %v", err)
+	}
+	if _, err := Decode([]byte{wireMagic, wireVersion, byte(tMaxMsgType)}); !errors.Is(err, ErrType) {
+		t.Errorf("type max: %v", err)
+	}
+}
+
+func TestDecodeTruncatedBodies(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range sampleMessages(rng) {
+		full := Encode(m)
+		for cut := headerSize; cut < len(full); cut++ {
+			if _, err := Decode(full[:cut]); err == nil {
+				t.Fatalf("%v: truncation to %d/%d bytes decoded without error", m.Type(), cut, len(full))
+			}
+		}
+	}
+}
+
+func TestDecodeTrailingGarbage(t *testing.T) {
+	m := &Hello{From: NodeRef{ID: 1, Addr: 2}}
+	b := append(Encode(m), 0xAB)
+	if _, err := Decode(b); !errors.Is(err, ErrTrail) {
+		t.Fatalf("trailing byte: %v", err)
+	}
+}
+
+func TestDecodeRandomGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		b := make([]byte, rng.Intn(128))
+		rng.Read(b)
+		// Force plausible headers half the time so bodies get exercised.
+		if len(b) >= 3 && i%2 == 0 {
+			b[0] = wireMagic
+			b[1] = wireVersion
+			b[2] = byte(1 + rng.Intn(int(tMaxMsgType)-1))
+		}
+		_, _ = Decode(b) // must not panic
+	}
+}
+
+func TestHostileListLength(t *testing.T) {
+	// A Ping whose entry count claims 65535 entries but has no body must be
+	// rejected without allocating.
+	b := []byte{wireMagic, wireVersion, byte(TPing)}
+	var w writer
+	w.ref(NodeRef{ID: 1, Addr: 1})
+	w.u32(7)
+	w.u16(65535)
+	b = append(b, w.buf...)
+	if _, err := Decode(b); err == nil {
+		t.Fatal("hostile length accepted")
+	}
+}
+
+func TestCorruptionDetectionBitFlips(t *testing.T) {
+	// Flipping any single header bit must fail; body flips may still parse
+	// (no checksum — UDP provides one) but must never panic.
+	m := &LookupRequest{Origin: NodeRef{ID: 9, Addr: 9}, Target: 42, ReqID: 7, TTL: 8, Algo: AlgoNGSA,
+		Alternates: []NodeRef{{ID: 1, Addr: 3}}}
+	orig := Encode(m)
+	for bit := 0; bit < len(orig)*8; bit++ {
+		b := bytes.Clone(orig)
+		b[bit/8] ^= 1 << (bit % 8)
+		_, _ = Decode(b)
+	}
+}
+
+func TestQuantizeScore(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want uint16
+	}{
+		{-1, 0}, {0, 0}, {1, 65535}, {2, 65535},
+	}
+	for _, c := range cases {
+		if got := QuantizeScore(c.in); got != c.want {
+			t.Errorf("QuantizeScore(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, s := range []float64{0.1, 0.5, 0.9} {
+		back := UnquantizeScore(QuantizeScore(s))
+		if diff := back - s; diff > 1e-4 || diff < -1e-4 {
+			t.Errorf("quantise roundtrip %v -> %v", s, back)
+		}
+	}
+}
+
+func TestNodeRefZero(t *testing.T) {
+	var z NodeRef
+	if !z.IsZero() {
+		t.Error("zero ref should be zero")
+	}
+	if (NodeRef{Addr: 1}).IsZero() {
+		t.Error("ref with addr should not be zero")
+	}
+	if z.String() != "ref(-)" {
+		t.Errorf("zero ref string %q", z.String())
+	}
+}
+
+func TestRegionConversion(t *testing.T) {
+	r := idspace.Region{Lo: 3, Hi: 9}
+	if FromIDSpace(r).ToIDSpace() != r {
+		t.Error("region conversion roundtrip")
+	}
+}
+
+func TestMsgTypeString(t *testing.T) {
+	if THello.String() != "hello" || TLookupRequest.String() != "lookup-request" {
+		t.Error("known names")
+	}
+	if MsgType(200).String() != "msgtype(200)" {
+		t.Errorf("unknown name: %q", MsgType(200).String())
+	}
+}
+
+func TestAlgoString(t *testing.T) {
+	if AlgoG.String() != "G" || AlgoNG.String() != "NG" || AlgoNGSA.String() != "NGSA" {
+		t.Error("algo names")
+	}
+	if Algo(9).String() != "algo(9)" {
+		t.Error("unknown algo name")
+	}
+}
+
+func BenchmarkEncodeLookupRequest(b *testing.B) {
+	m := &LookupRequest{Origin: NodeRef{ID: 9, Addr: 9}, Target: 42, ReqID: 7, TTL: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(m)
+	}
+}
+
+func BenchmarkDecodeLookupRequest(b *testing.B) {
+	buf := Encode(&LookupRequest{Origin: NodeRef{ID: 9, Addr: 9}, Target: 42, ReqID: 7, TTL: 8})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

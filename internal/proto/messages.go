@@ -1,0 +1,416 @@
+// Package proto defines the TreeP wire protocol: the datagram messages the
+// overlay exchanges and their compact binary encoding.
+//
+// The paper's routing tables store "(ID, IP, Port)" tuples (§III.c) and the
+// overlay runs over UDP (§III); each message here fits comfortably in a
+// single datagram. The same message structs travel by reference through the
+// simulator (for speed) and through the codec over real UDP sockets — the
+// codec round-trip is property-tested so the two paths cannot diverge.
+package proto
+
+import (
+	"fmt"
+	"time"
+
+	"treep/internal/idspace"
+)
+
+// MsgType discriminates message bodies on the wire.
+type MsgType uint8
+
+// Message type identifiers. The zero value is invalid so that a zeroed
+// buffer never parses as a valid message.
+const (
+	TInvalid MsgType = iota
+	THello
+	TPing
+	TPong
+	TJoinRequest
+	TJoinRedirect
+	TJoinAccept
+	TElectionCall
+	TParentClaim
+	TChildReport
+	TPromoteGrant
+	TDemote
+	TBusLinkReq
+	TBusLinkAck
+	TLookupRequest
+	TLookupReply
+	TDHTPut
+	TDHTPutAck
+	TDHTGet
+	TDHTGetReply
+	TReparent
+	tMaxMsgType // sentinel, keep last
+)
+
+var msgTypeNames = [...]string{
+	TInvalid:       "invalid",
+	THello:         "hello",
+	TPing:          "ping",
+	TPong:          "pong",
+	TJoinRequest:   "join-request",
+	TJoinRedirect:  "join-redirect",
+	TJoinAccept:    "join-accept",
+	TElectionCall:  "election-call",
+	TParentClaim:   "parent-claim",
+	TChildReport:   "child-report",
+	TPromoteGrant:  "promote-grant",
+	TDemote:        "demote",
+	TBusLinkReq:    "bus-link-req",
+	TBusLinkAck:    "bus-link-ack",
+	TLookupRequest: "lookup-request",
+	TLookupReply:   "lookup-reply",
+	TDHTPut:        "dht-put",
+	TDHTPutAck:     "dht-put-ack",
+	TDHTGet:        "dht-get",
+	TDHTGetReply:   "dht-get-reply",
+	TReparent:      "reparent",
+}
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	if int(t) < len(msgTypeNames) && msgTypeNames[t] != "" {
+		return msgTypeNames[t]
+	}
+	return fmt.Sprintf("msgtype(%d)", uint8(t))
+}
+
+// Message is implemented by every wire message.
+type Message interface {
+	// Type returns the wire discriminator.
+	Type() MsgType
+	// EncodedSize returns the exact number of body bytes the message
+	// encodes to (excluding the 3-byte header). It is computed analytically
+	// so the simulator can account bytes without serialising.
+	EncodedSize() int
+	encodeBody(w *writer)
+	decodeBody(r *reader)
+}
+
+// NodeRef names a peer: its coordinate in the ID space, its transport
+// address, the highest level it occupies, and a quantised capability score.
+// The score rides along so that a node learning about a peer for the first
+// time can immediately rank it for elections (§III.d: "When two nodes
+// communicate for the first time they exchange information about their
+// resources and state").
+type NodeRef struct {
+	ID       idspace.ID
+	Addr     uint64
+	MaxLevel uint8
+	Score    uint16 // capability quantised to [0, 65535]
+}
+
+const nodeRefSize = 8 + 8 + 1 + 2
+
+// IsZero reports whether the ref is the absent-node sentinel.
+func (r NodeRef) IsZero() bool { return r.Addr == 0 }
+
+// String implements fmt.Stringer.
+func (r NodeRef) String() string {
+	if r.IsZero() {
+		return "ref(-)"
+	}
+	return fmt.Sprintf("ref(%s@%d lvl%d)", r.ID, r.Addr, r.MaxLevel)
+}
+
+// QuantizeScore maps a capability score in [0,1] to the wire representation.
+func QuantizeScore(s float64) uint16 {
+	if s <= 0 {
+		return 0
+	}
+	if s >= 1 {
+		return 65535
+	}
+	return uint16(s * 65535)
+}
+
+// UnquantizeScore is the inverse of QuantizeScore.
+func UnquantizeScore(q uint16) float64 { return float64(q) / 65535 }
+
+// Region mirrors idspace.Region on the wire (a parent's tessellation).
+type Region struct {
+	Lo, Hi idspace.ID
+}
+
+const regionSize = 16
+
+// ToIDSpace converts to the idspace representation.
+func (r Region) ToIDSpace() idspace.Region { return idspace.Region{Lo: r.Lo, Hi: r.Hi} }
+
+// FromIDSpace converts from the idspace representation.
+func FromIDSpace(r idspace.Region) Region { return Region{Lo: r.Lo, Hi: r.Hi} }
+
+// EntryFlag describes the role of a routing-table entry in an update.
+type EntryFlag uint8
+
+// Entry roles. A single entry may carry several flags (a level-0 neighbour
+// that is also the sender's parent).
+const (
+	FNeighbor EntryFlag = 1 << iota // same-level neighbour
+	FParent                         // sender's parent
+	FChild                          // sender's child
+	FSuperior                       // member of sender's superior node list
+	FIndirect                       // neighbour-of-neighbour (indirect)
+)
+
+// Entry is one routing-table item exchanged in updates: the peer, the level
+// the entry belongs to, its role flags, a version used to ship only
+// out-of-date data (§III.d), and the entry's age at the provider. Shipping
+// the age keeps staleness cumulative across hops — without it, every
+// re-advertisement would reset a dead node's timestamp and gossip chains
+// could keep it alive far beyond its TTL.
+type Entry struct {
+	Ref     NodeRef
+	Level   uint8
+	Flags   EntryFlag
+	Version uint32
+	// AgeDs is the time since the provider last validated this entry, in
+	// deciseconds (6553 s max, far beyond any entry TTL).
+	AgeDs uint16
+}
+
+const entrySize = nodeRefSize + 1 + 1 + 4 + 2
+
+// AgeDuration converts AgeDs to a duration.
+func (e Entry) AgeDuration() time.Duration {
+	return time.Duration(e.AgeDs) * 100 * time.Millisecond
+}
+
+// AgeFrom computes the wire age for an entry validated at the given
+// instant (clamped to the uint16 range).
+func AgeFrom(now, validated time.Duration) uint16 {
+	if validated >= now {
+		return 0
+	}
+	ds := (now - validated) / (100 * time.Millisecond)
+	if ds > 65535 {
+		return 65535
+	}
+	return uint16(ds)
+}
+
+// --- Message bodies -------------------------------------------------------
+
+// Hello opens a first contact: it advertises the sender and its parent
+// capacity so the receiver can populate its tables (§III.d).
+type Hello struct {
+	From        NodeRef
+	MaxChildren uint8
+}
+
+// Ping is the keep-alive. Entries piggyback routing-table deltas on the
+// keep-alive exchange exactly as §III.d describes.
+type Ping struct {
+	From    NodeRef
+	Seq     uint32
+	Entries []Entry
+}
+
+// Pong answers a Ping, optionally carrying a delta back.
+type Pong struct {
+	From    NodeRef
+	Seq     uint32
+	Entries []Entry
+}
+
+// JoinRequest asks a bootstrap peer to place the sender at level 0.
+type JoinRequest struct {
+	From NodeRef
+}
+
+// JoinRedirect points a joining node at a peer closer to its coordinate.
+type JoinRedirect struct {
+	From   NodeRef
+	Closer NodeRef
+}
+
+// JoinAccept tells the joining node its level-0 neighbours and (if known)
+// the level-1 parent responsible for its coordinate.
+type JoinAccept struct {
+	From        NodeRef
+	Left, Right NodeRef // either may be zero at the space edges
+	Parent      NodeRef // may be zero when no hierarchy exists yet
+}
+
+// ElectionCall announces that the sender triggered a parent election for
+// the given level (§III.b: fired when a node reaches degree 2 without a
+// parent). Receivers start their capability countdowns.
+type ElectionCall struct {
+	From  NodeRef
+	Level uint8
+}
+
+// ParentClaim is the election winner's announcement: "it will signal to its
+// neighbours that it is their new parent" (§III.b).
+type ParentClaim struct {
+	From   NodeRef
+	Level  uint8
+	Region Region // tessellation the new parent covers
+}
+
+// ChildReport is the child→parent heartbeat; parents delete children that
+// stop reporting (§III.a: "If they do not report regularly they will be
+// simply be deleted from its routing table").
+type ChildReport struct {
+	From   NodeRef
+	Degree uint8 // child's current level-0 degree, for parent stats
+}
+
+// PromoteGrant promotes a child to the sender's level, handing it a
+// tessellation (B+tree-style split when a parent exceeds its capacity) and
+// the bus neighbours to link with.
+type PromoteGrant struct {
+	From        NodeRef
+	Level       uint8
+	Region      Region
+	Left, Right NodeRef
+}
+
+// Demote announces that the sender leaves the given level and which bus
+// neighbour inherits its tessellation.
+type Demote struct {
+	From      NodeRef
+	Level     uint8
+	Successor NodeRef // may be zero when the level empties
+}
+
+// BusLinkReq asks a same-level node to (re)establish bus neighbour links.
+type BusLinkReq struct {
+	From  NodeRef
+	Level uint8
+}
+
+// BusLinkAck confirms a bus link and shares the sender's own bus neighbours
+// (the "direct and indirect neighbours" of §III.c).
+type BusLinkAck struct {
+	From        NodeRef
+	Level       uint8
+	Left, Right NodeRef
+}
+
+// Algo selects the lookup algorithm of §III.f.
+type Algo uint8
+
+// Lookup algorithms.
+const (
+	AlgoG    Algo = iota // greedy
+	AlgoNG               // non-greedy: first improving neighbour
+	AlgoNGSA             // non-greedy with fall-back alternates
+)
+
+// String implements fmt.Stringer.
+func (a Algo) String() string {
+	switch a {
+	case AlgoG:
+		return "G"
+	case AlgoNG:
+		return "NG"
+	case AlgoNGSA:
+		return "NGSA"
+	}
+	return fmt.Sprintf("algo(%d)", uint8(a))
+}
+
+// LookupRequest resolves the node responsible for (nearest to) Target.
+// NGSA accumulates alternates: untried candidate hops that a dead-ended
+// request can fall back to, "at the expense of adding data to the request"
+// (§III.f).
+type LookupRequest struct {
+	Origin     NodeRef // reply destination
+	Target     idspace.ID
+	ReqID      uint64
+	TTL        uint8
+	Hops       uint8
+	Algo       Algo
+	Alternates []NodeRef
+}
+
+// LookupStatus is the outcome carried by a LookupReply.
+type LookupStatus uint8
+
+// Lookup outcomes.
+const (
+	LookupFound    LookupStatus = iota // Best is the target or its owner
+	LookupNotFound                     // routing dead-ended
+)
+
+// LookupReply terminates a lookup.
+type LookupReply struct {
+	From   NodeRef
+	ReqID  uint64
+	Status LookupStatus
+	Best   NodeRef
+	Hops   uint8
+}
+
+// DHTPut stores a value at the receiver (the key's owner, found via
+// lookup). Replicate asks the receiver to copy the record to that many bus
+// neighbours.
+type DHTPut struct {
+	From      NodeRef
+	ReqID     uint64
+	Key       idspace.ID
+	Value     []byte
+	Replicate uint8
+}
+
+// DHTPutAck confirms a store.
+type DHTPutAck struct {
+	From   NodeRef
+	ReqID  uint64
+	Stored bool
+}
+
+// DHTGet fetches the value for Key from the receiver.
+type DHTGet struct {
+	From  NodeRef
+	ReqID uint64
+	Key   idspace.ID
+}
+
+// DHTGetReply returns the value (or Found=false).
+type DHTGetReply struct {
+	From  NodeRef
+	ReqID uint64
+	Found bool
+	Value []byte
+}
+
+// Reparent tells a child that responsibility for it moved to NewParent
+// (after a B+tree-style split promoted a sibling, or because the sender is
+// demoting and hands its tessellation to a bus neighbour).
+type Reparent struct {
+	From      NodeRef
+	NewParent NodeRef
+	// AgeDs is how stale the sender's knowledge of NewParent already is
+	// (deciseconds). Redirect targets are hearsay; without the age a
+	// cluster of confused nodes can re-mint freshness for a dead node
+	// indefinitely by redirecting each other to it.
+	AgeDs uint16
+}
+
+// Compile-time interface checks.
+var (
+	_ Message = (*Hello)(nil)
+	_ Message = (*Ping)(nil)
+	_ Message = (*Pong)(nil)
+	_ Message = (*JoinRequest)(nil)
+	_ Message = (*JoinRedirect)(nil)
+	_ Message = (*JoinAccept)(nil)
+	_ Message = (*ElectionCall)(nil)
+	_ Message = (*ParentClaim)(nil)
+	_ Message = (*ChildReport)(nil)
+	_ Message = (*PromoteGrant)(nil)
+	_ Message = (*Demote)(nil)
+	_ Message = (*BusLinkReq)(nil)
+	_ Message = (*BusLinkAck)(nil)
+	_ Message = (*LookupRequest)(nil)
+	_ Message = (*LookupReply)(nil)
+	_ Message = (*DHTPut)(nil)
+	_ Message = (*DHTPutAck)(nil)
+	_ Message = (*DHTGet)(nil)
+	_ Message = (*DHTGetReply)(nil)
+	_ Message = (*Reparent)(nil)
+)

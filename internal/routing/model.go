@@ -1,0 +1,112 @@
+// Package routing implements the TreeP lookup machinery of §III.f: the
+// tessellation-aware distance function D(a,b), and the three forwarding
+// algorithms G (greedy), NG (non-greedy) and NGSA (non-greedy with
+// fall-back) as pure decision functions over a node's routing table.
+//
+// Keeping the decision logic free of protocol state means the algorithms
+// are unit-testable on hand-built tables, and the same code drives the
+// simulator and the real UDP transport.
+package routing
+
+import (
+	"math"
+
+	"treep/internal/idspace"
+	"treep/internal/proto"
+)
+
+// Model computes the distance D(a, b) between a node a (whose hierarchy
+// level matters) and a target coordinate b. The paper (§III.f):
+//
+//	D(a,b) = d(a,b)                      if lvl_a = 0
+//	D(a,b) = 0                           if d(a,b) ≤ L/2^(h−lvl_a)
+//	D(a,b) = d(a,b) − L/2^(h−lvl_a)      otherwise
+//
+// "This distance function takes into account the location of a and b in
+// the topology and the size of their tessellations": a node high in the
+// hierarchy covers a wide slice of the space, so targets within its
+// coverage radius are at distance zero.
+type Model interface {
+	// D returns the distance from node a to coordinate b.
+	D(a proto.NodeRef, b idspace.ID) float64
+	// Name identifies the model in experiment output.
+	Name() string
+}
+
+// PaperModel is the literal reconstruction of the paper's formula with
+// coverage radius L/2^(h−lvl). Height is the hierarchy height h.
+type PaperModel struct {
+	Height uint8
+}
+
+// D implements Model.
+func (m PaperModel) D(a proto.NodeRef, b idspace.ID) float64 {
+	d := idspace.DistF(a.ID, b)
+	if a.MaxLevel == 0 {
+		return d
+	}
+	cover := coverage(2, m.Height, a.MaxLevel)
+	if d <= cover {
+		return 0
+	}
+	return d - cover
+}
+
+// Name implements Model.
+func (PaperModel) Name() string { return "paper" }
+
+// BranchingModel generalises the coverage radius to L/c^(h−lvl), where c is
+// the tree's average branching factor — the radius a level-lvl node's
+// tessellation actually has in a c-ary TreeP. The ABL-1 ablation compares
+// it against PaperModel.
+type BranchingModel struct {
+	Height    uint8
+	Branching float64
+}
+
+// D implements Model.
+func (m BranchingModel) D(a proto.NodeRef, b idspace.ID) float64 {
+	d := idspace.DistF(a.ID, b)
+	if a.MaxLevel == 0 {
+		return d
+	}
+	c := m.Branching
+	if c < 2 {
+		c = 2
+	}
+	cover := coverage(c, m.Height, a.MaxLevel)
+	if d <= cover {
+		return 0
+	}
+	return d - cover
+}
+
+// Name implements Model.
+func (BranchingModel) Name() string { return "branching" }
+
+// EuclideanModel ignores the hierarchy entirely: D(a,b) = d(a,b). It is
+// both the TTL>h fall-back of §III.f ("the Euclidian distance is used
+// instead") and a baseline for ablations.
+type EuclideanModel struct{}
+
+// D implements Model.
+func (EuclideanModel) D(a proto.NodeRef, b idspace.ID) float64 {
+	return idspace.DistF(a.ID, b)
+}
+
+// Name implements Model.
+func (EuclideanModel) Name() string { return "euclidean" }
+
+// coverage returns L/base^(h−lvl), clamped to L. A node at the top of the
+// hierarchy (lvl = h) covers the whole space.
+func coverage(base float64, height, lvl uint8) float64 {
+	if lvl >= height {
+		return idspace.SpaceExtent
+	}
+	exp := float64(height - lvl)
+	denom := math.Pow(base, exp)
+	if denom < 1 {
+		denom = 1
+	}
+	return idspace.SpaceExtent / denom
+}

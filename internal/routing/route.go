@@ -1,0 +1,459 @@
+package routing
+
+import (
+	"sort"
+
+	"treep/internal/idspace"
+	"treep/internal/proto"
+	"treep/internal/rtable"
+)
+
+// Action is the outcome of one forwarding decision.
+type Action uint8
+
+// Forwarding outcomes.
+const (
+	// Deliver: the target was resolved at this node (it is this node, or a
+	// node in the routing table — "IF target X is in the routing table THEN
+	// transmit back the result").
+	Deliver Action = iota
+	// Forward: send the request to Step.Next.
+	Forward
+	// NotFound: dead end; reply failure to the origin.
+	NotFound
+	// Drop: TTL exhausted; discard silently ("IF TTL > 255 THEN discard").
+	Drop
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case Deliver:
+		return "deliver"
+	case Forward:
+		return "forward"
+	case NotFound:
+		return "not-found"
+	case Drop:
+		return "drop"
+	}
+	return "action(?)"
+}
+
+// Step is one routing decision.
+type Step struct {
+	Action Action
+	// Next is the forwarding destination (Action == Forward).
+	Next proto.NodeRef
+	// Found is the resolved node (Action == Deliver).
+	Found proto.NodeRef
+	// Alternates is the updated NGSA fall-back list to carry in the
+	// forwarded request.
+	Alternates []proto.NodeRef
+}
+
+// Params configures the decision logic.
+type Params struct {
+	// Model is the hierarchy-aware distance (PaperModel in experiments).
+	Model Model
+	// Height is the hierarchy height h; above this many hops the request
+	// switches to plain Euclidean distance (§III.f: "a request that has a
+	// higher TTL means that the network is unstable and/or disrupted").
+	Height uint8
+	// MaxAlternates caps the NGSA fall-back list ("at the expense of
+	// adding data to the request").
+	MaxAlternates int
+}
+
+// DefaultMaxAlternates bounds the NGSA list when Params leaves it zero.
+const DefaultMaxAlternates = 8
+
+// Route makes the §III.f forwarding decision for req at the node self with
+// routing table tbl.
+//
+// fromParent reports whether the request arrived from this node's own
+// parent: a parent delegating into its tessellation restricts the child to
+// a level-0 search and, per Figure 3, the child answers NotFound rather
+// than re-escalating when it cannot make progress (preventing up-down
+// ping-pong).
+//
+// sender is the address the request arrived from (0 for locally
+// originated); it is excluded from candidates to avoid immediate
+// bounce-backs.
+func Route(self proto.NodeRef, tbl *rtable.Table, req *proto.LookupRequest, fromParent bool, sender uint64, p Params) Step {
+	if req.TTL == 0 {
+		return Step{Action: Drop}
+	}
+	x := req.Target
+
+	// Local resolution.
+	if x == self.ID {
+		return Step{Action: Deliver, Found: self}
+	}
+	if ref, ok := tbl.FindID(x); ok {
+		return Step{Action: Deliver, Found: ref}
+	}
+
+	// Distance model: after more hops than the hierarchy is tall, the
+	// network is assumed disrupted and plain Euclidean distance gives the
+	// finer-grained routing of §III.f.
+	var model Model = p.Model
+	if model == nil {
+		model = EuclideanModel{}
+	}
+	if req.Hops > p.Height {
+		model = EuclideanModel{}
+	}
+	dSelf := model.D(self, x)
+
+	// Candidate set: every peer in the table, except the sender.
+	cands := tbl.Candidates(nil)
+	filtered := cands[:0]
+	for _, c := range cands {
+		if c.Addr == sender || c.Addr == self.Addr {
+			continue
+		}
+		filtered = append(filtered, c)
+	}
+	cands = filtered
+	sortByDistanceTo(cands, x)
+
+	if len(cands) == 0 {
+		return finishNGSA(req, p, Step{Action: NotFound})
+	}
+
+	// A request delegated by the own parent searches level 0 only
+	// (Figure 3: "IF request from the parent of Level 1 THEN
+	// N = Search_Level_Zero()"). The level-0 search is positional, so it
+	// runs on plain Euclidean distance; with no lateral or downward
+	// progress the answer is Not Found (never back up — that is the
+	// ping-pong Figure 3 forbids).
+	if fromParent {
+		eu := EuclideanModel{}
+		dE := idspace.DistF(self.ID, x)
+		if best, ok := bestImproving(eu, tbl.Level0.Refs(), x, dE, sender, self.Addr); ok {
+			return Step{Action: Forward, Next: best, Alternates: req.Alternates}
+		}
+		if child, ok := tbl.Children.Nearest(x); ok && child.Addr != self.Addr && child.Addr != sender {
+			if idspace.Dist(child.ID, x) < idspace.Dist(self.ID, x) {
+				return Step{Action: Forward, Next: child, Alternates: req.Alternates}
+			}
+		}
+		// Owner resolution in the restricted search: the owner of a
+		// coordinate is the positionally nearest node, so only ring and
+		// child competitors matter here. If neither is closer, we own it.
+		closer := false
+		for _, r := range tbl.Level0.Refs() {
+			if r.Addr != sender && r.Addr != self.Addr && idspace.Dist(r.ID, x) < idspace.Dist(self.ID, x) {
+				closer = true
+				break
+			}
+		}
+		if !closer {
+			for _, r := range tbl.Children.Refs() {
+				if r.Addr != sender && r.Addr != self.Addr && idspace.Dist(r.ID, x) < idspace.Dist(self.ID, x) {
+					closer = true
+					break
+				}
+			}
+		}
+		if !closer {
+			return Step{Action: Deliver, Found: self}
+		}
+		// "IF Request from parent of level 1 THEN Reply Not Found".
+		return finishNGSA(req, p, Step{Action: NotFound})
+	}
+
+	switch req.Algo {
+	case proto.AlgoNG:
+		return routeNG(self, req, model, cands, x, dSelf, tbl, p, sender, false)
+	case proto.AlgoNGSA:
+		return routeNG(self, req, model, cands, x, dSelf, tbl, p, sender, true)
+	default:
+		return routeGreedy(self, req, model, cands, x, dSelf, tbl, p, sender)
+	}
+}
+
+// routeGreedy is algorithm G: pick the candidate minimising D, forward when
+// the halving rule D(n,x) ≤ ½·D(a,x) holds or the node is at level 0;
+// otherwise escalate through children/superiors.
+func routeGreedy(self proto.NodeRef, req *proto.LookupRequest, model Model, cands []proto.NodeRef, x idspace.ID, dSelf float64, tbl *rtable.Table, p Params, sender uint64) Step {
+	best := cands[0]
+	bestD := model.D(best, x)
+	for _, c := range cands[1:] {
+		if d := model.D(c, x); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	if bestD < dSelf {
+		switch {
+		case bestD <= dSelf/2:
+			// The halving-distance jump of Figure 4.
+			return Step{Action: Forward, Next: best, Alternates: req.Alternates}
+		case self.MaxLevel == 0:
+			// "ELSE IF Level_A == 0 THEN forward the request to N":
+			// level-0 progress is linear, not geometric.
+			return Step{Action: Forward, Next: best, Alternates: req.Alternates}
+		}
+	}
+	return escalate(self, req, model, x, dSelf, tbl, p, sender, false)
+}
+
+// routeNG is algorithms NG and NGSA: take the first candidate strictly
+// closer to the target ("the procedure basically ends when a node
+// satisfying the condition is found"); NGSA additionally accumulates the
+// remaining improving candidates as fall-back alternates.
+func routeNG(self proto.NodeRef, req *proto.LookupRequest, model Model, cands []proto.NodeRef, x idspace.ID, dSelf float64, tbl *rtable.Table, p Params, sender uint64, collectAlternates bool) Step {
+	var first proto.NodeRef
+	found := false
+	var alternates []proto.NodeRef
+	for _, c := range cands {
+		if model.D(c, x) < dSelf {
+			if !found {
+				first, found = c, true
+				continue
+			}
+			if collectAlternates {
+				alternates = append(alternates, c)
+			}
+		}
+	}
+	if !found {
+		return escalate(self, req, model, x, dSelf, tbl, p, sender, collectAlternates)
+	}
+	out := req.Alternates
+	if collectAlternates {
+		out = mergeAlternates(req.Alternates, alternates, maxAlternates(p))
+	}
+	return Step{Action: Forward, Next: first, Alternates: out}
+}
+
+// escalate handles the no-progress cases of Figure 3: descend to the
+// closest improving child, walk the level-0 ring when this node's own
+// tessellation already covers the target, else climb via the superior node
+// list (closest member satisfying the halving rule, else the highest-level
+// member), else — for NGSA — fall back to an alternate carried in the
+// request, else give up.
+func escalate(self proto.NodeRef, req *proto.LookupRequest, model Model, x idspace.ID, dSelf float64, tbl *rtable.Table, p Params, sender uint64, ngsa bool) Step {
+	// Lateral hand-off: when this node's coverage makes D = 0 it believes
+	// it owns the target — but the coverage radius is an approximation,
+	// and the true owner of a 1-D tessellation is the *nearest* member.
+	// A known same-or-higher-level member strictly Euclidean-closer to
+	// the target owns it; descending into our own subtree instead would
+	// orbit the request (parent → child → ring → parent) until the TTL
+	// kills it.
+	if dSelf == 0 {
+		dE := idspace.Dist(self.ID, x)
+		var lateral proto.NodeRef
+		bestD := dE
+		for _, c := range tbl.Candidates(nil) {
+			if c.Addr == self.Addr || c.Addr == sender || c.MaxLevel < self.MaxLevel {
+				continue
+			}
+			if d := idspace.Dist(c.ID, x); d < bestD {
+				lateral, bestD = c, d
+			}
+		}
+		if !lateral.IsZero() {
+			return Step{Action: Forward, Next: lateral, Alternates: req.Alternates}
+		}
+	}
+
+	// Descend: "N = Closest_Child(X)". The child needs no model-distance
+	// improvement (a parent covering the target has D = 0, which nothing
+	// improves on); strict Euclidean progress is required instead, so a
+	// parent/child pair cannot ping-pong.
+	if child, ok := tbl.Children.Nearest(x); ok && child.Addr != self.Addr && child.Addr != sender {
+		if idspace.Dist(child.ID, x) < idspace.Dist(self.ID, x) {
+			return Step{Action: Forward, Next: child, Alternates: req.Alternates}
+		}
+	}
+
+	// Covering node with no useful child: the target's owner sits on the
+	// level-0 ring nearby; walk it by Euclidean progress. Climbing would
+	// only bounce the request back down.
+	if dSelf == 0 {
+		if step, ok := ringWalk(self, req, tbl, x, sender); ok {
+			return step
+		}
+	}
+
+	// Owner resolution: the owner of a coordinate in a 1-D tessellation is
+	// the nearest node. Descent, lateral hand-off and the ring walk (all
+	// requiring strict Euclidean progress) have failed — if nothing we know
+	// is strictly closer to x than we are, we are the best owner estimate.
+	// This is what lets the lookup "search for an object associated with
+	// ID ... used for resource discovery" (§III.f): object keys hash
+	// between node IDs and terminate here. Exact-node lookups are
+	// unaffected — while the target is alive and reachable, someone
+	// strictly closer is always known until the request stands on it.
+	if !anyCloser(tbl, self, x, sender) {
+		return Step{Action: Deliver, Found: self}
+	}
+
+	// Climb: superiors = superior node list plus the immediate parent.
+	sups := append([]proto.NodeRef{}, tbl.Superiors.Refs()...)
+	if parent, ok := tbl.Parent(); ok {
+		sups = append(sups, parent)
+	}
+	if len(sups) > 0 {
+		// "forward the request to the Node that is the closest to X
+		// satisfying D(n,x) ≤ ½·D(a,x)".
+		var best proto.NodeRef
+		bestD := dSelf / 2
+		found := false
+		for _, s := range sups {
+			if s.Addr == self.Addr || s.Addr == sender {
+				continue
+			}
+			if d := model.D(s, x); d <= bestD {
+				best, bestD, found = s, d, true
+			}
+		}
+		if found {
+			return Step{Action: Forward, Next: best, Alternates: req.Alternates}
+		}
+		// "IF none match the criteria THEN send the request to the
+		// superior node with the highest level."
+		var top proto.NodeRef
+		for _, s := range sups {
+			if s.Addr == self.Addr || s.Addr == sender {
+				continue
+			}
+			if top.IsZero() || s.MaxLevel > top.MaxLevel ||
+				(s.MaxLevel == top.MaxLevel && idspace.Dist(s.ID, x) < idspace.Dist(top.ID, x)) {
+				top = s
+			}
+		}
+		if !top.IsZero() {
+			return Step{Action: Forward, Next: top, Alternates: req.Alternates}
+		}
+	}
+
+	// Last resort before giving up: degrade to a level-0 ring walk. The
+	// ring guarantees strict Euclidean progress while it is intact, so a
+	// reachable target is eventually found within the TTL — the linear
+	// cost only bites in the heavily damaged regimes where the paper
+	// itself falls back to Euclidean routing.
+	if step, ok := ringWalk(self, req, tbl, x, sender); ok {
+		return step
+	}
+
+	if ngsa {
+		return finishNGSA(req, p, Step{Action: NotFound})
+	}
+	return Step{Action: NotFound}
+}
+
+// anyCloser reports whether any table candidate (excluding the sender) is
+// strictly Euclidean-closer to x than self.
+func anyCloser(tbl *rtable.Table, self proto.NodeRef, x idspace.ID, sender uint64) bool {
+	for _, c := range tbl.Candidates(nil) {
+		if c.Addr == self.Addr || c.Addr == sender {
+			continue
+		}
+		if idspace.Dist(c.ID, x) < idspace.Dist(self.ID, x) {
+			return true
+		}
+	}
+	return false
+}
+
+// ringWalk forwards to the level-0 contact that makes the best strict
+// Euclidean progress toward x, if any.
+func ringWalk(self proto.NodeRef, req *proto.LookupRequest, tbl *rtable.Table, x idspace.ID, sender uint64) (Step, bool) {
+	dE := idspace.DistF(self.ID, x)
+	if best, ok := bestImproving(EuclideanModel{}, tbl.Level0.Refs(), x, dE, sender, self.Addr); ok {
+		return Step{Action: Forward, Next: best, Alternates: req.Alternates}, true
+	}
+	return Step{}, false
+}
+
+// finishNGSA converts a dead end into a jump to the nearest carried
+// alternate when the request has any (the "fall back" of NGSA).
+func finishNGSA(req *proto.LookupRequest, p Params, dead Step) Step {
+	if req.Algo != proto.AlgoNGSA || len(req.Alternates) == 0 {
+		return dead
+	}
+	// Pop the alternate nearest to the target.
+	bestIdx := 0
+	bestD := idspace.Dist(req.Alternates[0].ID, req.Target)
+	for i, a := range req.Alternates[1:] {
+		if d := idspace.Dist(a.ID, req.Target); d < bestD {
+			bestIdx, bestD = i+1, d
+		}
+	}
+	next := req.Alternates[bestIdx]
+	rest := make([]proto.NodeRef, 0, len(req.Alternates)-1)
+	rest = append(rest, req.Alternates[:bestIdx]...)
+	rest = append(rest, req.Alternates[bestIdx+1:]...)
+	return Step{Action: Forward, Next: next, Alternates: rest}
+}
+
+// bestImproving returns the ref in refs (excluding two addresses) that
+// minimises D and strictly improves on dSelf.
+func bestImproving(model Model, refs []proto.NodeRef, x idspace.ID, dSelf float64, exclude1, exclude2 uint64) (proto.NodeRef, bool) {
+	var best proto.NodeRef
+	bestD := dSelf
+	found := false
+	for _, r := range refs {
+		if r.Addr == exclude1 || r.Addr == exclude2 {
+			continue
+		}
+		if d := model.D(r, x); d < bestD {
+			best, bestD, found = r, d, true
+		}
+	}
+	return best, found
+}
+
+// mergeAlternates unions old and fresh alternates (deduplicated by
+// address), keeping the ones nearest to nothing in particular — insertion
+// order, truncated to max. Order suffices because finishNGSA re-ranks by
+// distance when popping.
+func mergeAlternates(old, fresh []proto.NodeRef, max int) []proto.NodeRef {
+	if len(fresh) == 0 {
+		return old
+	}
+	seen := make(map[uint64]bool, len(old)+len(fresh))
+	out := make([]proto.NodeRef, 0, len(old)+len(fresh))
+	for _, r := range old {
+		if !seen[r.Addr] {
+			seen[r.Addr] = true
+			out = append(out, r)
+		}
+	}
+	for _, r := range fresh {
+		if !seen[r.Addr] {
+			seen[r.Addr] = true
+			out = append(out, r)
+		}
+	}
+	if len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
+
+func maxAlternates(p Params) int {
+	if p.MaxAlternates > 0 {
+		return p.MaxAlternates
+	}
+	return DefaultMaxAlternates
+}
+
+// sortByDistanceTo orders refs by Euclidean distance to x (ties by ID then
+// address) so that candidate iteration is deterministic and NG's "first
+// improving" choice is the nearest improving.
+func sortByDistanceTo(refs []proto.NodeRef, x idspace.ID) {
+	sort.Slice(refs, func(i, j int) bool {
+		di, dj := idspace.Dist(refs[i].ID, x), idspace.Dist(refs[j].ID, x)
+		if di != dj {
+			return di < dj
+		}
+		if refs[i].ID != refs[j].ID {
+			return refs[i].ID < refs[j].ID
+		}
+		return refs[i].Addr < refs[j].Addr
+	})
+}

@@ -1,0 +1,357 @@
+// Package rtable implements the TreeP routing-table system of §III.c/d.
+//
+// A node's routing state is six structures, all holding (ID, IP, Port)
+// tuples with "a timestamp associated with each node providing the
+// information ... reset at every occurrence of an active communication ...
+// the entry will be deleted after the expiration of the timestamp":
+//
+//  1. level-0 routing table (every node has one),
+//  2. level-i (i>0) routing table: direct and indirect same-level
+//     neighbours,
+//  3. children routing table: own children plus children of direct
+//     neighbours,
+//  4. the level-1 parent (here: the immediate parent of the node's top
+//     level),
+//  5. the superior node list: ancestors and the immediate parent's
+//     neighbours.
+//
+// Entries carry versions stamped from a per-table monotone counter so a
+// node can ship *only out-of-date data* to each neighbour (§III.d): every
+// neighbour remembers the table version it last saw, and the delta is
+// "entries stamped later than that".
+package rtable
+
+import (
+	"sort"
+	"time"
+
+	"treep/internal/idspace"
+	"treep/internal/proto"
+)
+
+// Entry is one routing-table item.
+type Entry struct {
+	Ref   proto.NodeRef
+	Flags proto.EntryFlag
+	// LastSeen is the time this knowledge was last refreshed — by direct
+	// contact or by a peer re-advertising it. Entries expire TTL after it.
+	LastSeen time.Duration
+	// LastDirect is the time of the last active communication with the
+	// node itself (§III.c: the timestamp "is reset at every occurrence of
+	// an active communication with the corresponding node"). Hearsay never
+	// advances it; only direct-fresh entries may be re-advertised to
+	// others, which is what stops dead nodes from being kept alive by
+	// gossip loops.
+	LastDirect time.Duration
+	// Version is the table-local modification stamp used for delta sync.
+	Version uint32
+}
+
+// neverDirect marks an entry that has never been heard from directly. Far
+// enough in the past that now-LastDirect always exceeds any TTL, without
+// risking duration overflow.
+const neverDirect = time.Duration(-1) << 40
+
+// DirectFresh reports whether the node itself was heard from within ttl.
+func (e *Entry) DirectFresh(now, ttl time.Duration) bool {
+	return now-e.LastDirect <= ttl
+}
+
+// Set is a collection of entries keyed by transport address, with an
+// ID-sorted view for neighbour queries. The zero value is not usable; use
+// NewSet.
+type Set struct {
+	byAddr map[uint64]*Entry
+	// sorted caches the ID-ordered refs; rebuilt lazily after mutation.
+	sorted []proto.NodeRef
+	dirty  bool
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set { return &Set{byAddr: map[uint64]*Entry{}} }
+
+// Len returns the number of entries.
+func (s *Set) Len() int { return len(s.byAddr) }
+
+// Get returns the entry for addr, or nil.
+func (s *Set) Get(addr uint64) *Entry { return s.byAddr[addr] }
+
+// UpsertMode grades how trustworthy an update's source is. The grades
+// control which timestamps an update may advance — the mechanism that
+// bounds how long dead nodes survive in routing tables (see Entry).
+type UpsertMode uint8
+
+// Upsert source grades.
+const (
+	// Direct: a message from the node itself. Advances both timestamps.
+	Direct UpsertMode = iota
+	// Vouched: an authoritative relation re-advertising its own dependants
+	// (a parent shipping its superior list to children, a bus neighbour
+	// shipping its children). Advances LastSeen only; the vouching chains
+	// follow the tree and are acyclic, so staleness stays bounded.
+	Vouched
+	// Hearsay: any other third-party mention. Never advances timestamps of
+	// an existing entry and only upgrades content (a node's advertised
+	// level is taken monotonically upward, which stops stale copies from
+	// echoing between peers forever).
+	Hearsay
+)
+
+// Upsert inserts or refreshes an entry: the ref's metadata (level, score)
+// is updated, flags are OR-ed in, timestamps advance according to mode,
+// and the version stamp is applied when the stored data actually changed
+// (pure keep-alive refreshes do not create delta traffic).
+//
+// validated is the instant the update's information was last confirmed: the
+// current time for a direct message, or now minus the shipped age for
+// relayed entries. Timestamps never move backward, so a stale relay cannot
+// regress fresher knowledge — and because ages accumulate across hops, a
+// dead node's entries drain everywhere within one TTL of its last words.
+func (s *Set) Upsert(ref proto.NodeRef, flags proto.EntryFlag, validated time.Duration, version uint32, mode UpsertMode) *Entry {
+	e, ok := s.byAddr[ref.Addr]
+	if !ok {
+		e = &Entry{Ref: ref, Flags: flags, LastSeen: validated, Version: version, LastDirect: neverDirect}
+		if mode == Direct {
+			e.LastDirect = validated
+		}
+		s.byAddr[ref.Addr] = e
+		s.dirty = true
+		return e
+	}
+	applyContent := e.Ref != ref
+	if mode == Hearsay && ref.MaxLevel < e.Ref.MaxLevel {
+		applyContent = false
+	}
+	if applyContent {
+		if e.Ref.ID != ref.ID {
+			s.dirty = true
+		}
+		e.Ref = ref
+		e.Version = version
+	}
+	if e.Flags|flags != e.Flags {
+		e.Flags |= flags
+		e.Version = version
+	}
+	switch mode {
+	case Direct:
+		if validated > e.LastSeen {
+			e.LastSeen = validated
+		}
+		if validated > e.LastDirect {
+			e.LastDirect = validated
+		}
+	case Vouched:
+		if validated > e.LastSeen {
+			e.LastSeen = validated
+		}
+	}
+	return e
+}
+
+// Touch records an active communication with addr, refreshing both
+// timestamps. It reports whether the entry exists.
+func (s *Set) Touch(addr uint64, now time.Duration) bool {
+	if e, ok := s.byAddr[addr]; ok {
+		e.LastSeen = now
+		e.LastDirect = now
+		return true
+	}
+	return false
+}
+
+// Remove deletes the entry for addr, reporting whether it existed.
+func (s *Set) Remove(addr uint64) bool {
+	if _, ok := s.byAddr[addr]; !ok {
+		return false
+	}
+	delete(s.byAddr, addr)
+	s.dirty = true
+	return true
+}
+
+// Sweep removes entries whose LastSeen is older than now-ttl and returns
+// the removed refs (callers react to losses, e.g. a vanished parent).
+func (s *Set) Sweep(now, ttl time.Duration) []proto.NodeRef {
+	var removed []proto.NodeRef
+	for addr, e := range s.byAddr {
+		if now-e.LastSeen > ttl {
+			removed = append(removed, e.Ref)
+			delete(s.byAddr, addr)
+		}
+	}
+	if removed != nil {
+		s.dirty = true
+		// Map iteration order is random; deterministic callers need a
+		// stable order.
+		sort.Slice(removed, func(i, j int) bool { return removed[i].ID < removed[j].ID })
+	}
+	return removed
+}
+
+// Refs returns the entries' refs sorted by ID. The slice is shared with the
+// set's cache: callers must not mutate it.
+func (s *Set) Refs() []proto.NodeRef {
+	if s.dirty || s.sorted == nil {
+		s.sorted = s.sorted[:0]
+		for _, e := range s.byAddr {
+			s.sorted = append(s.sorted, e.Ref)
+		}
+		sort.Slice(s.sorted, func(i, j int) bool {
+			if s.sorted[i].ID != s.sorted[j].ID {
+				return s.sorted[i].ID < s.sorted[j].ID
+			}
+			return s.sorted[i].Addr < s.sorted[j].Addr
+		})
+		s.dirty = false
+	}
+	return s.sorted
+}
+
+// Each calls fn for every entry in ID order.
+func (s *Set) Each(fn func(*Entry)) {
+	for _, ref := range s.Refs() {
+		fn(s.byAddr[ref.Addr])
+	}
+}
+
+// Nearest returns the ref whose ID is Euclidean-nearest to x, and false on
+// an empty set.
+func (s *Set) Nearest(x idspace.ID) (proto.NodeRef, bool) {
+	refs := s.Refs()
+	if len(refs) == 0 {
+		return proto.NodeRef{}, false
+	}
+	best := refs[0]
+	bestD := idspace.Dist(best.ID, x)
+	for _, r := range refs[1:] {
+		if d := idspace.Dist(r.ID, x); d < bestD {
+			best, bestD = r, d
+		}
+	}
+	return best, true
+}
+
+// Neighbors returns the refs immediately left and right of x in ID order
+// (excluding any entry with exactly ID x). Either result may be zero when x
+// is at an edge of the set.
+func (s *Set) Neighbors(x idspace.ID) (left, right proto.NodeRef) {
+	refs := s.Refs()
+	i := sort.Search(len(refs), func(i int) bool { return refs[i].ID >= x })
+	if i > 0 {
+		left = refs[i-1]
+	}
+	for i < len(refs) && refs[i].ID == x {
+		i++
+	}
+	if i < len(refs) {
+		right = refs[i]
+	}
+	return left, right
+}
+
+// NeighborsFresh returns the direct-fresh refs immediately left and right
+// of x: the neighbours this node may legitimately vouch for to others.
+// Hearsay entries (never heard from directly, or silent beyond ttl) are
+// skipped, which is what keeps dead nodes from circulating forever.
+func (s *Set) NeighborsFresh(x idspace.ID, now, ttl time.Duration) (left, right proto.NodeRef) {
+	l := s.NeighborsFreshK(x, now, ttl, 1, true)
+	r := s.NeighborsFreshK(x, now, ttl, 1, false)
+	if len(l) > 0 {
+		left = l[0]
+	}
+	if len(r) > 0 {
+		right = r[0]
+	}
+	return left, right
+}
+
+// NeighborsFreshK returns up to k direct-fresh refs on one side of x
+// (left = below x), nearest first.
+func (s *Set) NeighborsFreshK(x idspace.ID, now, ttl time.Duration, k int, leftSide bool) []proto.NodeRef {
+	refs := s.Refs()
+	i := sort.Search(len(refs), func(i int) bool { return refs[i].ID >= x })
+	var out []proto.NodeRef
+	if leftSide {
+		for l := i - 1; l >= 0 && len(out) < k; l-- {
+			if e := s.byAddr[refs[l].Addr]; e != nil && e.DirectFresh(now, ttl) {
+				out = append(out, refs[l])
+			}
+		}
+		return out
+	}
+	for r := i; r < len(refs) && len(out) < k; r++ {
+		if refs[r].ID == x {
+			continue
+		}
+		if e := s.byAddr[refs[r].Addr]; e != nil && e.DirectFresh(now, ttl) {
+			out = append(out, refs[r])
+		}
+	}
+	return out
+}
+
+// SideRank returns how many entries lie strictly between x and id on id's
+// side of x — 0 for the immediate neighbour. Used to bound how much
+// level-0 knowledge a node accumulates per side.
+func (s *Set) SideRank(x, id idspace.ID) int {
+	refs := s.Refs()
+	i := sort.Search(len(refs), func(i int) bool { return refs[i].ID >= x })
+	rank := 0
+	if id < x {
+		for l := i - 1; l >= 0; l-- {
+			if refs[l].ID <= id {
+				break
+			}
+			rank++
+		}
+		return rank
+	}
+	for r := i; r < len(refs); r++ {
+		if refs[r].ID == x {
+			continue
+		}
+		if refs[r].ID >= id {
+			break
+		}
+		rank++
+	}
+	return rank
+}
+
+// FreshRefs returns the refs of entries heard from directly within ttl.
+func (s *Set) FreshRefs(now, ttl time.Duration) []proto.NodeRef {
+	var out []proto.NodeRef
+	for _, r := range s.Refs() {
+		if e := s.byAddr[r.Addr]; e != nil && e.DirectFresh(now, ttl) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// HasID reports whether any entry has exactly the given ID and returns it.
+func (s *Set) HasID(x idspace.ID) (proto.NodeRef, bool) {
+	refs := s.Refs()
+	i := sort.Search(len(refs), func(i int) bool { return refs[i].ID >= x })
+	if i < len(refs) && refs[i].ID == x {
+		return refs[i], true
+	}
+	return proto.NodeRef{}, false
+}
+
+// ChangedSince appends to out one proto.Entry per item whose version is
+// newer than since, tagging each with level, the entry flags, and its age
+// at this provider. It implements the "exchange only out-of-date data"
+// delta of §III.d.
+func (s *Set) ChangedSince(since uint32, level uint8, now time.Duration, out []proto.Entry) []proto.Entry {
+	s.Each(func(e *Entry) {
+		if e.Version > since {
+			out = append(out, proto.Entry{
+				Ref: e.Ref, Level: level, Flags: e.Flags, Version: e.Version,
+				AgeDs: proto.AgeFrom(now, e.LastSeen),
+			})
+		}
+	})
+	return out
+}

@@ -1,0 +1,326 @@
+package rtable
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"treep/internal/idspace"
+	"treep/internal/proto"
+)
+
+// Table aggregates a node's complete routing state: the six structures of
+// §III.c plus the version counter driving delta synchronisation.
+type Table struct {
+	// Level0 holds the node's level-0 neighbours (§III.c table 1).
+	Level0 *Set
+	// Bus holds, per level i > 0, the node's same-level view: direct bus
+	// neighbours, indirect neighbours (neighbours-of-neighbours), and
+	// level-0 contacts known to be members of level i (§III.c table 2).
+	Bus map[uint8]*Set
+	// Children holds the node's own children (§III.c table 3, first part).
+	Children *Set
+	// NbrChildren holds children of direct bus neighbours (table 3, second
+	// part) — the replication that lets a node adopt orphans when a
+	// neighbour dies.
+	NbrChildren *Set
+	// Superiors is the superior node list: ancestors plus the immediate
+	// parent's direct neighbours (§III.c table 5).
+	Superiors *Set
+
+	// parent is the immediate parent of the node's top level (table 4).
+	// Tracked outside the sets because it is a single slot with dedicated
+	// loss semantics.
+	parent    *Entry
+	hasParent bool
+
+	// version is the monotone stamp for delta sync; bumped on every
+	// data-changing mutation.
+	version uint32
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{
+		Level0:      NewSet(),
+		Bus:         map[uint8]*Set{},
+		Children:    NewSet(),
+		NbrChildren: NewSet(),
+		Superiors:   NewSet(),
+	}
+}
+
+// NextVersion bumps and returns the table version stamp.
+func (t *Table) NextVersion() uint32 {
+	t.version++
+	return t.version
+}
+
+// Version returns the current version stamp.
+func (t *Table) Version() uint32 { return t.version }
+
+// BusLevel returns the set for level i, creating it when needed.
+func (t *Table) BusLevel(i uint8) *Set {
+	s, ok := t.Bus[i]
+	if !ok {
+		s = NewSet()
+		t.Bus[i] = s
+	}
+	return s
+}
+
+// busLevels returns the occupied bus levels in ascending order, so that
+// behaviour never depends on map iteration order.
+func (t *Table) busLevels() []uint8 {
+	levels := make([]uint8, 0, len(t.Bus))
+	for lvl := range t.Bus {
+		levels = append(levels, lvl)
+	}
+	sort.Slice(levels, func(i, j int) bool { return levels[i] < levels[j] })
+	return levels
+}
+
+// SetParent installs or refreshes the parent slot. Adoption counts as
+// direct credit: the relationship is probed immediately by a child report,
+// and expiry reclaims the slot if the parent never answers.
+func (t *Table) SetParent(ref proto.NodeRef, now time.Duration) {
+	t.parent = &Entry{Ref: ref, Flags: proto.FParent, LastSeen: now, LastDirect: now, Version: t.NextVersion()}
+	t.hasParent = true
+}
+
+// Parent returns the parent ref and whether one is known.
+func (t *Table) Parent() (proto.NodeRef, bool) {
+	if !t.hasParent {
+		return proto.NodeRef{}, false
+	}
+	return t.parent.Ref, true
+}
+
+// ClearParent drops the parent slot.
+func (t *Table) ClearParent() {
+	t.parent = nil
+	t.hasParent = false
+}
+
+// TouchParent refreshes the parent's timestamps if from matches it.
+func (t *Table) TouchParent(from uint64, now time.Duration) {
+	if t.hasParent && t.parent.Ref.Addr == from {
+		t.parent.LastSeen = now
+		t.parent.LastDirect = now
+	}
+}
+
+// ParentExpired reports whether a parent is set and stale.
+func (t *Table) ParentExpired(now, ttl time.Duration) bool {
+	return t.hasParent && now-t.parent.LastSeen > ttl
+}
+
+// Touch refreshes LastSeen for addr in every structure that knows it; it
+// implements "this timestamp is reset at every occurrence of an active
+// communication with the corresponding node".
+func (t *Table) Touch(addr uint64, now time.Duration) {
+	t.Level0.Touch(addr, now)
+	for _, s := range t.Bus {
+		s.Touch(addr, now)
+	}
+	t.Children.Touch(addr, now)
+	t.NbrChildren.Touch(addr, now)
+	t.Superiors.Touch(addr, now)
+	t.TouchParent(addr, now)
+}
+
+// RemoveEverywhere deletes addr from every structure (a peer known dead).
+// It reports whether anything was removed and whether the parent slot was
+// cleared.
+func (t *Table) RemoveEverywhere(addr uint64) (removed, parentLost bool) {
+	if t.Level0.Remove(addr) {
+		removed = true
+	}
+	for _, s := range t.Bus {
+		if s.Remove(addr) {
+			removed = true
+		}
+	}
+	if t.Children.Remove(addr) {
+		removed = true
+	}
+	if t.NbrChildren.Remove(addr) {
+		removed = true
+	}
+	if t.Superiors.Remove(addr) {
+		removed = true
+	}
+	if t.hasParent && t.parent.Ref.Addr == addr {
+		t.ClearParent()
+		removed, parentLost = true, true
+	}
+	return removed, parentLost
+}
+
+// SweepResult lists what a Sweep expired, so the protocol can react
+// (restart elections, adopt orphans, relink the bus).
+type SweepResult struct {
+	Level0      []proto.NodeRef
+	Bus         map[uint8][]proto.NodeRef
+	Children    []proto.NodeRef
+	NbrChildren []proto.NodeRef
+	Superiors   []proto.NodeRef
+	ParentLost  bool
+	Parent      proto.NodeRef
+}
+
+// Empty reports whether the sweep removed nothing.
+func (r SweepResult) Empty() bool {
+	return len(r.Level0) == 0 && len(r.Bus) == 0 && len(r.Children) == 0 &&
+		len(r.NbrChildren) == 0 && len(r.Superiors) == 0 && !r.ParentLost
+}
+
+// Sweep expires stale entries in every structure.
+func (t *Table) Sweep(now, ttl time.Duration) SweepResult {
+	res := SweepResult{}
+	res.Level0 = t.Level0.Sweep(now, ttl)
+	for lvl, s := range t.Bus {
+		if rm := s.Sweep(now, ttl); len(rm) > 0 {
+			if res.Bus == nil {
+				res.Bus = map[uint8][]proto.NodeRef{}
+			}
+			res.Bus[lvl] = rm
+		}
+		if s.Len() == 0 {
+			delete(t.Bus, lvl)
+		}
+	}
+	res.Children = t.Children.Sweep(now, ttl)
+	res.NbrChildren = t.NbrChildren.Sweep(now, ttl)
+	res.Superiors = t.Superiors.Sweep(now, ttl)
+	if t.ParentExpired(now, ttl) {
+		res.ParentLost = true
+		res.Parent = t.parent.Ref
+		t.ClearParent()
+	}
+	return res
+}
+
+// FindID looks for an exact ID anywhere in the table (the "target X is in
+// the routing table" test of the §III.f routing algorithm).
+func (t *Table) FindID(x idspace.ID) (proto.NodeRef, bool) {
+	if r, ok := t.Level0.HasID(x); ok {
+		return r, true
+	}
+	for _, lvl := range t.busLevels() {
+		if r, ok := t.Bus[lvl].HasID(x); ok {
+			return r, true
+		}
+	}
+	if r, ok := t.Children.HasID(x); ok {
+		return r, true
+	}
+	if r, ok := t.NbrChildren.HasID(x); ok {
+		return r, true
+	}
+	if r, ok := t.Superiors.HasID(x); ok {
+		return r, true
+	}
+	if t.hasParent && t.parent.Ref.ID == x {
+		return t.parent.Ref, true
+	}
+	return proto.NodeRef{}, false
+}
+
+// Candidates appends every distinct peer in the table to out (deduplicated
+// by address, keeping the ref with the highest MaxLevel, since that one
+// carries the most routing power). The result is the candidate set C(a)
+// the lookup algorithms select next hops from.
+func (t *Table) Candidates(out []proto.NodeRef) []proto.NodeRef {
+	seen := map[uint64]int{} // addr -> index in out
+	add := func(r proto.NodeRef) {
+		if i, ok := seen[r.Addr]; ok {
+			if r.MaxLevel > out[i].MaxLevel {
+				out[i] = r
+			}
+			return
+		}
+		seen[r.Addr] = len(out)
+		out = append(out, r)
+	}
+	for _, r := range t.Level0.Refs() {
+		add(r)
+	}
+	for _, lvl := range t.busLevels() {
+		for _, r := range t.Bus[lvl].Refs() {
+			add(r)
+		}
+	}
+	for _, r := range t.Children.Refs() {
+		add(r)
+	}
+	for _, r := range t.NbrChildren.Refs() {
+		add(r)
+	}
+	for _, r := range t.Superiors.Refs() {
+		add(r)
+	}
+	if t.hasParent {
+		add(t.parent.Ref)
+	}
+	return out
+}
+
+// Size returns the total number of entries across all structures (the
+// quantity §III.e bounds analytically), counting the parent slot.
+func (t *Table) Size() int {
+	n := t.Level0.Len() + t.Children.Len() + t.NbrChildren.Len() + t.Superiors.Len()
+	for _, s := range t.Bus {
+		n += s.Len()
+	}
+	if t.hasParent {
+		n++
+	}
+	return n
+}
+
+// Delta collects every entry newer than since across all structures, for
+// shipment to a neighbour that last saw version since. Entries carry their
+// age at this node (relative to now) so staleness accumulates across hops.
+func (t *Table) Delta(since uint32, now time.Duration) []proto.Entry {
+	var out []proto.Entry
+	out = t.Level0.ChangedSince(since, 0, now, out)
+	for _, lvl := range t.busLevels() {
+		out = t.Bus[lvl].ChangedSince(since, lvl, now, out)
+	}
+	out = t.Children.ChangedSince(since, 0, now, out)
+	out = t.NbrChildren.ChangedSince(since, 0, now, out)
+	out = t.Superiors.ChangedSince(since, 0, now, out)
+	if t.hasParent && t.parent.Version > since {
+		out = append(out, proto.Entry{
+			Ref: t.parent.Ref, Level: t.parent.Ref.MaxLevel, Flags: proto.FParent,
+			Version: t.parent.Version, AgeDs: proto.AgeFrom(now, t.parent.LastSeen),
+		})
+	}
+	return out
+}
+
+// ParentEntry returns a copy of the parent slot's entry for timestamp
+// inspection.
+func (t *Table) ParentEntry() (Entry, bool) {
+	if !t.hasParent {
+		return Entry{}, false
+	}
+	return *t.parent, true
+}
+
+// String renders a compact summary for debugging.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "rtable{l0:%d", t.Level0.Len())
+	for lvl, s := range t.Bus {
+		fmt.Fprintf(&b, " l%d:%d", lvl, s.Len())
+	}
+	fmt.Fprintf(&b, " ch:%d nch:%d sup:%d", t.Children.Len(), t.NbrChildren.Len(), t.Superiors.Len())
+	if t.hasParent {
+		fmt.Fprintf(&b, " parent:%s", t.parent.Ref.ID)
+	}
+	b.WriteString("}")
+	return b.String()
+}

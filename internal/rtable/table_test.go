@@ -1,0 +1,208 @@
+package rtable
+
+import (
+	"testing"
+	"time"
+
+	"treep/internal/idspace"
+	"treep/internal/proto"
+)
+
+func TestTableParentSlot(t *testing.T) {
+	tb := New()
+	if _, ok := tb.Parent(); ok {
+		t.Fatal("fresh table has no parent")
+	}
+	p := ref(50, 7)
+	tb.SetParent(p, time.Second)
+	got, ok := tb.Parent()
+	if !ok || got.Addr != 7 {
+		t.Fatal("parent not set")
+	}
+	tb.ClearParent()
+	if _, ok := tb.Parent(); ok {
+		t.Fatal("parent not cleared")
+	}
+}
+
+func TestTableParentExpiry(t *testing.T) {
+	tb := New()
+	tb.SetParent(ref(50, 7), 0)
+	if tb.ParentExpired(time.Second, 5*time.Second) {
+		t.Fatal("fresh parent expired")
+	}
+	if !tb.ParentExpired(6*time.Second, 5*time.Second) {
+		t.Fatal("stale parent not expired")
+	}
+	tb.SetParent(ref(50, 7), 0)
+	tb.TouchParent(7, 6*time.Second)
+	if tb.ParentExpired(8*time.Second, 5*time.Second) {
+		t.Fatal("touched parent should be fresh")
+	}
+	tb.TouchParent(99, 100*time.Second) // wrong addr: no-op
+	if !tb.ParentExpired(100*time.Second, 5*time.Second) {
+		t.Fatal("touch with wrong addr must not refresh")
+	}
+}
+
+func TestTableTouchEverywhere(t *testing.T) {
+	tb := New()
+	tb.Level0.Upsert(ref(10, 1), 0, 0, tb.NextVersion(), Direct)
+	tb.BusLevel(2).Upsert(ref(10, 1), 0, 0, tb.NextVersion(), Direct)
+	tb.Children.Upsert(ref(10, 1), 0, 0, tb.NextVersion(), Direct)
+	tb.SetParent(ref(10, 1), 0)
+	tb.Touch(1, 9*time.Second)
+	if tb.Level0.Get(1).LastSeen != 9*time.Second ||
+		tb.BusLevel(2).Get(1).LastSeen != 9*time.Second ||
+		tb.Children.Get(1).LastSeen != 9*time.Second {
+		t.Fatal("touch must refresh all structures")
+	}
+	if tb.ParentExpired(10*time.Second, 5*time.Second) {
+		t.Fatal("touch must refresh parent")
+	}
+}
+
+func TestRemoveEverywhere(t *testing.T) {
+	tb := New()
+	tb.Level0.Upsert(ref(10, 1), 0, 0, 1, Direct)
+	tb.BusLevel(1).Upsert(ref(10, 1), 0, 0, 1, Direct)
+	tb.Superiors.Upsert(ref(10, 1), 0, 0, 1, Direct)
+	tb.SetParent(ref(10, 1), 0)
+	removed, parentLost := tb.RemoveEverywhere(1)
+	if !removed || !parentLost {
+		t.Fatalf("removed=%v parentLost=%v", removed, parentLost)
+	}
+	if tb.Size() != 0 {
+		t.Fatalf("size %d after removal", tb.Size())
+	}
+	removed, parentLost = tb.RemoveEverywhere(1)
+	if removed || parentLost {
+		t.Fatal("second removal must be a no-op")
+	}
+}
+
+func TestTableSweep(t *testing.T) {
+	tb := New()
+	tb.Level0.Upsert(ref(10, 1), 0, 0, 1, Direct)
+	tb.Level0.Upsert(ref(20, 2), 0, 10*time.Second, 1, Direct)
+	tb.BusLevel(1).Upsert(ref(30, 3), 0, 0, 1, Direct)
+	tb.Children.Upsert(ref(40, 4), 0, 0, 1, Direct)
+	tb.SetParent(ref(50, 5), 0)
+	res := tb.Sweep(12*time.Second, 5*time.Second)
+	if res.Empty() {
+		t.Fatal("sweep should remove")
+	}
+	if len(res.Level0) != 1 || res.Level0[0].ID != 10 {
+		t.Fatalf("level0 sweep %v", res.Level0)
+	}
+	if len(res.Bus[1]) != 1 {
+		t.Fatalf("bus sweep %v", res.Bus)
+	}
+	if len(res.Children) != 1 {
+		t.Fatalf("children sweep %v", res.Children)
+	}
+	if !res.ParentLost || res.Parent.ID != 50 {
+		t.Fatalf("parent sweep %+v", res)
+	}
+	// Emptied bus level is dropped from the map.
+	if _, ok := tb.Bus[1]; ok {
+		t.Fatal("empty bus level should be pruned")
+	}
+	// A fresh table sweeps empty.
+	if !New().Sweep(time.Hour, time.Second).Empty() {
+		t.Fatal("empty table sweep must be empty")
+	}
+}
+
+func TestFindID(t *testing.T) {
+	tb := New()
+	tb.Level0.Upsert(ref(10, 1), 0, 0, 1, Direct)
+	tb.BusLevel(1).Upsert(ref(20, 2), 0, 0, 1, Direct)
+	tb.Children.Upsert(ref(30, 3), 0, 0, 1, Direct)
+	tb.NbrChildren.Upsert(ref(40, 4), 0, 0, 1, Direct)
+	tb.Superiors.Upsert(ref(50, 5), 0, 0, 1, Direct)
+	tb.SetParent(ref(60, 6), 0)
+	for _, id := range []idspace.ID{10, 20, 30, 40, 50, 60} {
+		if _, ok := tb.FindID(id); !ok {
+			t.Fatalf("FindID(%d) miss", id)
+		}
+	}
+	if _, ok := tb.FindID(99); ok {
+		t.Fatal("FindID false positive")
+	}
+}
+
+func TestCandidatesDedup(t *testing.T) {
+	tb := New()
+	// Same peer known at level 0 and on bus level 2 with a higher
+	// MaxLevel: candidates must keep one copy, preferring the bus ref.
+	low := ref(10, 1)
+	high := ref(10, 1)
+	high.MaxLevel = 2
+	tb.Level0.Upsert(low, 0, 0, 1, Direct)
+	tb.BusLevel(2).Upsert(high, 0, 0, 1, Direct)
+	tb.Children.Upsert(ref(30, 3), 0, 0, 1, Direct)
+	tb.SetParent(ref(60, 6), 0)
+	cands := tb.Candidates(nil)
+	if len(cands) != 3 {
+		t.Fatalf("candidates %v", cands)
+	}
+	for _, c := range cands {
+		if c.Addr == 1 && c.MaxLevel != 2 {
+			t.Fatal("dedup must keep highest MaxLevel ref")
+		}
+	}
+}
+
+func TestTableSizeAndVersion(t *testing.T) {
+	tb := New()
+	if tb.Size() != 0 {
+		t.Fatal("empty size")
+	}
+	v1 := tb.NextVersion()
+	v2 := tb.NextVersion()
+	if v2 <= v1 {
+		t.Fatal("version must be monotone")
+	}
+	tb.Level0.Upsert(ref(10, 1), 0, 0, tb.NextVersion(), Direct)
+	tb.SetParent(ref(60, 6), 0)
+	if tb.Size() != 2 {
+		t.Fatalf("size %d", tb.Size())
+	}
+}
+
+func TestTableDelta(t *testing.T) {
+	tb := New()
+	tb.Level0.Upsert(ref(10, 1), proto.FNeighbor, 0, tb.NextVersion(), Direct) // v1
+	mark := tb.Version()
+	tb.BusLevel(2).Upsert(ref(20, 2), proto.FNeighbor, 0, tb.NextVersion(), Direct) // v2
+	tb.SetParent(ref(60, 6), 0)                                                     // v3
+	delta := tb.Delta(mark, 0)
+	if len(delta) != 2 {
+		t.Fatalf("delta %v", delta)
+	}
+	seenParent, seenBus := false, false
+	for _, e := range delta {
+		if e.Flags&proto.FParent != 0 && e.Ref.ID == 60 {
+			seenParent = true
+		}
+		if e.Level == 2 && e.Ref.ID == 20 {
+			seenBus = true
+		}
+	}
+	if !seenParent || !seenBus {
+		t.Fatalf("delta contents %+v", delta)
+	}
+	if len(tb.Delta(tb.Version(), 0)) != 0 {
+		t.Fatal("delta since current version must be empty")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := New()
+	tb.Level0.Upsert(ref(10, 1), 0, 0, 1, Direct)
+	tb.SetParent(ref(60, 6), 0)
+	if s := tb.String(); s == "" {
+		t.Fatal("string empty")
+	}
+}

@@ -1,0 +1,225 @@
+// Package sim is a deterministic discrete-event simulation kernel.
+//
+// The TreeP paper evaluates the overlay with a packet-switching simulation
+// (§IV); this kernel is the substrate for that evaluation. It provides a
+// virtual clock, an event heap with stable FIFO ordering for simultaneous
+// events, cancellable timers, and seed-derived random streams, so that every
+// experiment in the repository is exactly reproducible from its seed.
+//
+// The kernel is intentionally single-threaded: determinism is the property
+// the figures depend on. Parallelism lives one level up, in the experiment
+// harness, which runs many independent kernels (trials, sweep points) on a
+// worker pool.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Kernel is a discrete-event scheduler with a virtual clock starting at 0.
+// The zero value is not usable; call New.
+type Kernel struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	// executed counts delivered events, for budget enforcement and stats.
+	executed uint64
+	// maxEvents aborts runaway simulations (protocol loops); 0 = unlimited.
+	maxEvents uint64
+	seed      int64
+	stopped   bool
+}
+
+// New returns a kernel whose random streams derive from seed.
+func New(seed int64) *Kernel {
+	return &Kernel{seed: seed}
+}
+
+// SetEventBudget caps the number of events a run may execute; Run returns
+// ErrBudget once the cap is hit. Zero disables the cap.
+func (k *Kernel) SetEventBudget(n uint64) { k.maxEvents = n }
+
+// ErrBudget is returned by Run and RunUntil when the event budget is hit.
+var ErrBudget = fmt.Errorf("sim: event budget exhausted")
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Executed returns the number of events delivered so far.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Seed returns the seed the kernel was created with.
+func (k *Kernel) Seed() int64 { return k.seed }
+
+// Timer is a handle to a scheduled event; Cancel prevents a pending event
+// from firing. Timers are single-shot.
+type Timer struct {
+	ev *event
+}
+
+// Cancel stops the timer. Cancelling an already-fired or already-cancelled
+// timer is a no-op. It reports whether the event was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled {
+		return false
+	}
+	pending := !t.ev.fired
+	t.ev.cancelled = true
+	t.ev.fn = nil // release closure memory for long-lived heaps
+	return pending
+}
+
+// Pending reports whether the timer has neither fired nor been cancelled.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.fired && !t.ev.cancelled
+}
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero (fires "now", after currently queued simultaneous events).
+func (k *Kernel) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return k.ScheduleAt(k.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the given absolute virtual time. Times in the past
+// are clamped to now. Events scheduled for the same instant fire in
+// scheduling order.
+func (k *Kernel) ScheduleAt(at time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: ScheduleAt with nil fn")
+	}
+	if at < k.now {
+		at = k.now
+	}
+	ev := &event{at: at, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.events, ev)
+	return &Timer{ev: ev}
+}
+
+// Step executes the next pending event. It reports false when the queue is
+// empty (skipping over cancelled events without executing them).
+func (k *Kernel) Step() bool {
+	for k.events.Len() > 0 {
+		ev := heap.Pop(&k.events).(*event)
+		if ev.cancelled {
+			continue
+		}
+		k.now = ev.at
+		ev.fired = true
+		fn := ev.fn
+		ev.fn = nil
+		k.executed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, the budget is exhausted, or
+// Stop is called. It returns nil on a drained queue or voluntary stop.
+func (k *Kernel) Run() error {
+	k.stopped = false
+	for !k.stopped {
+		if k.maxEvents > 0 && k.executed >= k.maxEvents {
+			return ErrBudget
+		}
+		if !k.Step() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps ≤ deadline and then advances the
+// clock to the deadline. Events scheduled beyond the deadline stay queued.
+func (k *Kernel) RunUntil(deadline time.Duration) error {
+	k.stopped = false
+	for !k.stopped {
+		if k.maxEvents > 0 && k.executed >= k.maxEvents {
+			return ErrBudget
+		}
+		next, ok := k.peekTime()
+		if !ok || next > deadline {
+			break
+		}
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return nil
+}
+
+// RunFor advances the simulation by d of virtual time from now.
+func (k *Kernel) RunFor(d time.Duration) error { return k.RunUntil(k.now + d) }
+
+// Stop makes the innermost Run/RunUntil return after the current event.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (k *Kernel) Pending() int { return k.events.Len() }
+
+func (k *Kernel) peekTime() (time.Duration, bool) {
+	for k.events.Len() > 0 {
+		ev := k.events[0]
+		if ev.cancelled {
+			heap.Pop(&k.events)
+			continue
+		}
+		return ev.at, true
+	}
+	return 0, false
+}
+
+// Stream returns an independent deterministic random stream for the given
+// label (e.g. one per node, one for the workload). Streams derived from the
+// same kernel seed and label are identical across runs, and distinct labels
+// give uncorrelated streams (seed mixing via splitmix64).
+func (k *Kernel) Stream(label uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(mix64(uint64(k.seed) ^ mix64(label)))))
+}
+
+// mix64 is the splitmix64 finaliser, a cheap strong bit mixer.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// event is a heap entry. fired/cancelled are flags rather than removal from
+// the heap because container/heap removal by index would require index
+// maintenance; lazily skipping dead events is simpler and O(log n) amortised.
+type event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	fired     bool
+	cancelled bool
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

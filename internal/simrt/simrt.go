@@ -1,0 +1,192 @@
+// Package simrt binds core TreeP nodes to the deterministic simulator: it
+// is the runtime the experiments and benchmarks use. A Cluster owns a sim
+// kernel, a netsim network, and a set of nodes whose core.Env is backed by
+// virtual time and simulated datagrams.
+package simrt
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"treep/internal/core"
+	"treep/internal/idspace"
+	"treep/internal/netsim"
+	"treep/internal/nodeprof"
+	"treep/internal/proto"
+	"treep/internal/sim"
+)
+
+// Options configures a cluster build.
+type Options struct {
+	// N is the number of nodes.
+	N int
+	// Seed drives every random decision (IDs, profiles, latencies, the
+	// workload) — same seed, same run.
+	Seed int64
+	// Config is the per-node protocol configuration (ID and Profile fields
+	// are filled per node).
+	Config core.Config
+	// Classes is the profile mixture (nodeprof.DefaultClasses when nil).
+	Classes []nodeprof.Class
+	// Assigner produces node IDs (balanced with jitter when nil, which
+	// keeps bulk-built trees near the paper's height law).
+	Assigner idspace.Assigner
+	// NetOpts configures the simulated network (latency, loss, tracing).
+	NetOpts []netsim.Option
+	// Bulk installs the steady-state hierarchy via core.BulkBuild. When
+	// false the cluster starts as disconnected level-0 nodes (protocol
+	// bootstrap tests).
+	Bulk bool
+}
+
+// Cluster is a simulated TreeP deployment.
+type Cluster struct {
+	Kernel *sim.Kernel
+	Net    *netsim.Network
+	Nodes  []*core.Node
+
+	byAddr map[uint64]*core.Node
+	alive  map[uint64]bool
+	// LevelCounts reports the bulk-built members per level (nil without
+	// Bulk).
+	LevelCounts []int
+}
+
+// New builds a cluster.
+func New(opts Options) *Cluster {
+	if opts.N <= 0 {
+		panic("simrt: N must be positive")
+	}
+	k := sim.New(opts.Seed)
+	net := netsim.New(k, opts.NetOpts...)
+	classes := opts.Classes
+	if classes == nil {
+		classes = nodeprof.DefaultClasses()
+	}
+	gen := nodeprof.NewGenerator(classes, opts.Seed^0x70726f66) // "prof"
+	assigner := opts.Assigner
+	if assigner == nil {
+		assigner = idspace.BalancedAssigner{Rand: k.Stream(0x696473), JitterFrac: 0.8} // "ids"
+	}
+
+	c := &Cluster{
+		Kernel: k,
+		Net:    net,
+		byAddr: make(map[uint64]*core.Node, opts.N),
+		alive:  make(map[uint64]bool, opts.N),
+	}
+
+	anchorRand := k.Stream(0x616e6368) // "anch"
+	for i := 0; i < opts.N; i++ {
+		cfg := opts.Config
+		cfg.ID = assigner.Assign(i, opts.N, fmt.Sprintf("10.0.%d.%d:7000", i/256, i%256))
+		cfg.Profile = gen.Next()
+		// Three random anchors per node (addresses are assigned 1..N in
+		// construction order by netsim).
+		for a := 0; a < 3; a++ {
+			cfg.Anchors = append(cfg.Anchors, uint64(1+anchorRand.Intn(opts.N)))
+		}
+		addr := net.Attach(func(netsim.Addr, interface{}, int) {})
+		env := &simEnv{cluster: c, addr: uint64(addr), rng: k.Stream(uint64(addr))}
+		node := core.NewNode(cfg, env)
+		net.SetHandler(addr, func(from netsim.Addr, payload interface{}, size int) {
+			if msg, ok := payload.(proto.Message); ok {
+				node.HandleMessage(uint64(from), msg)
+			}
+		})
+		c.Nodes = append(c.Nodes, node)
+		c.byAddr[uint64(addr)] = node
+		c.alive[uint64(addr)] = true
+	}
+
+	if opts.Bulk {
+		// Node configs have had defaults applied; read the effective height.
+		c.LevelCounts = core.BulkBuild(c.Nodes, c.Nodes[0].Config().MaxHeight)
+	}
+	return c
+}
+
+// StartAll starts every node's maintenance timers.
+func (c *Cluster) StartAll() {
+	for _, n := range c.Nodes {
+		n.Start()
+	}
+}
+
+// Run advances virtual time by d.
+func (c *Cluster) Run(d time.Duration) { _ = c.Kernel.RunFor(d) }
+
+// Kill removes a node from the network (fail-stop, no goodbye): its
+// endpoint stops receiving and its timers stop firing.
+func (c *Cluster) Kill(n *core.Node) {
+	addr := n.Addr()
+	if !c.alive[addr] {
+		return
+	}
+	c.alive[addr] = false
+	c.Net.Kill(netsim.Addr(addr))
+	n.Stop()
+}
+
+// Revive brings a killed node back (same address and identity; protocol
+// state continues from wherever it was). Callers normally follow with
+// node.Join to reintegrate.
+func (c *Cluster) Revive(n *core.Node) {
+	addr := n.Addr()
+	if c.alive[addr] {
+		return
+	}
+	c.alive[addr] = true
+	c.Net.Revive(netsim.Addr(addr))
+}
+
+// Alive reports whether the node is still up.
+func (c *Cluster) Alive(n *core.Node) bool { return c.alive[n.Addr()] }
+
+// AliveNodes returns the live nodes in construction order.
+func (c *Cluster) AliveNodes() []*core.Node {
+	out := make([]*core.Node, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		if c.alive[n.Addr()] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// NodeByAddr resolves an address to its node.
+func (c *Cluster) NodeByAddr(addr uint64) *core.Node { return c.byAddr[addr] }
+
+// Rand returns a deterministic random stream for workload decisions,
+// distinct from all node streams.
+func (c *Cluster) Rand() *rand.Rand { return c.Kernel.Stream(0x776b6c64) } // "wkld"
+
+// simEnv adapts the cluster to core.Env for one node.
+type simEnv struct {
+	cluster *Cluster
+	addr    uint64
+	rng     *rand.Rand
+}
+
+func (e *simEnv) Addr() uint64       { return e.addr }
+func (e *simEnv) Now() time.Duration { return e.cluster.Kernel.Now() }
+func (e *simEnv) Rand() *rand.Rand   { return e.rng }
+
+func (e *simEnv) Send(to uint64, msg proto.Message) {
+	// Dead senders cannot transmit: a killed node's queued timer closures
+	// are cancelled, but guard against stragglers.
+	if !e.cluster.alive[e.addr] {
+		return
+	}
+	e.cluster.Net.Send(netsim.Addr(e.addr), netsim.Addr(to), msg, proto.WireSize(msg))
+}
+
+func (e *simEnv) SetTimer(d time.Duration, fn func()) core.Timer {
+	guarded := func() {
+		if e.cluster.alive[e.addr] {
+			fn()
+		}
+	}
+	return e.cluster.Kernel.Schedule(d, guarded)
+}

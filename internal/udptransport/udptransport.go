@@ -1,0 +1,248 @@
+// Package udptransport runs TreeP nodes over real UDP sockets. The paper's
+// overlay "is a UDP based overlay architecture" (§III); this transport
+// drives the exact same core.Node state machines as the simulator, with
+// wall-clock timers and the binary wire codec, proving the protocol is a
+// real network program and not a simulation artifact.
+//
+// Concurrency model: each node owns one goroutine (the event loop). The
+// socket reader and timer callbacks post closures into the loop channel;
+// all protocol state is touched only from the loop, exactly matching the
+// single-threaded contract of core.Node.
+package udptransport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"treep/internal/core"
+	"treep/internal/proto"
+)
+
+// AddrToUint packs an IPv4 UDP address into the overlay's uint64 address
+// space: 4 bytes of IP and 2 bytes of port. Port 0 or non-IPv4 addresses
+// are not representable and return 0 (the invalid address).
+func AddrToUint(a *net.UDPAddr) uint64 {
+	ip4 := a.IP.To4()
+	if ip4 == nil || a.Port == 0 {
+		return 0
+	}
+	return uint64(ip4[0])<<40 | uint64(ip4[1])<<32 | uint64(ip4[2])<<24 |
+		uint64(ip4[3])<<16 | uint64(a.Port)
+}
+
+// UintToAddr unpacks an overlay address back into a UDP address.
+func UintToAddr(u uint64) *net.UDPAddr {
+	return &net.UDPAddr{
+		IP:   net.IPv4(byte(u>>40), byte(u>>32), byte(u>>24), byte(u>>16)),
+		Port: int(u & 0xffff),
+	}
+}
+
+// Transport runs one TreeP node on one UDP socket.
+type Transport struct {
+	conn  *net.UDPConn
+	node  *core.Node
+	start time.Time
+
+	loop chan func()
+	done chan struct{}
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// Stats counters (read via Snapshot after Close for tests).
+	mu        sync.Mutex
+	recvCount uint64
+	sendCount uint64
+	decodeErr uint64
+}
+
+// timer adapts time.Timer to core.Timer, posting the callback into the
+// event loop so protocol state stays single-threaded.
+type timer struct {
+	t       *time.Timer
+	stopped bool
+}
+
+func (t *timer) Cancel() bool {
+	if t.stopped {
+		return false
+	}
+	t.stopped = true
+	return t.t.Stop()
+}
+
+// env implements core.Env over the transport.
+type env struct {
+	tr   *Transport
+	addr uint64
+	rng  *rand.Rand
+}
+
+func (e *env) Addr() uint64       { return e.addr }
+func (e *env) Now() time.Duration { return time.Since(e.tr.start) }
+func (e *env) Rand() *rand.Rand   { return e.rng }
+
+func (e *env) Send(to uint64, msg proto.Message) {
+	if to == 0 {
+		return
+	}
+	buf := proto.Encode(msg)
+	e.tr.mu.Lock()
+	e.tr.sendCount++
+	e.tr.mu.Unlock()
+	// Best-effort, UDP semantics: errors are dropped datagrams.
+	_, _ = e.tr.conn.WriteToUDP(buf, UintToAddr(to))
+}
+
+func (e *env) SetTimer(d time.Duration, fn func()) core.Timer {
+	tm := &timer{}
+	tm.t = time.AfterFunc(d, func() {
+		// Deliver on the loop; drop if the transport is closing.
+		select {
+		case e.tr.loop <- fn:
+		case <-e.tr.done:
+		}
+	})
+	return tm
+}
+
+// Listen binds a UDP socket on bind (e.g. "127.0.0.1:0") and creates the
+// node with the given configuration. The node's overlay address derives
+// from the bound socket address.
+func Listen(cfg core.Config, bind string, seed int64) (*Transport, error) {
+	laddr, err := net.ResolveUDPAddr("udp4", bind)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: resolve %q: %w", bind, err)
+	}
+	conn, err := net.ListenUDP("udp4", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("udptransport: listen %q: %w", bind, err)
+	}
+	tr := &Transport{
+		conn:  conn,
+		start: time.Now(),
+		loop:  make(chan func(), 1024),
+		done:  make(chan struct{}),
+	}
+	self := AddrToUint(conn.LocalAddr().(*net.UDPAddr))
+	if self == 0 {
+		conn.Close()
+		return nil, errors.New("udptransport: unsupported local address (need IPv4)")
+	}
+	e := &env{tr: tr, addr: self, rng: rand.New(rand.NewSource(seed ^ int64(self)))}
+	tr.node = core.NewNode(cfg, e)
+
+	tr.wg.Add(2)
+	go tr.readLoop()
+	go tr.eventLoop()
+	return tr, nil
+}
+
+// Node returns the transport's node. Protocol state must only be inspected
+// via Do (or after Close).
+func (t *Transport) Node() *core.Node { return t.node }
+
+// OverlayAddr returns the node's packed overlay address.
+func (t *Transport) OverlayAddr() uint64 { return t.node.Addr() }
+
+// Do runs fn on the node's event loop and waits for it, giving callers a
+// safe window into protocol state.
+func (t *Transport) Do(fn func(n *core.Node)) error {
+	doneCh := make(chan struct{})
+	select {
+	case t.loop <- func() { fn(t.node); close(doneCh) }:
+	case <-t.done:
+		return errors.New("udptransport: closed")
+	}
+	select {
+	case <-doneCh:
+		return nil
+	case <-t.done:
+		return errors.New("udptransport: closed")
+	}
+}
+
+// Start arms the node's timers (on the loop).
+func (t *Transport) Start() error {
+	return t.Do(func(n *core.Node) { n.Start() })
+}
+
+// Join bootstraps through the given overlay address.
+func (t *Transport) Join(bootstrap uint64) error {
+	return t.Do(func(n *core.Node) { n.Join(bootstrap) })
+}
+
+// Close shuts the transport down and waits for its goroutines.
+func (t *Transport) Close() {
+	t.closeOnce.Do(func() {
+		close(t.done)
+		t.conn.Close()
+	})
+	t.wg.Wait()
+}
+
+// Snapshot returns transport-level counters.
+func (t *Transport) Snapshot() (recv, sent, decodeErrs uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.recvCount, t.sendCount, t.decodeErr
+}
+
+func (t *Transport) readLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, raddr, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			// Transient read errors on UDP are ignorable.
+			continue
+		}
+		from := AddrToUint(raddr)
+		msg, derr := proto.Decode(buf[:n])
+		t.mu.Lock()
+		t.recvCount++
+		if derr != nil {
+			t.decodeErr++
+		}
+		t.mu.Unlock()
+		if derr != nil || from == 0 {
+			continue
+		}
+		select {
+		case t.loop <- func() { t.node.HandleMessage(from, msg) }:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+func (t *Transport) eventLoop() {
+	defer t.wg.Done()
+	for {
+		select {
+		case fn := <-t.loop:
+			fn()
+		case <-t.done:
+			// Drain whatever is queued, then stop the node.
+			for {
+				select {
+				case fn := <-t.loop:
+					fn()
+				default:
+					t.node.Stop()
+					return
+				}
+			}
+		}
+	}
+}

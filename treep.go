@@ -1,0 +1,378 @@
+// Package treep is a Go implementation of TreeP, the tree-based
+// peer-to-peer overlay of Hudzia, Kechadi and Ottewill (CLUSTER 2005).
+//
+// TreeP arranges peers in a B+tree-like hierarchy over a 1-D ID space:
+// every peer sits on the level-0 ring, capable peers are elected upward to
+// tessellate the space at each level, and lookups route through the
+// hierarchy in O(log n) hops with strong resilience to failures. The
+// overlay was designed as the discovery and load-balancing substrate for
+// grid middleware; this package exposes that functionality plus the DHT
+// extension the paper describes.
+//
+// Two runtimes are provided:
+//
+//   - a deterministic simulated network (NewSimNetwork) used by the
+//     examples, tests and the paper-reproduction benchmarks, and
+//   - a real UDP transport (StartUDPNode) running the identical protocol
+//     state machines on sockets.
+//
+// See DESIGN.md for the paper-to-code map and EXPERIMENTS.md for the
+// reproduction results.
+package treep
+
+import (
+	"errors"
+	"time"
+
+	"treep/internal/core"
+	"treep/internal/dget"
+	"treep/internal/dht"
+	"treep/internal/idspace"
+	"treep/internal/nodeprof"
+	"treep/internal/proto"
+	"treep/internal/simrt"
+	"treep/internal/udptransport"
+)
+
+// ID is a coordinate in TreeP's 1-D identifier space.
+type ID = idspace.ID
+
+// HashKey maps an arbitrary key into the ID space (used for DHT keys and
+// discovery attributes).
+func HashKey(key []byte) ID { return idspace.HashKey(key) }
+
+// Algo selects a lookup algorithm from §III.f of the paper.
+type Algo = proto.Algo
+
+// Lookup algorithms.
+const (
+	// AlgoG is the greedy algorithm with the halving-distance rule.
+	AlgoG = proto.AlgoG
+	// AlgoNG is the non-greedy variant (first improving neighbour).
+	AlgoNG = proto.AlgoNG
+	// AlgoNGSA is non-greedy with fall-back alternates in the request.
+	AlgoNGSA = proto.AlgoNGSA
+)
+
+// LookupResult reports a resolved lookup.
+type LookupResult = core.LookupResult
+
+// Lookup outcome statuses.
+const (
+	LookupFound    = core.LookupFound
+	LookupNotFound = core.LookupNotFound
+	LookupTimeout  = core.LookupTimeout
+)
+
+// Resource is a discoverable grid entity (see Directory).
+type Resource = dget.Resource
+
+// ChildPolicy decides each node's maximum child count nc.
+type ChildPolicy = nodeprof.ChildPolicy
+
+// FixedChildren returns the paper's first evaluation case: nc fixed.
+func FixedChildren(nc int) ChildPolicy { return nodeprof.FixedPolicy{NC: nc} }
+
+// CapacityChildren returns the paper's second case: nc scaled between min
+// and max by node capability.
+func CapacityChildren(min, max int) ChildPolicy { return nodeprof.CapacityPolicy{Min: min, Max: max} }
+
+// SimOptions configures a simulated TreeP network.
+type SimOptions struct {
+	// N is the number of peers (required).
+	N int
+	// Seed makes the whole run reproducible (default 1).
+	Seed int64
+	// Children is the max-children policy (default FixedChildren(4)).
+	Children ChildPolicy
+	// Height caps the hierarchy height h (default 6, the paper's setting).
+	Height uint8
+}
+
+// SimNetwork is a deterministic in-process TreeP deployment. All methods
+// are synchronous: they advance the simulation's virtual clock as needed.
+// SimNetwork is not safe for concurrent use.
+type SimNetwork struct {
+	cluster  *simrt.Cluster
+	services []*dht.Service
+}
+
+// NewSimNetwork builds a steady-state network of o.N peers, attaches a DHT
+// service to each, starts the maintenance protocol and lets it settle.
+func NewSimNetwork(o SimOptions) (*SimNetwork, error) {
+	if o.N < 2 {
+		return nil, errors.New("treep: need at least 2 nodes")
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	cfg := core.Defaults()
+	if o.Children != nil {
+		cfg.ChildPolicy = o.Children
+	}
+	if o.Height != 0 {
+		cfg.MaxHeight = o.Height
+	}
+	c := simrt.New(simrt.Options{N: o.N, Seed: o.Seed, Config: cfg, Bulk: true})
+	nw := &SimNetwork{cluster: c}
+	for _, nd := range c.Nodes {
+		nw.services = append(nw.services, dht.Attach(nd))
+	}
+	c.StartAll()
+	c.Run(8 * time.Second)
+	return nw, nil
+}
+
+// Run advances the simulated clock by d.
+func (nw *SimNetwork) Run(d time.Duration) { nw.cluster.Run(d) }
+
+// Now returns the current virtual time.
+func (nw *SimNetwork) Now() time.Duration { return nw.cluster.Kernel.Now() }
+
+// N returns the total number of peers (alive or dead).
+func (nw *SimNetwork) N() int { return len(nw.cluster.Nodes) }
+
+// AliveCount returns the number of live peers.
+func (nw *SimNetwork) AliveCount() int { return len(nw.cluster.AliveNodes()) }
+
+// NodeID returns peer i's coordinate.
+func (nw *SimNetwork) NodeID(i int) ID { return nw.cluster.Nodes[i].ID() }
+
+// NodeLevel returns peer i's current hierarchy level.
+func (nw *SimNetwork) NodeLevel(i int) int { return int(nw.cluster.Nodes[i].MaxLevel()) }
+
+// Alive reports whether peer i is up.
+func (nw *SimNetwork) Alive(i int) bool { return nw.cluster.Alive(nw.cluster.Nodes[i]) }
+
+// Levels returns the number of peers at each hierarchy level.
+func (nw *SimNetwork) Levels() map[int]int {
+	out := map[int]int{}
+	for _, nd := range nw.cluster.AliveNodes() {
+		out[int(nd.MaxLevel())]++
+	}
+	return out
+}
+
+// Kill fail-stops peer i (no goodbye messages), as in the paper's
+// robustness evaluation.
+func (nw *SimNetwork) Kill(i int) { nw.cluster.Kill(nw.cluster.Nodes[i]) }
+
+// KillRandomFraction kills the given fraction of the initial population at
+// random and returns how many peers were killed.
+func (nw *SimNetwork) KillRandomFraction(frac float64) int {
+	rng := nw.cluster.Rand()
+	want := int(frac * float64(nw.N()))
+	killed := 0
+	for killed < want && nw.AliveCount() > 1 {
+		nd := nw.cluster.Nodes[rng.Intn(nw.N())]
+		if nw.cluster.Alive(nd) {
+			nw.cluster.Kill(nd)
+			killed++
+		}
+	}
+	return killed
+}
+
+// ErrDead is returned for operations on a killed peer.
+var ErrDead = errors.New("treep: peer is dead")
+
+// Lookup resolves target from peer origin using the given algorithm,
+// advancing the simulation until the result is known.
+func (nw *SimNetwork) Lookup(origin int, target ID, algo Algo) (LookupResult, error) {
+	nd := nw.cluster.Nodes[origin]
+	if !nw.cluster.Alive(nd) {
+		return LookupResult{}, ErrDead
+	}
+	var res LookupResult
+	done := false
+	nd.Lookup(target, algo, func(r LookupResult) { res = r; done = true })
+	deadline := nw.Now() + nd.Config().LookupTimeout + 2*time.Second
+	for !done && nw.Now() < deadline {
+		nw.cluster.Run(100 * time.Millisecond)
+	}
+	if !done {
+		return LookupResult{Status: core.LookupTimeout}, nil
+	}
+	return res, nil
+}
+
+// Put stores a key/value pair through peer origin's DHT service.
+func (nw *SimNetwork) Put(origin int, key, value []byte) error {
+	nd := nw.cluster.Nodes[origin]
+	if !nw.cluster.Alive(nd) {
+		return ErrDead
+	}
+	var err error
+	done := false
+	nw.services[origin].Put(key, value, func(e error) { err = e; done = true })
+	nw.drive(&done)
+	if !done {
+		return dht.ErrTimeout
+	}
+	return err
+}
+
+// Get fetches a key through peer origin's DHT service.
+func (nw *SimNetwork) Get(origin int, key []byte) ([]byte, error) {
+	nd := nw.cluster.Nodes[origin]
+	if !nw.cluster.Alive(nd) {
+		return nil, ErrDead
+	}
+	var val []byte
+	var err error
+	done := false
+	nw.services[origin].Get(key, func(v []byte, e error) { val, err, done = v, e, true })
+	nw.drive(&done)
+	if !done {
+		return nil, dht.ErrTimeout
+	}
+	return val, err
+}
+
+// Directory returns a discovery/load-balancing client bound to peer i.
+func (nw *SimNetwork) Directory(i int) *Directory {
+	return &Directory{nw: nw, dir: dget.NewDirectory(nw.services[i])}
+}
+
+// drive advances the simulation until *done or a generous deadline.
+func (nw *SimNetwork) drive(done *bool) {
+	deadline := nw.Now() + 30*time.Second
+	for !*done && nw.Now() < deadline {
+		nw.cluster.Run(100 * time.Millisecond)
+	}
+}
+
+// Directory is a synchronous facade over the discovery layer.
+type Directory struct {
+	nw  *SimNetwork
+	dir *dget.Directory
+}
+
+// Advertise registers a resource under its attributes.
+func (d *Directory) Advertise(res Resource) error {
+	var err error
+	done := false
+	d.dir.Advertise(res, func(e error) { err = e; done = true })
+	d.nw.drive(&done)
+	if !done {
+		return dht.ErrTimeout
+	}
+	return err
+}
+
+// Discover lists resources advertised under attribute k=v.
+func (d *Directory) Discover(k, v string) ([]Resource, error) {
+	var out []Resource
+	var err error
+	done := false
+	d.dir.Discover(k, v, func(rs []Resource, e error) { out, err, done = rs, e, true })
+	d.nw.drive(&done)
+	if !done {
+		return nil, dht.ErrTimeout
+	}
+	return out, err
+}
+
+// PickLeastLoaded returns the matching resource with the most head-room.
+func (d *Directory) PickLeastLoaded(k, v string) (Resource, error) {
+	var out Resource
+	var err error
+	done := false
+	d.dir.PickLeastLoaded(k, v, func(r Resource, e error) { out, err, done = r, e, true })
+	d.nw.drive(&done)
+	if !done {
+		return Resource{}, dht.ErrTimeout
+	}
+	return out, err
+}
+
+// UDPOptions configures a real TreeP node on a UDP socket.
+type UDPOptions struct {
+	// Bind is the listen address, e.g. "127.0.0.1:0".
+	Bind string
+	// ID is the node's coordinate; zero means hash the bound address.
+	ID ID
+	// Seed feeds the node's random stream (default: derived from address).
+	Seed int64
+}
+
+// UDPNode is a TreeP peer on a real socket.
+type UDPNode struct {
+	tr *udptransport.Transport
+}
+
+// StartUDPNode binds the socket and starts the node's maintenance.
+func StartUDPNode(o UDPOptions) (*UDPNode, error) {
+	if o.Bind == "" {
+		o.Bind = "127.0.0.1:0"
+	}
+	cfg := core.Defaults()
+	cfg.ID = o.ID
+	tr, err := udptransport.Listen(cfg, o.Bind, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if o.ID == 0 {
+		// Re-create with the address-derived ID now that the port is known.
+		tr.Close()
+		cfg.ID = idspace.HashAddr(udptransport.UintToAddr(tr.OverlayAddr()).String())
+		tr, err = udptransport.Listen(cfg, udptransport.UintToAddr(tr.OverlayAddr()).String(), o.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := tr.Start(); err != nil {
+		tr.Close()
+		return nil, err
+	}
+	return &UDPNode{tr: tr}, nil
+}
+
+// Addr returns the node's packed overlay address (give it to peers as
+// their bootstrap).
+func (u *UDPNode) Addr() uint64 { return u.tr.OverlayAddr() }
+
+// Join bootstraps through a peer's overlay address.
+func (u *UDPNode) Join(bootstrap uint64) error { return u.tr.Join(bootstrap) }
+
+// Lookup resolves target over the real network, blocking up to the node's
+// lookup timeout.
+func (u *UDPNode) Lookup(target ID, algo Algo) (LookupResult, error) {
+	resCh := make(chan LookupResult, 1)
+	err := u.tr.Do(func(n *core.Node) {
+		n.Lookup(target, algo, func(r LookupResult) { resCh <- r })
+	})
+	if err != nil {
+		return LookupResult{}, err
+	}
+	select {
+	case r := <-resCh:
+		return r, nil
+	case <-time.After(15 * time.Second):
+		return LookupResult{Status: core.LookupTimeout}, nil
+	}
+}
+
+// ID returns the node's coordinate.
+func (u *UDPNode) ID() ID {
+	var id ID
+	_ = u.tr.Do(func(n *core.Node) { id = n.ID() })
+	return id
+}
+
+// Level returns the node's current hierarchy level.
+func (u *UDPNode) Level() int {
+	var lvl int
+	_ = u.tr.Do(func(n *core.Node) { lvl = int(n.MaxLevel()) })
+	return lvl
+}
+
+// PeerCount returns the size of the node's level-0 table.
+func (u *UDPNode) PeerCount() int {
+	var c int
+	_ = u.tr.Do(func(n *core.Node) { c = n.Table().Level0.Len() })
+	return c
+}
+
+// Close shuts the node down.
+func (u *UDPNode) Close() { u.tr.Close() }

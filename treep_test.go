@@ -1,0 +1,137 @@
+package treep
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimNetworkLookup(t *testing.T) {
+	nw, err := NewSimNetwork(SimOptions{N: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algo{AlgoG, AlgoNG, AlgoNGSA} {
+		res, err := nw.Lookup(3, nw.NodeID(77), algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != LookupFound || res.Best.ID != nw.NodeID(77) {
+			t.Fatalf("%v: %+v", algo, res)
+		}
+	}
+}
+
+func TestSimNetworkValidation(t *testing.T) {
+	if _, err := NewSimNetwork(SimOptions{N: 1}); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+}
+
+func TestSimNetworkDHT(t *testing.T) {
+	nw, err := NewSimNetwork(SimOptions{N: 80, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Put(5, []byte("greeting"), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := nw.Get(60, []byte("greeting"))
+	if err != nil || string(v) != "hello" {
+		t.Fatalf("get: %q %v", v, err)
+	}
+}
+
+func TestSimNetworkDiscovery(t *testing.T) {
+	nw, err := NewSimNetwork(SimOptions{N: 80, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := nw.Directory(4)
+	err = dir.Advertise(Resource{
+		Name: "gpu-1", Attrs: map[string]string{"gpu": "a100"},
+		Capacity: 4, Load: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := nw.Directory(40).Discover("gpu", "a100")
+	if err != nil || len(rs) != 1 {
+		t.Fatalf("discover: %v %v", rs, err)
+	}
+	best, err := nw.Directory(70).PickLeastLoaded("gpu", "a100")
+	if err != nil || best.Name != "gpu-1" {
+		t.Fatalf("pick: %+v %v", best, err)
+	}
+}
+
+func TestSimNetworkKillAndHeal(t *testing.T) {
+	nw, err := NewSimNetwork(SimOptions{N: 150, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := nw.KillRandomFraction(0.2)
+	if killed == 0 {
+		t.Fatal("nothing killed")
+	}
+	nw.Run(20 * time.Second)
+	ok, total := 0, 0
+	for i := 0; i < 40; i++ {
+		origin := (i * 7) % nw.N()
+		target := (i*13 + 3) % nw.N()
+		if !nw.Alive(origin) || !nw.Alive(target) {
+			continue
+		}
+		total++
+		res, err := nw.Lookup(origin, nw.NodeID(target), AlgoG)
+		if err == nil && res.Status == LookupFound && res.Best.ID == nw.NodeID(target) {
+			ok++
+		}
+	}
+	if total == 0 || ok < total*3/4 {
+		t.Fatalf("after heal: %d/%d lookups ok", ok, total)
+	}
+}
+
+func TestSimNetworkLevels(t *testing.T) {
+	nw, err := NewSimNetwork(SimOptions{N: 120, Seed: 5, Children: CapacityChildren(2, 16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := nw.Levels()
+	if len(levels) < 2 {
+		t.Fatalf("no hierarchy: %v", levels)
+	}
+	if levels[0] == 0 {
+		t.Fatal("no level-0 peers?")
+	}
+}
+
+func TestUDPNodePair(t *testing.T) {
+	a, err := StartUDPNode(UDPOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := StartUDPNode(UDPOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Join(a.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if a.PeerCount() > 0 && b.PeerCount() > 0 {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if a.PeerCount() == 0 || b.PeerCount() == 0 {
+		t.Fatal("UDP pair never connected")
+	}
+	res, err := b.Lookup(a.ID(), AlgoG)
+	if err != nil || res.Status != LookupFound {
+		t.Fatalf("lookup: %+v %v", res, err)
+	}
+}
