@@ -16,6 +16,7 @@ import (
 	"treep/internal/nodeprof"
 	"treep/internal/proto"
 	"treep/internal/routing"
+	"treep/internal/scenario"
 )
 
 // benchSweep is the shared scaled-down sweep configuration.
@@ -133,6 +134,52 @@ func BenchmarkFigH_HopSurface_G_VarNC(b *testing.B) {
 
 func BenchmarkFigI_HopSurface_NG_VarNC(b *testing.B) {
 	benchSurface(b, nodeprof.CapacityPolicy{Min: 2, Max: 16}, proto.AlgoNG)
+}
+
+// benchScenario runs one scenario timeline through the experiment harness
+// and reports lookup failure percentage and invariant-violation count at
+// the final phase boundary.
+func benchScenario(b *testing.B, phases []scenario.Phase) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res := experiment.RunScenario(experiment.ScenarioOptions{
+			N:               300,
+			Seeds:           []int64{1},
+			Phases:          phases,
+			LookupsPerPhase: 60,
+		})
+		last := len(res.Trials[0].Steps) - 1
+		fail := res.FailRateByPhase(proto.AlgoG)
+		b.ReportMetric(fail.Y[last], "failpct@end")
+		viol := res.ViolationsByPhase()
+		b.ReportMetric(viol.Y[last], "violations@end")
+	}
+}
+
+func BenchmarkScenarioChurn(b *testing.B) {
+	benchScenario(b, []scenario.Phase{
+		scenario.Churn{For: 15 * time.Second, JoinRate: 2, LeaveRate: 2},
+		scenario.Settle{For: 12 * time.Second},
+	})
+}
+
+func BenchmarkScenarioFlashCrowd(b *testing.B) {
+	benchScenario(b, []scenario.Phase{
+		scenario.FlashCrowd{Joins: 60, Over: 4 * time.Second},
+		scenario.Settle{For: 12 * time.Second},
+	})
+}
+
+func BenchmarkScenarioZoneFailure(b *testing.B) {
+	benchScenario(b, []scenario.Phase{
+		scenario.ZoneFailure{Zone: scenario.ZoneFraction(0.40, 0.55), Settle: 20 * time.Second},
+	})
+}
+
+func BenchmarkScenarioPartitionHeal(b *testing.B) {
+	benchScenario(b, []scenario.Phase{
+		scenario.PartitionHeal{Hold: 8 * time.Second, Heal: 20 * time.Second},
+	})
 }
 
 func BenchmarkAN1_HeightLaw(b *testing.B) {

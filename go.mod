@@ -1,0 +1,3 @@
+module treep
+
+go 1.24

@@ -427,7 +427,7 @@ func (n *Node) handlePromoteGrant(from uint64, m *proto.PromoteGrant) {
 	}
 	now := n.env.Now()
 	for _, nb := range []proto.NodeRef{m.Left, m.Right} {
-		if nb.IsZero() || nb.Addr == n.Addr() {
+		if nb.IsZero() || nb.Addr == n.Addr() || n.claimCap(nb.Addr, nb.MaxLevel) < m.Level {
 			continue
 		}
 		n.table.BusLevel(m.Level).Upsert(nb, proto.FNeighbor, now, n.table.NextVersion(), rtable.Hearsay)
@@ -582,7 +582,7 @@ func (n *Node) handleBusLinkAck(from uint64, m *proto.BusLinkAck) {
 	}
 	n.table.BusLevel(m.Level).Upsert(m.From, proto.FNeighbor, now, n.table.NextVersion(), rtable.Direct)
 	for _, nb := range []proto.NodeRef{m.Left, m.Right} {
-		if nb.IsZero() || nb.Addr == n.Addr() {
+		if nb.IsZero() || nb.Addr == n.Addr() || n.claimCap(nb.Addr, nb.MaxLevel) < m.Level {
 			continue
 		}
 		n.table.BusLevel(m.Level).Upsert(nb, proto.FNeighbor, now, n.table.NextVersion(), rtable.Hearsay)

@@ -79,6 +79,11 @@ func (n *Node) pushUpdates() {
 func (n *Node) sweepTick() {
 	now := n.env.Now()
 	res := n.table.Sweep(now, n.cfg.EntryTTL)
+	for addr, claim := range n.peerLevel {
+		if now-claim.at >= n.cfg.EntryTTL {
+			delete(n.peerLevel, addr)
+		}
+	}
 	if n.table.Level0.Len() == 0 {
 		// Every contact is gone: only an anchor can bring us back.
 		n.contactAnchor()
@@ -287,8 +292,9 @@ func (n *Node) noteRefAt(r proto.NodeRef, direct bool, validated time.Duration) 
 		mode = rtable.Direct
 	}
 	created := false
-	if r.MaxLevel > 0 {
-		for lvl := uint8(1); lvl <= r.MaxLevel && lvl <= n.cfg.MaxHeight; lvl++ {
+	top := n.claimCap(r.Addr, r.MaxLevel)
+	if top > 0 {
+		for lvl := uint8(1); lvl <= top && lvl <= n.cfg.MaxHeight; lvl++ {
 			// Record membership only at levels this node has a stake in:
 			// its own levels (bus upkeep) and one above (parent search) —
 			// and only the nearest few members per side, so tables stay at
@@ -307,6 +313,20 @@ func (n *Node) noteRefAt(r proto.NodeRef, direct bool, validated time.Duration) 
 		}
 	}
 	return created
+}
+
+// claimCap bounds a peer's believed level by its own fresh first-hand
+// claim: hearsay advertising a level above what the peer last said about
+// itself is stale and must not resurrect phantom bus membership.
+func (n *Node) claimCap(addr uint64, advertised uint8) uint8 {
+	claim, ok := n.peerLevel[addr]
+	if !ok || n.env.Now()-claim.at >= n.cfg.EntryTTL {
+		return advertised
+	}
+	if claim.maxLevel < advertised {
+		return claim.maxLevel
+	}
+	return advertised
 }
 
 // applyEntries merges a received routing delta, applying the §III.c

@@ -52,6 +52,14 @@ type Node struct {
 	// livelock.
 	refused map[uint64]time.Duration
 
+	// peerLevel records the hierarchy level each peer last claimed for
+	// itself in a direct message. Hearsay cannot raise a peer's believed
+	// membership above its own fresh claim: without this, stale bus refs
+	// circulate in keep-alive advertisements between third parties faster
+	// than direct contact corrects them, and a demoted peer stays a
+	// phantom member of its old level forever.
+	peerLevel map[uint64]levelClaim
+
 	// Periodic timers.
 	keepaliveTimer Timer
 	sweepTimer     Timer
@@ -84,6 +92,12 @@ func (n *Node) SetTimer(d time.Duration, fn func()) Timer { return n.env.SetTime
 // Now exposes the runtime clock to layered services.
 func (n *Node) Now() time.Duration { return n.env.Now() }
 
+// levelClaim is a peer's self-advertised level and when it was heard.
+type levelClaim struct {
+	maxLevel uint8
+	at       time.Duration
+}
+
 type pendingLookup struct {
 	cb      func(LookupResult)
 	timer   Timer
@@ -96,13 +110,14 @@ type pendingLookup struct {
 func NewNode(cfg Config, env Env) *Node {
 	cfg = cfg.withDefaults()
 	n := &Node{
-		cfg:      cfg,
-		env:      env,
-		score:    cfg.Profile.Score(),
-		table:    rtable.New(),
-		lastSent: map[uint64]uint32{},
-		pending:  map[uint64]*pendingLookup{},
-		refused:  map[uint64]time.Duration{},
+		cfg:       cfg,
+		env:       env,
+		score:     cfg.Profile.Score(),
+		table:     rtable.New(),
+		lastSent:  map[uint64]uint32{},
+		pending:   map[uint64]*pendingLookup{},
+		refused:   map[uint64]time.Duration{},
+		peerLevel: map[uint64]levelClaim{},
 	}
 	n.maxChildren = cfg.ChildPolicy.MaxChildren(cfg.Profile)
 	if n.maxChildren < 2 {
@@ -192,6 +207,13 @@ func (n *Node) HandleMessage(from uint64, msg proto.Message) {
 	// Any authenticated-by-arrival communication refreshes the sender's
 	// timestamps (§III.c).
 	n.table.Touch(from, n.env.Now())
+	// The sender's self-identification is first-hand: bus membership it no
+	// longer claims is stale knowledge, dropped on the spot and barred
+	// from hearsay re-introduction while the claim stays fresh.
+	if ref, ok := senderRef(msg); ok && ref.Addr == from {
+		n.peerLevel[from] = levelClaim{maxLevel: ref.MaxLevel, at: n.env.Now()}
+		n.table.DowngradeLevels(from, ref.MaxLevel)
+	}
 	// A courted parent proves itself alive with any direct message —
 	// except one that explicitly declines the role (Reparent, Demote),
 	// which its own handler processes.

@@ -23,6 +23,9 @@ func cluster(t *testing.T, n int, seed int64) (*simrt.Cluster, []*Directory) {
 }
 
 func TestAdvertiseAndDiscover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	c, dirs := cluster(t, 100, 1)
 	res := Resource{
 		Name:     "worker-1",
@@ -72,6 +75,9 @@ func TestDiscoverNoMatch(t *testing.T) {
 }
 
 func TestPickLeastLoaded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	c, dirs := cluster(t, 100, 3)
 	for i, load := range []int{7, 2, 5} {
 		res := Resource{
@@ -102,6 +108,9 @@ func TestPickLeastLoaded(t *testing.T) {
 }
 
 func TestAdvertiseRefreshReplaces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	c, dirs := cluster(t, 80, 4)
 	res := Resource{Name: "w", Attrs: map[string]string{"a": "b"}, Capacity: 4, Load: 1}
 	dirs[0].Advertise(res, func(error) {})

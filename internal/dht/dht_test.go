@@ -24,6 +24,9 @@ func dhtCluster(t *testing.T, n int, seed int64) (*simrt.Cluster, map[uint64]*Se
 }
 
 func TestPutGetRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	c, svcs := dhtCluster(t, 120, 1)
 	origin := svcs[c.Nodes[3].Addr()]
 	reader := svcs[c.Nodes[77].Addr()]
@@ -58,6 +61,9 @@ func TestGetMissingKey(t *testing.T) {
 }
 
 func TestManyKeysSpreadAcrossOwners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	c, svcs := dhtCluster(t, 150, 3)
 	writer := svcs[c.Nodes[0].Addr()]
 	const keys = 60
@@ -95,6 +101,9 @@ func TestManyKeysSpreadAcrossOwners(t *testing.T) {
 }
 
 func TestReplicationSurvivesOwnerFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	c, svcs := dhtCluster(t, 120, 4)
 	writer := svcs[c.Nodes[5].Addr()]
 	writer.Put([]byte("precious"), []byte("data"), func(error) {})

@@ -23,6 +23,9 @@ func smallOpts() Options {
 }
 
 func TestKillSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	res := RunKillSweep(smallOpts())
 	if len(res.Trials) != 2 {
 		t.Fatalf("trials %d", len(res.Trials))
@@ -49,6 +52,9 @@ func TestKillSweepShape(t *testing.T) {
 }
 
 func TestKillSweepDeterministicPerSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	o := smallOpts()
 	o.Seeds = []int64{7}
 	a := RunKillSweep(o)
@@ -65,6 +71,9 @@ func TestKillSweepDeterministicPerSeed(t *testing.T) {
 }
 
 func TestSweepAggregations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	res := RunKillSweep(smallOpts())
 	kills := res.KillPcts()
 	if len(kills) != 5 || kills[0] != 10 || kills[4] != 50 {
@@ -100,6 +109,9 @@ func TestSweepAggregations(t *testing.T) {
 }
 
 func TestSweepPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	// The qualitative claims of §IV.a on a reduced network: failures grow
 	// with the kill fraction; the three algorithms stay within a band of
 	// each other; hop counts stay bounded.
@@ -132,6 +144,9 @@ func TestSweepPaperShape(t *testing.T) {
 }
 
 func TestVariablePolicySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	o := smallOpts()
 	o.Seeds = []int64{1}
 	o.Policy = nodeprof.CapacityPolicy{Min: 2, Max: 16}
@@ -142,6 +157,9 @@ func TestVariablePolicySweep(t *testing.T) {
 }
 
 func TestAblationOptionsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	o := smallOpts()
 	o.Seeds = []int64{1}
 	o.MaxKill = 0.2
@@ -199,6 +217,9 @@ func TestTableSizes(t *testing.T) {
 }
 
 func TestLogNHops(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	points := LogNHops([]int{100, 400}, 1, 60)
 	if len(points) != 2 {
 		t.Fatal("points")

@@ -35,11 +35,12 @@ type Handler func(from Addr, payload interface{}, size int)
 
 // Stats aggregates network-wide message accounting.
 type Stats struct {
-	Sent       uint64 // datagrams handed to the network
-	Delivered  uint64 // datagrams delivered to a live endpoint
-	LostRandom uint64 // dropped by the loss model
-	LostDead   uint64 // addressed to a dead or unknown endpoint
-	Bytes      uint64 // wire bytes of all sent datagrams
+	Sent         uint64 // datagrams handed to the network
+	Delivered    uint64 // datagrams delivered to a live endpoint
+	LostRandom   uint64 // dropped by the loss model
+	LostDead     uint64 // addressed to a dead or unknown endpoint
+	LostFiltered uint64 // dropped by the link filter (partitions)
+	Bytes        uint64 // wire bytes of all sent datagrams
 }
 
 // TraceEvent describes one datagram for the optional trace hook.
@@ -49,7 +50,7 @@ type TraceEvent struct {
 	Size     int
 	Payload  interface{}
 	Dropped  bool
-	Reason   string // "", "loss", "dead"
+	Reason   string // "", "loss", "dead", "mtu", "filtered"
 }
 
 // Network is a simulated datagram network. It is not safe for concurrent
@@ -67,6 +68,10 @@ type Network struct {
 	// mtu drops datagrams larger than this size when > 0, mirroring the
 	// 64 KiB UDP limit by default.
 	mtu int
+	// linkFilter, when set, vetoes individual links: a datagram is dropped
+	// in flight when the filter returns false for its (from, to) pair.
+	// Scenario tools use it to simulate network partitions.
+	linkFilter func(from, to Addr) bool
 }
 
 type endpoint struct {
@@ -150,6 +155,12 @@ func (n *Network) Revive(a Addr) {
 	}
 }
 
+// SetLinkFilter installs (or, with nil, removes) a per-link veto: while
+// set, a datagram is silently dropped when fn(from, to) is false. The
+// filter models partitions and asymmetric connectivity failures; it is
+// consulted at send time, like a routing black hole between the sides.
+func (n *Network) SetLinkFilter(fn func(from, to Addr) bool) { n.linkFilter = fn }
+
 // Alive reports whether the endpoint exists and is live.
 func (n *Network) Alive(a Addr) bool {
 	ep, ok := n.eps[a]
@@ -189,6 +200,11 @@ func (n *Network) Send(from, to Addr, payload interface{}, size int) {
 	if !ok {
 		n.stats.LostDead++
 		drop("dead")
+		return
+	}
+	if n.linkFilter != nil && !n.linkFilter(from, to) {
+		n.stats.LostFiltered++
+		drop("filtered")
 		return
 	}
 	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {

@@ -158,6 +158,24 @@ func (t *Table) RemoveEverywhere(addr uint64) (removed, parentLost bool) {
 	return removed, parentLost
 }
 
+// DowngradeLevels removes addr from every bus level above maxLevel: the
+// peer itself just advertised the lower level, so higher-level membership
+// knowledge about it is stale by first-hand evidence. (A demoting node
+// only tells its direct bus neighbours; everyone else holds the entry
+// until this, since any direct traffic keeps refreshing its timestamp.)
+func (t *Table) DowngradeLevels(addr uint64, maxLevel uint8) bool {
+	removed := false
+	for lvl, s := range t.Bus {
+		if lvl > maxLevel && s.Remove(addr) {
+			removed = true
+			if s.Len() == 0 {
+				delete(t.Bus, lvl)
+			}
+		}
+	}
+	return removed
+}
+
 // SweepResult lists what a Sweep expired, so the protocol can react
 // (restart elections, adopt orphans, relink the bus).
 type SweepResult struct {

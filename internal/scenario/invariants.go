@@ -1,0 +1,295 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"treep/internal/core"
+	"treep/internal/idspace"
+	"treep/internal/proto"
+	"treep/internal/routing"
+	"treep/internal/simrt"
+)
+
+// Violation is one broken-invariant occurrence.
+type Violation struct {
+	// Checker names the invariant that failed.
+	Checker string
+	// Detail says where and how.
+	Detail string
+}
+
+// String implements fmt.Stringer.
+func (v Violation) String() string { return v.Checker + ": " + v.Detail }
+
+// Checker examines a live cluster and reports invariant violations. Checks
+// are read-only and run between simulation events, so they see a
+// consistent snapshot of every routing table.
+type Checker struct {
+	Name  string
+	Check func(*simrt.Cluster) []Violation
+}
+
+// AllCheckers returns every invariant checker with default settings.
+func AllCheckers() []Checker {
+	return []Checker{
+		RingClosure(),
+		TessellationCoverage(),
+		ParentChildConsistency(),
+		LookupLoopFreedom(32),
+	}
+}
+
+// aliveByID returns the live nodes sorted by coordinate.
+func aliveByID(c *simrt.Cluster) []*core.Node {
+	alive := c.AliveNodes()
+	sort.Slice(alive, func(i, j int) bool { return alive[i].ID() < alive[j].ID() })
+	return alive
+}
+
+// RingClosure checks the level-0 chain over the live population: every two
+// ID-adjacent live nodes must be linked (at least one knows the other in
+// its level-0 table). A break means a region of the space is unreachable
+// by ring walking — the fall-back every lookup algorithm ultimately leans
+// on (§III.f).
+func RingClosure() Checker {
+	return Checker{Name: "ring-closure", Check: func(c *simrt.Cluster) []Violation {
+		alive := aliveByID(c)
+		var out []Violation
+		for i := 0; i+1 < len(alive); i++ {
+			a, b := alive[i], alive[i+1]
+			if a.Table().Level0.Get(b.Addr()) == nil && b.Table().Level0.Get(a.Addr()) == nil {
+				out = append(out, Violation{
+					Checker: "ring-closure",
+					Detail:  fmt.Sprintf("gap between %s and %s", a.ID(), b.ID()),
+				})
+			}
+		}
+		return out
+	}}
+}
+
+// TessellationCoverage checks that, at every occupied hierarchy level, the
+// cells of the live members jointly cover the whole ID space (§III.a: each
+// level tessellates the space). Each member's cell derives from its own
+// bus view restricted to peers that really are live members of the level:
+// entries for just-demoted or just-dead peers are eventual-consistency
+// noise the protocol corrects on its own clock, but *missing* knowledge of
+// a co-member shrinks no cell — so any gap means some slice of the space
+// has no live responsible node that its neighbours know how to reach.
+// Cells may overlap (partial views claim conservatively large cells).
+func TessellationCoverage() Checker {
+	return Checker{Name: "tessellation-coverage", Check: func(c *simrt.Cluster) []Violation {
+		alive := c.AliveNodes()
+		var maxLvl uint8
+		for _, n := range alive {
+			if n.MaxLevel() > maxLvl {
+				maxLvl = n.MaxLevel()
+			}
+		}
+		var out []Violation
+		for lvl := uint8(1); lvl <= maxLvl; lvl++ {
+			var cells []idspace.Region
+			for _, n := range alive {
+				if n.MaxLevel() >= lvl {
+					cells = append(cells, memberCell(c, n, lvl))
+				}
+			}
+			if len(cells) == 0 {
+				// A vacated level is legal (the hierarchy shrank); coverage
+				// is only owed by levels that still have members.
+				continue
+			}
+			sort.Slice(cells, func(i, j int) bool { return cells[i].Lo < cells[j].Lo })
+			if cells[0].Lo != 0 {
+				out = append(out, Violation{
+					Checker: "tessellation-coverage",
+					Detail:  fmt.Sprintf("level %d: space before %s uncovered", lvl, cells[0].Lo),
+				})
+				continue
+			}
+			covered := cells[0].Hi // highest coordinate covered so far
+			gap := false
+			for _, cell := range cells[1:] {
+				if covered < idspace.MaxID && cell.Lo > covered+1 {
+					out = append(out, Violation{
+						Checker: "tessellation-coverage",
+						Detail:  fmt.Sprintf("level %d: gap (%s, %s)", lvl, covered, cell.Lo),
+					})
+					gap = true
+					break
+				}
+				if cell.Hi > covered {
+					covered = cell.Hi
+				}
+			}
+			if !gap && covered != idspace.MaxID {
+				out = append(out, Violation{
+					Checker: "tessellation-coverage",
+					Detail:  fmt.Sprintf("level %d: space after %s uncovered", lvl, covered),
+				})
+			}
+		}
+		return out
+	}}
+}
+
+// memberCell computes n's tessellation cell at level lvl from its bus
+// view restricted to live actual members of the level (§III.a midpoint
+// rule; self is always a member).
+func memberCell(c *simrt.Cluster, n *core.Node, lvl uint8) idspace.Region {
+	ids := []idspace.ID{n.ID()}
+	if s, ok := n.Table().Bus[lvl]; ok {
+		for _, r := range s.Refs() {
+			actual := c.NodeByAddr(r.Addr)
+			if actual != nil && c.Alive(actual) && actual.MaxLevel() >= lvl {
+				ids = append(ids, r.ID)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	self := sort.Search(len(ids), func(i int) bool { return ids[i] >= n.ID() })
+	return idspace.FullRegion().CellOf(ids, self)
+}
+
+// ParentChildConsistency checks the tree edges over live nodes: a live
+// child's parent must be live, must actually list the child, and must sit
+// at a strictly higher level; and following parent pointers from any node
+// must terminate without cycling (the hierarchy is a forest, never a
+// graph with back edges).
+func ParentChildConsistency() Checker {
+	return Checker{Name: "parent-child", Check: func(c *simrt.Cluster) []Violation {
+		var out []Violation
+		for _, n := range c.AliveNodes() {
+			p, ok := n.Table().Parent()
+			if !ok {
+				continue
+			}
+			pn := c.NodeByAddr(p.Addr)
+			if pn == nil || !c.Alive(pn) {
+				out = append(out, Violation{
+					Checker: "parent-child",
+					Detail:  fmt.Sprintf("%s has dead parent %s", n.ID(), p.ID),
+				})
+				continue
+			}
+			if pn.Table().Children.Get(n.Addr()) == nil {
+				out = append(out, Violation{
+					Checker: "parent-child",
+					Detail:  fmt.Sprintf("parent %s does not list child %s", pn.ID(), n.ID()),
+				})
+			}
+			if pn.MaxLevel() < n.MaxLevel()+1 {
+				out = append(out, Violation{
+					Checker: "parent-child",
+					Detail: fmt.Sprintf("parent %s at level %d cannot parent %s at level %d",
+						pn.ID(), pn.MaxLevel(), n.ID(), n.MaxLevel()),
+				})
+			}
+			// Walk the parent chain; a chain longer than the height bound
+			// has a cycle (or an impossible tower).
+			seen := map[uint64]bool{n.Addr(): true}
+			cur := pn
+			for depth := 0; depth <= int(n.Config().MaxHeight)+1; depth++ {
+				if seen[cur.Addr()] {
+					out = append(out, Violation{
+						Checker: "parent-child",
+						Detail:  fmt.Sprintf("parent cycle through %s", cur.ID()),
+					})
+					break
+				}
+				seen[cur.Addr()] = true
+				next, ok := cur.Table().Parent()
+				if !ok {
+					break
+				}
+				nn := c.NodeByAddr(next.Addr)
+				if nn == nil {
+					break
+				}
+				cur = nn
+			}
+		}
+		return out
+	}}
+}
+
+// LookupLoopFreedom statically walks the greedy (G) forwarding decision
+// over the current routing tables for sampled origin/target pairs and
+// flags cycles: revisiting a (node, sender) state in the same distance
+// regime repeats deterministically forever, and exhausting the TTL on a
+// static snapshot means the tables cannot resolve a live target. Both are
+// routing-loop pathologies the TTL only papers over.
+func LookupLoopFreedom(samples int) Checker {
+	return Checker{Name: "lookup-loop-freedom", Check: func(c *simrt.Cluster) []Violation {
+		alive := c.AliveNodes()
+		if len(alive) < 2 {
+			return nil
+		}
+		rng := c.Kernel.Stream(0x6c6f6f70) // "loop"
+		var out []Violation
+		for i := 0; i < samples; i++ {
+			origin := alive[rng.Intn(len(alive))]
+			target := alive[rng.Intn(len(alive))]
+			if v, ok := walkForLoop(c, origin, target.ID()); !ok {
+				out = append(out, v)
+			}
+		}
+		return out
+	}}
+}
+
+// walkForLoop follows Route decisions from origin toward target without
+// advancing time. It returns ok=false with a violation when the walk
+// cycles or exhausts the TTL; termination (delivery, not-found, or a dead
+// next hop — a liveness matter, judged by the lookup metrics instead)
+// is ok.
+func walkForLoop(c *simrt.Cluster, origin *core.Node, target idspace.ID) (Violation, bool) {
+	req := &proto.LookupRequest{
+		Origin: origin.Ref(),
+		Target: target,
+		TTL:    origin.Config().MaxTTL,
+		Algo:   proto.AlgoG,
+	}
+	type state struct {
+		node, sender uint64
+		euclidean    bool
+	}
+	seen := map[state]bool{}
+	cur := origin
+	var sender uint64
+	for {
+		if req.TTL == 0 {
+			return Violation{
+				Checker: "lookup-loop-freedom",
+				Detail:  fmt.Sprintf("TTL exhausted from %s to %s", origin.ID(), target),
+			}, false
+		}
+		params := cur.Config().Routing
+		st := state{cur.Addr(), sender, req.Hops > params.Height}
+		if seen[st] {
+			return Violation{
+				Checker: "lookup-loop-freedom",
+				Detail:  fmt.Sprintf("cycle at %s routing %s", cur.ID(), target),
+			}, false
+		}
+		seen[st] = true
+		parent, has := cur.Table().Parent()
+		fromParent := sender != 0 && has && parent.Addr == sender
+		step := routing.Route(cur.Ref(), cur.Table(), req, fromParent, sender, params)
+		if step.Action != routing.Forward {
+			return Violation{}, true
+		}
+		next := c.NodeByAddr(step.Next.Addr)
+		if next == nil || !c.Alive(next) {
+			return Violation{}, true
+		}
+		fwd := *req
+		fwd.TTL--
+		fwd.Hops++
+		fwd.Alternates = step.Alternates
+		req = &fwd
+		sender = cur.Addr()
+		cur = next
+	}
+}

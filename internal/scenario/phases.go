@@ -1,0 +1,188 @@
+package scenario
+
+import (
+	"time"
+
+	"treep/internal/idspace"
+)
+
+// Settle runs the overlay quietly for a duration: maintenance, repair and
+// elections proceed with no injected events. Every stress phase is
+// normally followed by one before invariants are asserted.
+type Settle struct {
+	For time.Duration
+}
+
+// Name implements Phase.
+func (Settle) Name() string { return "settle" }
+
+// Run implements Phase.
+func (s Settle) Run(e *Engine) { e.advance(s.For) }
+
+// Churn injects continuous Poisson arrivals and departures: joins spawn
+// brand-new nodes that bootstrap through the live overlay (dynamic
+// membership), leaves fail-stop random live nodes with no goodbye. This is
+// the steady-state regime the kill sweep never reaches.
+type Churn struct {
+	// For is the phase duration.
+	For time.Duration
+	// JoinRate and LeaveRate are Poisson intensities in events per virtual
+	// second. Either may be zero.
+	JoinRate, LeaveRate float64
+}
+
+// Name implements Phase.
+func (Churn) Name() string { return "churn" }
+
+// Run implements Phase.
+func (c Churn) Run(e *Engine) {
+	now := e.C.Kernel.Now()
+	end := now + c.For
+	nextJoin, nextLeave := maxDuration, maxDuration
+	if d := e.expDelay(c.JoinRate); d < maxDuration {
+		nextJoin = now + d
+	}
+	if d := e.expDelay(c.LeaveRate); d < maxDuration {
+		nextLeave = now + d
+	}
+	for {
+		next := nextJoin
+		if nextLeave < next {
+			next = nextLeave
+		}
+		if next > end {
+			e.advanceUntil(end)
+			return
+		}
+		e.advanceUntil(next)
+		if next == nextJoin {
+			e.join()
+			nextJoin = next + e.expDelay(c.JoinRate)
+		} else {
+			e.leave()
+			nextLeave = next + e.expDelay(c.LeaveRate)
+		}
+	}
+}
+
+// FlashCrowd is a mass-arrival burst: Joins new nodes bootstrap over the
+// Over window (all at once when Over is zero). It stresses the join path,
+// the election machinery and the split rate limiter simultaneously.
+type FlashCrowd struct {
+	Joins int
+	Over  time.Duration
+}
+
+// Name implements Phase.
+func (FlashCrowd) Name() string { return "flash-crowd" }
+
+// Run implements Phase.
+func (f FlashCrowd) Run(e *Engine) {
+	if f.Joins <= 0 {
+		return
+	}
+	step := f.Over / time.Duration(f.Joins)
+	for i := 0; i < f.Joins; i++ {
+		e.join()
+		if step > 0 {
+			e.advance(step)
+		}
+	}
+}
+
+// ZoneFailure fail-stops every live node whose ID falls in a contiguous
+// region of the space — a correlated failure that takes out a subtree's
+// parents at every level along with their children, unlike the kill
+// sweep's uniform sampling. Settle is the repair window run afterwards.
+type ZoneFailure struct {
+	Zone   idspace.Region
+	Settle time.Duration
+}
+
+// Name implements Phase.
+func (ZoneFailure) Name() string { return "zone-failure" }
+
+// Run implements Phase.
+func (z ZoneFailure) Run(e *Engine) {
+	for _, n := range e.C.AliveNodes() {
+		if z.Zone.Contains(n.ID()) {
+			e.C.Kill(n)
+			e.res.ZoneKilled++
+		}
+	}
+	e.advance(z.Settle)
+}
+
+// ZoneFraction builds the zone [lo, hi] from fractions of the ID space,
+// for callers scripting zones without raw coordinates.
+func ZoneFraction(lo, hi float64) idspace.Region {
+	return idspace.Region{Lo: idspace.FromFraction(lo), Hi: idspace.FromFraction(hi)}
+}
+
+// PartitionHeal splits the network at a coordinate — datagrams between the
+// sides vanish in flight — holds the split, then heals it and lets the
+// halves re-merge. The paper attributes its failure spikes to exactly this
+// kind of partitioning (Figure E).
+type PartitionHeal struct {
+	// At is the split coordinate; zero means the middle of the space.
+	At idspace.ID
+	// Hold is how long the partition lasts.
+	Hold time.Duration
+	// Heal is the settle window after connectivity returns.
+	Heal time.Duration
+}
+
+// Name implements Phase.
+func (PartitionHeal) Name() string { return "partition-heal" }
+
+// Run implements Phase.
+func (p PartitionHeal) Run(e *Engine) {
+	at := p.At
+	if at == 0 {
+		at = idspace.MaxID / 2
+	}
+	e.C.Partition(at)
+	e.advance(p.Hold)
+	e.C.Heal()
+	e.advance(p.Heal)
+}
+
+// RevivalWave brings dead nodes back over a window: each revived node
+// keeps its identity and stale protocol state and re-joins through a live
+// bootstrap, as after a rolling restart or a power-restored rack.
+type RevivalWave struct {
+	// Count caps how many nodes revive; non-positive revives all dead.
+	Count int
+	// Over is the window the revivals spread across.
+	Over time.Duration
+}
+
+// Name implements Phase.
+func (RevivalWave) Name() string { return "revival-wave" }
+
+// Run implements Phase.
+func (w RevivalWave) Run(e *Engine) {
+	dead := e.C.DeadNodes()
+	count := w.Count
+	if count <= 0 || count > len(dead) {
+		count = len(dead)
+	}
+	if count == 0 {
+		return
+	}
+	step := w.Over / time.Duration(count)
+	for i := 0; i < count; i++ {
+		n := dead[i]
+		alive := e.C.AliveNodes()
+		if len(alive) == 0 {
+			return
+		}
+		boot := alive[e.rng.Intn(len(alive))]
+		e.C.Revive(n)
+		n.Join(boot.Addr())
+		e.res.Revived++
+		if step > 0 {
+			e.advance(step)
+		}
+	}
+}

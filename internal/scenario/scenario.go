@@ -1,0 +1,186 @@
+// Package scenario drives a simrt.Cluster through scripted dynamic
+// workloads and checks runtime invariants of the overlay mid-run.
+//
+// The paper's evaluation (§IV) is a one-way kill sweep: nodes are removed
+// until a fraction of the initial population remains. Real overlays are
+// judged under *dynamic* operation — interleaved joins and departures,
+// mass arrivals, correlated regional failures, partitions that heal. A
+// Scenario is a timeline of such phases played against a live cluster;
+// between and during phases the engine samples invariant checkers
+// (invariants.go) that double as test oracles for every stress and
+// property test in the repository.
+//
+// Phases compose freely:
+//
+//	eng := scenario.NewEngine(cluster, scenario.Options{
+//		Checkers:    scenario.AllCheckers(),
+//		SampleEvery: 2 * time.Second,
+//	})
+//	res := eng.Play(
+//		scenario.Settle{For: 8 * time.Second},
+//		scenario.Churn{For: 30 * time.Second, JoinRate: 2, LeaveRate: 2},
+//		scenario.Settle{For: 10 * time.Second},
+//	)
+//	if len(res.Final) > 0 { ... }
+package scenario
+
+import (
+	"math/rand"
+	"time"
+
+	"treep/internal/simrt"
+)
+
+// maxDuration is "never" for next-event bookkeeping.
+const maxDuration = time.Duration(1<<63 - 1)
+
+// Phase is one segment of a scenario timeline. A phase advances the
+// cluster's virtual clock as it runs; the engine samples invariants on the
+// way through.
+type Phase interface {
+	// Name identifies the phase in samples and logs.
+	Name() string
+	// Run executes the phase against the engine's cluster.
+	Run(e *Engine)
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Checkers are the invariants sampled during the run and evaluated at
+	// the end. Nil means AllCheckers is not implied — no checking.
+	Checkers []Checker
+	// SampleEvery is the virtual-time interval between mid-run invariant
+	// samples. Zero disables sampling (Final is still evaluated by Play).
+	SampleEvery time.Duration
+}
+
+// Sample is one mid-run invariant evaluation.
+type Sample struct {
+	// At is the virtual time of the sample.
+	At time.Duration
+	// Phase is the name of the phase that was running.
+	Phase string
+	// Alive is the live population at the sample.
+	Alive int
+	// Violations holds whatever the checkers found. Mid-run violations are
+	// expected while the overlay absorbs churn; persistent ones are not.
+	Violations []Violation
+}
+
+// Result aggregates one scenario run.
+type Result struct {
+	// Samples are the mid-run invariant evaluations in time order.
+	Samples []Sample
+	// Final holds the violations found after the last phase completed.
+	Final []Violation
+	// Joins counts nodes spawned and bootstrapped into the overlay.
+	Joins int
+	// Leaves counts nodes fail-stopped by churn.
+	Leaves int
+	// ZoneKilled counts nodes fail-stopped by zone failures.
+	ZoneKilled int
+	// Revived counts nodes brought back by revival waves.
+	Revived int
+}
+
+// Engine plays phases against a cluster and samples invariants.
+type Engine struct {
+	C *simrt.Cluster
+
+	opts       Options
+	rng        *rand.Rand
+	res        Result
+	curPhase   string
+	nextSample time.Duration
+}
+
+// NewEngine binds an engine to a cluster. Scenario randomness (which node
+// leaves, which bootstrap a reviver uses) draws from a dedicated kernel
+// stream, so runs are reproducible from the cluster seed.
+func NewEngine(c *simrt.Cluster, opts Options) *Engine {
+	e := &Engine{C: c, opts: opts, rng: c.Kernel.Stream(0x7363656e)} // "scen"
+	if opts.SampleEvery > 0 {
+		e.nextSample = c.Kernel.Now() + opts.SampleEvery
+	}
+	return e
+}
+
+// Play runs the phases in order, evaluates the checkers one final time,
+// and returns the accumulated result.
+func (e *Engine) Play(phases ...Phase) *Result {
+	for _, p := range phases {
+		e.curPhase = p.Name()
+		p.Run(e)
+	}
+	e.res.Final = e.CheckNow()
+	return &e.res
+}
+
+// Run is the one-shot convenience: build an engine, play the phases.
+func Run(c *simrt.Cluster, opts Options, phases ...Phase) *Result {
+	return NewEngine(c, opts).Play(phases...)
+}
+
+// CheckNow evaluates every configured checker against the current overlay
+// state and returns the violations.
+func (e *Engine) CheckNow() []Violation {
+	var out []Violation
+	for _, ch := range e.opts.Checkers {
+		out = append(out, ch.Check(e.C)...)
+	}
+	return out
+}
+
+// advance moves virtual time forward by d, taking invariant samples on the
+// configured cadence.
+func (e *Engine) advance(d time.Duration) { e.advanceUntil(e.C.Kernel.Now() + d) }
+
+// advanceUntil moves virtual time to t (absolute), sampling on the way.
+func (e *Engine) advanceUntil(t time.Duration) {
+	for e.C.Kernel.Now() < t {
+		next := t
+		if e.opts.SampleEvery > 0 && e.nextSample < next {
+			next = e.nextSample
+		}
+		_ = e.C.Kernel.RunUntil(next)
+		if e.opts.SampleEvery > 0 && e.C.Kernel.Now() >= e.nextSample {
+			e.takeSample()
+			e.nextSample = e.C.Kernel.Now() + e.opts.SampleEvery
+		}
+	}
+}
+
+func (e *Engine) takeSample() {
+	e.res.Samples = append(e.res.Samples, Sample{
+		At:         e.C.Kernel.Now(),
+		Phase:      e.curPhase,
+		Alive:      len(e.C.AliveNodes()),
+		Violations: e.CheckNow(),
+	})
+}
+
+// join spawns one node and bootstraps it through a live peer.
+func (e *Engine) join() {
+	if e.C.SpawnJoin() != nil {
+		e.res.Joins++
+	}
+}
+
+// leave fail-stops a random live node, never shrinking below two.
+func (e *Engine) leave() {
+	alive := e.C.AliveNodes()
+	if len(alive) <= 2 {
+		return
+	}
+	e.C.Kill(alive[e.rng.Intn(len(alive))])
+	e.res.Leaves++
+}
+
+// expDelay draws a Poisson inter-arrival gap for the given events/second
+// rate; a non-positive rate means the event never fires.
+func (e *Engine) expDelay(rate float64) time.Duration {
+	if rate <= 0 {
+		return maxDuration
+	}
+	return time.Duration(e.rng.ExpFloat64() / rate * float64(time.Second))
+}

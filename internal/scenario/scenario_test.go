@@ -1,0 +1,189 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"treep/internal/simrt"
+)
+
+// newCluster builds a started, bulk-built cluster.
+func newCluster(t *testing.T, n int, seed int64) *simrt.Cluster {
+	t.Helper()
+	c := simrt.New(simrt.Options{N: n, Seed: seed, Bulk: true})
+	c.StartAll()
+	return c
+}
+
+// assertClean fails the test when the final invariant evaluation found
+// anything, printing every violation.
+func assertClean(t *testing.T, res *Result) {
+	t.Helper()
+	if len(res.Final) == 0 {
+		return
+	}
+	for _, v := range res.Final {
+		t.Errorf("violation: %s", v)
+	}
+	t.Fatalf("%d invariant violations after settle", len(res.Final))
+}
+
+func TestSteadyStateInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("N=500 simulation; skipped with -short")
+	}
+	c := newCluster(t, 500, 1)
+	res := Run(c, Options{Checkers: AllCheckers()},
+		Settle{For: 10 * time.Second})
+	assertClean(t, res)
+}
+
+func TestContinuousChurnInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("N=500 simulation; skipped with -short")
+	}
+	c := newCluster(t, 500, 2)
+	before := len(c.Nodes)
+	res := Run(c, Options{Checkers: AllCheckers(), SampleEvery: 5 * time.Second},
+		Settle{For: 8 * time.Second},
+		Churn{For: 20 * time.Second, JoinRate: 2, LeaveRate: 2},
+		Settle{For: 14 * time.Second})
+	if res.Joins == 0 || res.Leaves == 0 {
+		t.Fatalf("churn injected nothing: %d joins, %d leaves", res.Joins, res.Leaves)
+	}
+	if got := len(c.Nodes) - before; got != res.Joins {
+		t.Fatalf("population grew by %d, joins counted %d", got, res.Joins)
+	}
+	if len(res.Samples) == 0 {
+		t.Fatal("no mid-run samples taken")
+	}
+	assertClean(t, res)
+}
+
+func TestFlashCrowdInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("N=500 simulation; skipped with -short")
+	}
+	c := newCluster(t, 500, 3)
+	res := Run(c, Options{Checkers: AllCheckers()},
+		Settle{For: 8 * time.Second},
+		FlashCrowd{Joins: 100, Over: 5 * time.Second},
+		Settle{For: 14 * time.Second})
+	if res.Joins != 100 {
+		t.Fatalf("flash crowd joined %d, want 100", res.Joins)
+	}
+	if alive := len(c.AliveNodes()); alive != 600 {
+		t.Fatalf("alive after crowd: %d, want 600", alive)
+	}
+	assertClean(t, res)
+}
+
+func TestZoneFailureInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("N=500 simulation; skipped with -short")
+	}
+	c := newCluster(t, 500, 4)
+	res := Run(c, Options{Checkers: AllCheckers()},
+		Settle{For: 8 * time.Second},
+		ZoneFailure{Zone: ZoneFraction(0.40, 0.55), Settle: 22 * time.Second})
+	// A 15% contiguous slice of a balanced population dies together.
+	if res.ZoneKilled < 50 {
+		t.Fatalf("zone killed only %d nodes", res.ZoneKilled)
+	}
+	assertClean(t, res)
+}
+
+func TestPartitionHealInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("N=500 simulation; skipped with -short")
+	}
+	c := newCluster(t, 500, 5)
+	res := Run(c, Options{Checkers: AllCheckers()},
+		Settle{For: 8 * time.Second},
+		PartitionHeal{Hold: 10 * time.Second, Heal: 25 * time.Second})
+	assertClean(t, res)
+}
+
+func TestRevivalWaveInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("N=500 simulation; skipped with -short")
+	}
+	c := newCluster(t, 500, 6)
+	res := Run(c, Options{Checkers: AllCheckers()},
+		Settle{For: 8 * time.Second},
+		ZoneFailure{Zone: ZoneFraction(0.70, 0.80), Settle: 15 * time.Second},
+		RevivalWave{Over: 5 * time.Second},
+		Settle{For: 15 * time.Second})
+	if res.Revived == 0 || res.Revived != res.ZoneKilled {
+		t.Fatalf("revived %d of %d killed", res.Revived, res.ZoneKilled)
+	}
+	if alive := len(c.AliveNodes()); alive != 500 {
+		t.Fatalf("alive after revival: %d, want 500", alive)
+	}
+	assertClean(t, res)
+}
+
+// TestCheckersDetectDamage verifies the oracles actually fire: killing a
+// node that is someone's parent, with no repair window, must trip the
+// parent-child checker.
+func TestCheckersDetectDamage(t *testing.T) {
+	c := newCluster(t, 100, 7)
+	c.Run(6 * time.Second)
+
+	killedParent := false
+	for _, n := range c.AliveNodes() {
+		if p, ok := n.Table().Parent(); ok {
+			if pn := c.NodeByAddr(p.Addr); pn != nil && c.Alive(pn) {
+				c.Kill(pn)
+				killedParent = true
+				break
+			}
+		}
+	}
+	if !killedParent {
+		t.Fatal("no parent found to kill")
+	}
+	if v := ParentChildConsistency().Check(c); len(v) == 0 {
+		t.Fatal("dead parent not detected")
+	}
+}
+
+// TestScenarioDeterministic replays the same scenario on the same seed and
+// expects identical event counts and final state.
+func TestScenarioDeterministic(t *testing.T) {
+	run := func() (*Result, int) {
+		c := newCluster(t, 150, 8)
+		res := Run(c, Options{},
+			Settle{For: 4 * time.Second},
+			Churn{For: 8 * time.Second, JoinRate: 3, LeaveRate: 2},
+			Settle{For: 4 * time.Second})
+		return res, len(c.AliveNodes())
+	}
+	r1, a1 := run()
+	r2, a2 := run()
+	if r1.Joins != r2.Joins || r1.Leaves != r2.Leaves || a1 != a2 {
+		t.Fatalf("not deterministic: (%d,%d,%d) vs (%d,%d,%d)",
+			r1.Joins, r1.Leaves, a1, r2.Joins, r2.Leaves, a2)
+	}
+}
+
+// TestSamplesCarryPhaseNames checks the mid-run sampling bookkeeping.
+func TestSamplesCarryPhaseNames(t *testing.T) {
+	c := newCluster(t, 60, 9)
+	res := Run(c, Options{Checkers: []Checker{RingClosure()}, SampleEvery: 2 * time.Second},
+		Settle{For: 5 * time.Second},
+		FlashCrowd{Joins: 5, Over: 4 * time.Second})
+	if len(res.Samples) < 3 {
+		t.Fatalf("samples: %d", len(res.Samples))
+	}
+	names := map[string]bool{}
+	for _, s := range res.Samples {
+		names[s.Phase] = true
+		if s.Alive == 0 {
+			t.Fatal("sample with zero alive population")
+		}
+	}
+	if !names["settle"] || !names["flash-crowd"] {
+		t.Fatalf("phases sampled: %v", names)
+	}
+}

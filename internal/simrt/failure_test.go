@@ -12,6 +12,9 @@ import (
 // TestTargetedRootKill removes the single best-connected top-level node
 // and verifies lookups keep working (no single point of failure).
 func TestTargetedRootKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	c := New(Options{N: 200, Seed: 21, Bulk: true})
 	c.StartAll()
 	c.Run(6 * time.Second)
@@ -35,6 +38,9 @@ func TestTargetedRootKill(t *testing.T) {
 // case for ring locality — and verifies the overlay reconnects across the
 // gap.
 func TestRingSegmentKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	c := New(Options{N: 240, Seed: 22, Bulk: true})
 	c.StartAll()
 	c.Run(6 * time.Second)
@@ -65,6 +71,9 @@ func TestRingSegmentKill(t *testing.T) {
 // message loss — UDP semantics at their worst — and verifies the overlay
 // stays usable.
 func TestHighLossOverlaySurvives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	c := New(Options{N: 150, Seed: 23, Bulk: true,
 		NetOpts: []netsim.Option{netsim.WithLoss(0.20)}})
 	c.StartAll()
@@ -83,6 +92,9 @@ func TestHighLossOverlaySurvives(t *testing.T) {
 // TestRejoinAfterRevival revives killed endpoints and has them rejoin via
 // anchors, checking that returning peers reintegrate.
 func TestRejoinAfterRevival(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	c := New(Options{N: 100, Seed: 24, Bulk: true})
 	c.StartAll()
 	c.Run(6 * time.Second)
@@ -117,6 +129,9 @@ func TestRejoinAfterRevival(t *testing.T) {
 // per-node maintenance traffic stays within a small constant budget per
 // keep-alive interval.
 func TestMaintenanceTrafficBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	c := New(Options{N: 300, Seed: 25, Bulk: true})
 	c.StartAll()
 	c.Run(10 * time.Second) // warm up past the initial bursts

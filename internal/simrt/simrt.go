@@ -51,6 +51,14 @@ type Cluster struct {
 	// LevelCounts reports the bulk-built members per level (nil without
 	// Bulk).
 	LevelCounts []int
+
+	// Construction machinery retained for dynamic spawns: the base config,
+	// the profile generator, and a dedicated ID stream. Spawned nodes draw
+	// random IDs (the paper's "assigned randomly" join case) rather than
+	// re-running the balanced assigner, whose placement assumes a fixed n.
+	baseCfg   core.Config
+	gen       *nodeprof.Generator
+	spawnRand *rand.Rand
 }
 
 // New builds a cluster.
@@ -71,10 +79,13 @@ func New(opts Options) *Cluster {
 	}
 
 	c := &Cluster{
-		Kernel: k,
-		Net:    net,
-		byAddr: make(map[uint64]*core.Node, opts.N),
-		alive:  make(map[uint64]bool, opts.N),
+		Kernel:    k,
+		Net:       net,
+		byAddr:    make(map[uint64]*core.Node, opts.N),
+		alive:     make(map[uint64]bool, opts.N),
+		baseCfg:   opts.Config,
+		gen:       gen,
+		spawnRand: k.Stream(0x7370776e), // "spwn"
 	}
 
 	anchorRand := k.Stream(0x616e6368) // "anch"
@@ -87,17 +98,7 @@ func New(opts Options) *Cluster {
 		for a := 0; a < 3; a++ {
 			cfg.Anchors = append(cfg.Anchors, uint64(1+anchorRand.Intn(opts.N)))
 		}
-		addr := net.Attach(func(netsim.Addr, interface{}, int) {})
-		env := &simEnv{cluster: c, addr: uint64(addr), rng: k.Stream(uint64(addr))}
-		node := core.NewNode(cfg, env)
-		net.SetHandler(addr, func(from netsim.Addr, payload interface{}, size int) {
-			if msg, ok := payload.(proto.Message); ok {
-				node.HandleMessage(uint64(from), msg)
-			}
-		})
-		c.Nodes = append(c.Nodes, node)
-		c.byAddr[uint64(addr)] = node
-		c.alive[uint64(addr)] = true
+		c.attach(cfg)
 	}
 
 	if opts.Bulk {
@@ -105,6 +106,54 @@ func New(opts Options) *Cluster {
 		c.LevelCounts = core.BulkBuild(c.Nodes, c.Nodes[0].Config().MaxHeight)
 	}
 	return c
+}
+
+// attach wires one configured node into the network and bookkeeping maps.
+func (c *Cluster) attach(cfg core.Config) *core.Node {
+	addr := c.Net.Attach(func(netsim.Addr, interface{}, int) {})
+	env := &simEnv{cluster: c, addr: uint64(addr), rng: c.Kernel.Stream(uint64(addr))}
+	node := core.NewNode(cfg, env)
+	c.Net.SetHandler(addr, func(from netsim.Addr, payload interface{}, size int) {
+		if msg, ok := payload.(proto.Message); ok {
+			node.HandleMessage(uint64(from), msg)
+		}
+	})
+	c.Nodes = append(c.Nodes, node)
+	c.byAddr[uint64(addr)] = node
+	c.alive[uint64(addr)] = true
+	return node
+}
+
+// Spawn creates a brand-new node mid-simulation (dynamic membership: the
+// population is no longer fixed at New). The node draws a random ID and a
+// fresh profile, anchors on three random existing endpoints, and is
+// returned started but not yet joined; callers normally use SpawnJoin.
+func (c *Cluster) Spawn() *core.Node {
+	cfg := c.baseCfg
+	cfg.ID = idspace.ID(c.spawnRand.Uint64())
+	cfg.Profile = c.gen.Next()
+	cfg.Anchors = nil
+	total := len(c.Nodes)
+	for a := 0; a < 3 && total > 0; a++ {
+		cfg.Anchors = append(cfg.Anchors, uint64(1+c.spawnRand.Intn(total)))
+	}
+	n := c.attach(cfg)
+	n.Start()
+	return n
+}
+
+// SpawnJoin spawns a node and bootstraps it into the overlay through a
+// live peer chosen deterministically from the spawn stream. It returns nil
+// when no live bootstrap exists.
+func (c *Cluster) SpawnJoin() *core.Node {
+	alive := c.AliveNodes()
+	if len(alive) == 0 {
+		return nil
+	}
+	boot := alive[c.spawnRand.Intn(len(alive))]
+	n := c.Spawn()
+	n.Join(boot.Addr())
+	return n
 }
 
 // StartAll starts every node's maintenance timers.
@@ -154,6 +203,36 @@ func (c *Cluster) AliveNodes() []*core.Node {
 	}
 	return out
 }
+
+// DeadNodes returns the killed nodes in construction order (revival-wave
+// scenarios pick their candidates here).
+func (c *Cluster) DeadNodes() []*core.Node {
+	out := make([]*core.Node, 0)
+	for _, n := range c.Nodes {
+		if !c.alive[n.Addr()] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Partition splits the network at the given coordinate: datagrams between
+// nodes on opposite sides of split are dropped until Heal. The link
+// filter is consulted at send time (datagrams already in flight still
+// arrive), and it resolves sides from node IDs lazily, so nodes spawned
+// mid-partition are partitioned correctly too.
+func (c *Cluster) Partition(split idspace.ID) {
+	c.Net.SetLinkFilter(func(from, to netsim.Addr) bool {
+		a, b := c.byAddr[uint64(from)], c.byAddr[uint64(to)]
+		if a == nil || b == nil {
+			return true
+		}
+		return (a.ID() <= split) == (b.ID() <= split)
+	})
+}
+
+// Heal removes the partition installed by Partition.
+func (c *Cluster) Heal() { c.Net.SetLinkFilter(nil) }
 
 // NodeByAddr resolves an address to its node.
 func (c *Cluster) NodeByAddr(addr uint64) *core.Node { return c.byAddr[addr] }

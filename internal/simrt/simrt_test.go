@@ -49,6 +49,9 @@ func randomPairs(c *Cluster, k int) [][2]*core.Node {
 }
 
 func TestBulkClusterSteadyStateLookups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	c := New(Options{N: 256, Seed: 1, Bulk: true})
 	c.StartAll()
 	c.Run(8 * time.Second) // settle: reports, pings, initial splits
@@ -66,6 +69,9 @@ func TestBulkClusterSteadyStateLookups(t *testing.T) {
 }
 
 func TestBulkClusterAllAlgorithms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	c := New(Options{N: 200, Seed: 2, Bulk: true})
 	c.StartAll()
 	c.Run(8 * time.Second)
@@ -78,6 +84,9 @@ func TestBulkClusterAllAlgorithms(t *testing.T) {
 }
 
 func TestResilienceToFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	c := New(Options{N: 300, Seed: 3, Bulk: true})
 	c.StartAll()
 	c.Run(8 * time.Second)
@@ -111,6 +120,9 @@ func TestResilienceToFailures(t *testing.T) {
 }
 
 func TestHierarchyRepairAfterParentDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	c := New(Options{N: 128, Seed: 4, Bulk: true})
 	c.StartAll()
 	c.Run(5 * time.Second)
@@ -234,6 +246,9 @@ func TestWireFidelityUnderLiveTraffic(t *testing.T) {
 }
 
 func TestMessageLossTolerated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	c := New(Options{N: 150, Seed: 7, Bulk: true, NetOpts: []netsim.Option{netsim.WithLoss(0.05)}})
 	c.StartAll()
 	c.Run(10 * time.Second)

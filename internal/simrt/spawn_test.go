@@ -1,0 +1,93 @@
+package simrt
+
+import (
+	"testing"
+	"time"
+
+	"treep/internal/core"
+	"treep/internal/idspace"
+	"treep/internal/proto"
+)
+
+// TestSpawnJoinIntegrates exercises dynamic membership: nodes spawned
+// mid-simulation must bootstrap through the live overlay, land on the
+// level-0 ring, and become resolvable by lookup.
+func TestSpawnJoinIntegrates(t *testing.T) {
+	c := New(Options{N: 120, Seed: 31, Bulk: true})
+	c.StartAll()
+	c.Run(6 * time.Second)
+
+	var spawned []*core.Node
+	for i := 0; i < 5; i++ {
+		n := c.SpawnJoin()
+		if n == nil {
+			t.Fatal("SpawnJoin returned nil with a live overlay")
+		}
+		spawned = append(spawned, n)
+		c.Run(2 * time.Second)
+	}
+	if len(c.Nodes) != 125 {
+		t.Fatalf("population %d, want 125", len(c.Nodes))
+	}
+	c.Run(8 * time.Second)
+
+	for i, n := range spawned {
+		if !c.Alive(n) {
+			t.Fatalf("spawned node %d not alive", i)
+		}
+		if n.Table().Level0.Len() == 0 {
+			t.Fatalf("spawned node %d never linked into the ring", i)
+		}
+	}
+	// Every spawned node's ID resolves from an original node.
+	pairs := make([][2]*core.Node, len(spawned))
+	for i, n := range spawned {
+		pairs[i] = [2]*core.Node{c.Nodes[i], n}
+	}
+	found, failed, _ := runLookups(c, pairs, proto.AlgoG)
+	if failed > 0 {
+		t.Fatalf("spawned nodes resolvable: %d found, %d failed", found, failed)
+	}
+}
+
+// TestSpawnDeterministic verifies spawns draw from the kernel's seeded
+// streams: same seed, same IDs.
+func TestSpawnDeterministic(t *testing.T) {
+	build := func() []idspace.ID {
+		c := New(Options{N: 50, Seed: 32, Bulk: true})
+		c.StartAll()
+		c.Run(2 * time.Second)
+		var ids []idspace.ID
+		for i := 0; i < 3; i++ {
+			ids = append(ids, c.SpawnJoin().ID())
+		}
+		return ids
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("spawn %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestPartitionBlocksAndHeals checks the cluster-level partition helper:
+// datagrams crossing the split vanish, and Heal restores connectivity.
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	c := New(Options{N: 60, Seed: 33, Bulk: true})
+	c.StartAll()
+	c.Run(4 * time.Second)
+
+	c.Partition(idspace.MaxID / 2)
+	before := c.Net.Stats().LostFiltered
+	c.Run(4 * time.Second)
+	if got := c.Net.Stats().LostFiltered; got == before {
+		t.Fatal("no datagrams filtered during partition")
+	}
+	c.Heal()
+	start := c.Net.Stats().LostFiltered
+	c.Run(4 * time.Second)
+	if got := c.Net.Stats().LostFiltered; got != start {
+		t.Fatalf("datagrams still filtered after heal: %d", got-start)
+	}
+}

@@ -76,6 +76,9 @@ func startNodes(t *testing.T, n int) []*Transport {
 }
 
 func TestUDPOverlayFormsAndResolves(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
 	trs := startNodes(t, 12)
 	// Let the overlay converge in real time.
 	time.Sleep(2 * time.Second)

@@ -30,6 +30,7 @@ import (
 	"treep/internal/idspace"
 	"treep/internal/nodeprof"
 	"treep/internal/proto"
+	"treep/internal/scenario"
 	"treep/internal/simrt"
 	"treep/internal/udptransport"
 )
@@ -284,6 +285,72 @@ func (d *Directory) PickLeastLoaded(k, v string) (Resource, error) {
 		return Resource{}, dht.ErrTimeout
 	}
 	return out, err
+}
+
+// --- scenarios and invariants -------------------------------------------------
+
+// ScenarioPhase is one segment of a scripted workload timeline; the
+// concrete phase types below compose freely. See RunScenario.
+type ScenarioPhase = scenario.Phase
+
+// SettlePhase runs the overlay quietly (maintenance and repair only).
+type SettlePhase = scenario.Settle
+
+// ChurnPhase injects continuous Poisson joins and departures; joined
+// peers are brand-new nodes bootstrapping through the live overlay.
+type ChurnPhase = scenario.Churn
+
+// FlashCrowdPhase is a mass-arrival burst.
+type FlashCrowdPhase = scenario.FlashCrowd
+
+// ZoneFailurePhase fail-stops every peer in a contiguous slice of the ID
+// space (correlated failure; see ZoneFraction).
+type ZoneFailurePhase = scenario.ZoneFailure
+
+// PartitionHealPhase splits the network at a coordinate, holds the
+// partition, then heals it.
+type PartitionHealPhase = scenario.PartitionHeal
+
+// RevivalWavePhase brings killed peers back; each rejoins through a live
+// bootstrap.
+type RevivalWavePhase = scenario.RevivalWave
+
+// ScenarioResult reports a scenario run: event counts, mid-run invariant
+// samples, and the final invariant evaluation.
+type ScenarioResult = scenario.Result
+
+// InvariantViolation is one broken overlay invariant (ring closure,
+// tessellation coverage, parent/child consistency, lookup-loop freedom).
+type InvariantViolation = scenario.Violation
+
+// ZoneFraction builds the ID-space region [lo, hi] from fractions in
+// [0, 1], for ZoneFailurePhase.
+func ZoneFraction(lo, hi float64) idspace.Region { return scenario.ZoneFraction(lo, hi) }
+
+// RunScenario plays a scripted workload timeline against the network:
+// live churn with dynamic joins, flash crowds, correlated zone failures,
+// partitions, revival waves. Runtime invariant checkers sample the
+// overlay every two virtual seconds and once more at the end; the result
+// carries every violation found. Peers joined by the scenario are full
+// protocol nodes and are attached to the DHT service layer when the
+// scenario completes.
+func (nw *SimNetwork) RunScenario(phases ...ScenarioPhase) *ScenarioResult {
+	res := scenario.Run(nw.cluster, scenario.Options{
+		Checkers:    scenario.AllCheckers(),
+		SampleEvery: 2 * time.Second,
+	}, phases...)
+	for i := len(nw.services); i < len(nw.cluster.Nodes); i++ {
+		nw.services = append(nw.services, dht.Attach(nw.cluster.Nodes[i]))
+	}
+	return res
+}
+
+// CheckInvariants evaluates every runtime invariant checker against the
+// overlay's current state and returns the violations (nil when healthy).
+func (nw *SimNetwork) CheckInvariants() []InvariantViolation {
+	return scenario.NewEngine(nw.cluster, scenario.Options{
+		Checkers: scenario.AllCheckers(),
+	}).CheckNow()
 }
 
 // UDPOptions configures a real TreeP node on a UDP socket.

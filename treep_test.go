@@ -106,6 +106,66 @@ func TestSimNetworkLevels(t *testing.T) {
 	}
 }
 
+// TestSimNetworkScenario drives the public scenario API: live churn with
+// dynamic joins, then asserts every runtime invariant checker passes and
+// the overlay (including scenario-joined peers) still resolves lookups
+// and serves the DHT.
+func TestSimNetworkScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
+	nw, err := NewSimNetwork(SimOptions{N: 150, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := nw.N()
+	res := nw.RunScenario(
+		ChurnPhase{For: 12 * time.Second, JoinRate: 2, LeaveRate: 2},
+		SettlePhase{For: 14 * time.Second},
+	)
+	if res.Joins == 0 || res.Leaves == 0 {
+		t.Fatalf("churn injected nothing: %+v", res)
+	}
+	if nw.N() != before+res.Joins {
+		t.Fatalf("population %d, want %d", nw.N(), before+res.Joins)
+	}
+	if len(res.Final) != 0 {
+		for _, v := range res.Final {
+			t.Errorf("violation: %s", v)
+		}
+		t.Fatalf("%d invariant violations after settle", len(res.Final))
+	}
+	if v := nw.CheckInvariants(); len(v) != 0 {
+		t.Fatalf("CheckInvariants disagrees with scenario result: %v", v)
+	}
+	// A scenario-joined peer is a first-class citizen: resolvable by
+	// lookup and attached to the DHT layer.
+	joined := before // first spawned node's index
+	if !nw.Alive(joined) {
+		t.Skip("first joined peer was churned out again")
+	}
+	origin := -1
+	for i := 0; i < before; i++ {
+		if nw.Alive(i) {
+			origin = i
+			break
+		}
+	}
+	if origin < 0 {
+		t.Fatal("no original peer survived")
+	}
+	lr, err := nw.Lookup(origin, nw.NodeID(joined), AlgoG)
+	if err != nil || lr.Status != LookupFound || lr.Best.ID != nw.NodeID(joined) {
+		t.Fatalf("joined peer not resolvable: %+v %v", lr, err)
+	}
+	if err := nw.Put(joined, []byte("spawned"), []byte("ok")); err != nil {
+		t.Fatalf("joined peer DHT put: %v", err)
+	}
+	if v, err := nw.Get(origin, []byte("spawned")); err != nil || string(v) != "ok" {
+		t.Fatalf("get via original peer: %q %v", v, err)
+	}
+}
+
 func TestUDPNodePair(t *testing.T) {
 	a, err := StartUDPNode(UDPOptions{Seed: 1})
 	if err != nil {
