@@ -141,9 +141,19 @@ func BenchmarkFigI_HopSurface_NG_VarNC(b *testing.B) {
 // the final phase boundary.
 func benchScenario(b *testing.B, phases []scenario.Phase) {
 	b.Helper()
+	benchScenarioN(b, 300, phases)
+}
+
+// benchScenarioN is benchScenario at an explicit population; the scale
+// points (2k, 5k) track the substrate's events/sec and allocs/op as the
+// simulated population grows (EXPERIMENTS.md scale table).
+func benchScenarioN(b *testing.B, n int, phases []scenario.Phase) {
+	b.Helper()
+	b.ReportAllocs()
+	var events uint64
 	for i := 0; i < b.N; i++ {
 		res := experiment.RunScenario(experiment.ScenarioOptions{
-			N:               300,
+			N:               n,
 			Seeds:           []int64{1},
 			Phases:          phases,
 			LookupsPerPhase: 60,
@@ -153,14 +163,36 @@ func benchScenario(b *testing.B, phases []scenario.Phase) {
 		b.ReportMetric(fail.Y[last], "failpct@end")
 		viol := res.ViolationsByPhase()
 		b.ReportMetric(viol.Y[last], "violations@end")
+		if r := res.Trials[0].Result; r != nil {
+			events += r.Events
+		}
+	}
+	if events > 0 {
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 	}
 }
 
 func BenchmarkScenarioChurn(b *testing.B) {
-	benchScenario(b, []scenario.Phase{
+	benchScenario(b, churnPhases())
+}
+
+// churnPhases is the canonical churn timeline used at every scale point.
+func churnPhases() []scenario.Phase {
+	return []scenario.Phase{
 		scenario.Churn{For: 15 * time.Second, JoinRate: 2, LeaveRate: 2},
 		scenario.Settle{For: 12 * time.Second},
-	})
+	}
+}
+
+func BenchmarkScenarioChurn2k(b *testing.B) {
+	benchScenarioN(b, 2000, churnPhases())
+}
+
+func BenchmarkScenarioChurn5k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("N=5000 scenario: skipped in -short mode")
+	}
+	benchScenarioN(b, 5000, churnPhases())
 }
 
 func BenchmarkScenarioFlashCrowd(b *testing.B) {

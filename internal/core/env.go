@@ -27,7 +27,8 @@ import (
 	"treep/internal/proto"
 )
 
-// Timer is a cancellable single-shot timer handle.
+// Timer is a cancellable timer handle (single-shot or periodic; cancelling
+// a periodic timer stops all future firings).
 type Timer interface {
 	// Cancel stops the timer, reporting whether it was still pending.
 	Cancel() bool
@@ -44,8 +45,12 @@ type Env interface {
 	Now() time.Duration
 	// Send transmits a message best-effort; it must not block.
 	Send(to uint64, msg proto.Message)
-	// SetTimer schedules fn after d; the returned handle cancels it.
+	// SetTimer schedules fn once, after d; the returned handle cancels it.
 	SetTimer(d time.Duration, fn func()) Timer
+	// SetPeriodic schedules fn every d (first firing after d) until the
+	// returned handle is cancelled. Runtimes back this with a recurring
+	// timer primitive so steady-state ticks do not re-arm per firing.
+	SetPeriodic(d time.Duration, fn func()) Timer
 	// Rand returns this node's random stream.
 	Rand() *rand.Rand
 }

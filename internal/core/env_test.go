@@ -29,6 +29,9 @@ type fakeTimer struct {
 	fn        func()
 	cancelled bool
 	fired     bool
+	// period > 0 marks a recurring timer: advance re-arms it after each
+	// firing instead of marking it fired.
+	period time.Duration
 }
 
 func (t *fakeTimer) Cancel() bool {
@@ -57,6 +60,12 @@ func (e *fakeEnv) SetTimer(d time.Duration, fn func()) Timer {
 	return t
 }
 
+func (e *fakeEnv) SetPeriodic(d time.Duration, fn func()) Timer {
+	t := &fakeTimer{at: e.now + d, fn: fn, period: d}
+	e.timers = append(e.timers, t)
+	return t
+}
+
 // advance moves the clock forward, firing due timers in time order.
 func (e *fakeEnv) advance(d time.Duration) {
 	target := e.now + d
@@ -74,7 +83,11 @@ func (e *fakeEnv) advance(d time.Duration) {
 			break
 		}
 		e.now = next.at
-		next.fired = true
+		if next.period > 0 {
+			next.at += next.period
+		} else {
+			next.fired = true
+		}
 		next.fn()
 	}
 	e.now = target

@@ -513,7 +513,7 @@ func (n *Node) demotionExpired() {
 
 	n.maxLevel = oldLvl - 1
 	n.Stats.Demotions++
-	delete(n.table.Bus, oldLvl)
+	n.table.DropLevel(oldLvl)
 
 	// Our own parent requirement dropped a level; the old parent is still
 	// a member of the lower level's bus, but the successor may be nearer.

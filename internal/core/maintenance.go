@@ -14,34 +14,29 @@ func distTo(a, b idspace.ID) uint64 { return idspace.Dist(a, b) }
 
 // --- periodic timers ---------------------------------------------------------
 
+// The three maintenance loops are recurring timers armed once at Start and
+// cancelled at Stop: no per-tick re-arm closure, which matters at scale
+// (three timers per node per interval across a 10k-node simulation).
+
 func (n *Node) armKeepalive() {
 	if !n.started {
 		return
 	}
-	n.keepaliveTimer = n.env.SetTimer(n.cfg.KeepAlive, func() {
-		n.keepaliveTick()
-		n.armKeepalive()
-	})
+	n.keepaliveTimer = n.env.SetPeriodic(n.cfg.KeepAlive, n.keepaliveTick)
 }
 
 func (n *Node) armSweep() {
 	if !n.started {
 		return
 	}
-	n.sweepTimer = n.env.SetTimer(n.cfg.SweepInterval, func() {
-		n.sweepTick()
-		n.armSweep()
-	})
+	n.sweepTimer = n.env.SetPeriodic(n.cfg.SweepInterval, n.sweepTick)
 }
 
 func (n *Node) armReport() {
 	if !n.started {
 		return
 	}
-	n.reportTimer = n.env.SetTimer(n.cfg.ChildReport, func() {
-		n.reportTick()
-		n.armReport()
-	})
+	n.reportTimer = n.env.SetPeriodic(n.cfg.ChildReport, n.reportTick)
 }
 
 // keepaliveTick pings every active connection, piggybacking the routing

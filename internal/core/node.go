@@ -67,6 +67,18 @@ type Node struct {
 
 	started bool
 
+	// Scratch buffers for the per-message composition hot path. The node
+	// runs on a single logical event loop, and none of these survive the
+	// call frame that fills them, so reuse is safe; together they keep the
+	// keep-alive/delta path allocation-free except for the entry slice
+	// that escapes into each outgoing message.
+	scratchEntries []proto.Entry
+	scratchDelta   []proto.Entry
+	scratchRefs    []proto.NodeRef
+	scratchPeers   []proto.NodeRef
+	scratchMembers []proto.NodeRef
+	scratchIDs     []idspace.ID
+
 	// Origin-side lookup bookkeeping.
 	pending   map[uint64]*pendingLookup
 	nextReqID uint64
@@ -88,6 +100,9 @@ func (n *Node) Send(to uint64, msg proto.Message) { n.send(to, msg) }
 
 // SetTimer exposes the runtime timer to layered services.
 func (n *Node) SetTimer(d time.Duration, fn func()) Timer { return n.env.SetTimer(d, fn) }
+
+// SetPeriodic exposes the runtime's recurring timer to layered services.
+func (n *Node) SetPeriodic(d time.Duration, fn func()) Timer { return n.env.SetPeriodic(d, fn) }
 
 // Now exposes the runtime clock to layered services.
 func (n *Node) Now() time.Duration { return n.env.Now() }
@@ -330,7 +345,8 @@ func (n *Node) degreeAt(level uint8) int {
 }
 
 // busMembersWithSelf returns the node's view of the level members,
-// including itself, sorted by ID. The slice is freshly allocated.
+// including itself, sorted by ID. The slice is a shared scratch buffer:
+// callers must not retain it across another call into the node.
 func (n *Node) busMembersWithSelf(level uint8) []proto.NodeRef {
 	var refs []proto.NodeRef
 	if level == 0 {
@@ -338,10 +354,13 @@ func (n *Node) busMembersWithSelf(level uint8) []proto.NodeRef {
 	} else if s, ok := n.table.Bus[level]; ok {
 		refs = s.Refs()
 	}
-	out := make([]proto.NodeRef, 0, len(refs)+1)
-	out = append(out, refs...)
+	out := append(n.scratchMembers[:0], refs...)
 	out = append(out, n.Ref())
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	// refs is already ID-sorted; a single insertion places self.
+	for i := len(out) - 1; i > 0 && out[i-1].ID > out[i].ID; i-- {
+		out[i-1], out[i] = out[i], out[i-1]
+	}
+	n.scratchMembers = out
 	return out
 }
 
@@ -351,10 +370,11 @@ func (n *Node) busMembersWithSelf(level uint8) []proto.NodeRef {
 // node's own coordinate neighbourhood.
 func (n *Node) regionAt(level uint8) idspace.Region {
 	members := n.busMembersWithSelf(level)
-	ids := make([]idspace.ID, len(members))
-	for i, m := range members {
-		ids[i] = m.ID
+	ids := n.scratchIDs[:0]
+	for _, m := range members {
+		ids = append(ids, m.ID)
 	}
+	n.scratchIDs = ids
 	idx := sort.Search(len(ids), func(i int) bool { return ids[i] >= n.cfg.ID })
 	// Self is in the list by construction; handle duplicate IDs by scanning.
 	for idx < len(ids) && members[idx].Addr != n.Addr() && ids[idx] == n.cfg.ID {
@@ -393,23 +413,32 @@ func (n *Node) busNeighbors(level uint8) (left, right proto.NodeRef) {
 // connections) are actively maintained"; parent and children links have
 // their own report mechanism).
 func (n *Node) activePeers() []proto.NodeRef {
-	var out []proto.NodeRef
-	seen := map[uint64]bool{n.Addr(): true}
-	add := func(r proto.NodeRef) {
-		if !r.IsZero() && !seen[r.Addr] {
-			seen[r.Addr] = true
-			out = append(out, r)
-		}
-	}
+	out := n.scratchPeers[:0]
+	self := n.Addr()
 	l, r := n.table.Level0.Neighbors(n.cfg.ID)
-	add(l)
-	add(r)
+	out = appendPeerDedup(out, l, self)
+	out = appendPeerDedup(out, r, self)
 	for lvl := uint8(1); lvl <= n.maxLevel; lvl++ {
 		bl, br := n.busNeighbors(lvl)
-		add(bl)
-		add(br)
+		out = appendPeerDedup(out, bl, self)
+		out = appendPeerDedup(out, br, self)
 	}
+	n.scratchPeers = out
 	return out
+}
+
+// appendPeerDedup appends r unless it is zero, self, or already present.
+// Linear scan: the active-connection set is two refs per occupied level.
+func appendPeerDedup(out []proto.NodeRef, r proto.NodeRef, self uint64) []proto.NodeRef {
+	if r.IsZero() || r.Addr == self {
+		return out
+	}
+	for i := range out {
+		if out[i].Addr == r.Addr {
+			return out
+		}
+	}
+	return append(out, r)
 }
 
 // bestKnownMember returns the nearest known member of the given level
@@ -479,8 +508,7 @@ func (n *Node) bestKnownMember(level uint8, near idspace.ID) (proto.NodeRef, tim
 // echoing each other's advertisements. Superiors are the one exception —
 // they are vouched for by the parent chain, which is acyclic, so staleness
 // there is bounded by depth × TTL rather than unbounded.
-func (n *Node) structuralEntries() []proto.Entry {
-	var out []proto.Entry
+func (n *Node) structuralEntries(out []proto.Entry) []proto.Entry {
 	now := n.env.Now()
 	ttl := n.cfg.EntryTTL
 	v := n.table.Version()
@@ -498,16 +526,17 @@ func (n *Node) structuralEntries() []proto.Entry {
 	// Two direct-fresh ring contacts per side: the wider advertisement is
 	// what lets survivors bridge multi-node gaps after failures (§III.c
 	// allows l0 up to n-1; we keep it small but not minimal).
-	lrefs := n.table.Level0.NeighborsFreshK(n.cfg.ID, now, ttl, 2, true)
-	rrefs := n.table.Level0.NeighborsFreshK(n.cfg.ID, now, ttl, 2, false)
-	for _, nb := range append(lrefs, rrefs...) {
+	nbrs := n.table.Level0.AppendNeighborsFreshK(n.scratchRefs[:0], n.cfg.ID, now, ttl, 2, true)
+	nbrs = n.table.Level0.AppendNeighborsFreshK(nbrs, n.cfg.ID, now, ttl, 2, false)
+	n.scratchRefs = nbrs
+	for _, nb := range nbrs {
 		out = append(out, proto.Entry{Ref: nb, Level: 0, Flags: proto.FNeighbor, Version: v,
 			AgeDs: age(n.table.Level0, nb.Addr)})
 	}
 	for lvl := uint8(1); lvl <= n.maxLevel; lvl++ {
 		if s, ok := n.table.Bus[lvl]; ok {
 			bl, br := s.NeighborsFresh(n.cfg.ID, now, ttl)
-			for _, nb := range []proto.NodeRef{bl, br} {
+			for _, nb := range [2]proto.NodeRef{bl, br} {
 				if !nb.IsZero() {
 					out = append(out, proto.Entry{Ref: nb, Level: lvl, Flags: proto.FNeighbor, Version: v,
 						AgeDs: age(s, nb.Addr)})
@@ -515,7 +544,9 @@ func (n *Node) structuralEntries() []proto.Entry {
 			}
 		}
 	}
-	for _, c := range n.table.Children.FreshRefs(now, ttl) {
+	fresh := n.table.Children.AppendFreshRefs(n.scratchRefs[:0], now, ttl)
+	n.scratchRefs = fresh
+	for _, c := range fresh {
 		out = append(out, proto.Entry{Ref: c, Level: c.MaxLevel, Flags: proto.FChild, Version: v,
 			AgeDs: age(n.table.Children, c.Addr)})
 	}
@@ -526,8 +557,7 @@ func (n *Node) structuralEntries() []proto.Entry {
 // children (their ancestors, Figure 2). Shipped only on the child-report
 // ack: no other peer applies them, and spreading them wide would let stale
 // upper-level refs circulate.
-func (n *Node) superiorEntries() []proto.Entry {
-	var out []proto.Entry
+func (n *Node) superiorEntries(out []proto.Entry) []proto.Entry {
 	now := n.env.Now()
 	v := n.table.Version()
 	for _, s := range n.table.Superiors.Refs() {
@@ -542,36 +572,40 @@ func (n *Node) superiorEntries() []proto.Entry {
 
 // composeUpdate merges the version-gated delta for a peer with the
 // always-shipped structural entries (deduplicated by address+flags, delta
-// first). forChild additionally ships the superior list.
+// first). forChild additionally ships the superior list. Everything is
+// staged in scratch buffers; the one allocation is the exact-size entry
+// slice that escapes into the outgoing message.
 func (n *Node) composeUpdate(peer uint64, forChild bool) []proto.Entry {
-	delta := n.table.Delta(n.lastSent[peer], n.env.Now())
+	delta := n.table.AppendDelta(n.scratchDelta[:0], n.lastSent[peer], n.env.Now())
+	n.scratchDelta = delta
 	n.lastSent[peer] = n.table.Version()
-	structural := n.structuralEntries()
+	structural := n.structuralEntries(n.scratchEntries[:0])
 	if forChild {
-		structural = append(structural, n.superiorEntries()...)
+		structural = n.superiorEntries(structural)
 	}
-	if len(structural) == 0 {
-		return delta
+	n.scratchEntries = structural
+	if len(delta)+len(structural) == 0 {
+		return nil
 	}
-	type key struct {
-		addr  uint64
-		flags proto.EntryFlag
-	}
-	seen := make(map[key]bool, len(delta)+len(structural))
 	out := make([]proto.Entry, 0, len(delta)+len(structural))
 	for _, e := range delta {
-		k := key{e.Ref.Addr, e.Flags}
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, e)
-		}
+		out = appendEntryDedup(out, e)
 	}
 	for _, e := range structural {
-		k := key{e.Ref.Addr, e.Flags}
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, e)
-		}
+		out = appendEntryDedup(out, e)
 	}
 	return out
+}
+
+// appendEntryDedup appends e unless an entry with the same (address,
+// flags) is already present. Linear scan: updates are a few dozen entries
+// at most (§III.e bounds the table, the delta is the changed subset), and
+// a map here costs an allocation per outgoing message.
+func appendEntryDedup(out []proto.Entry, e proto.Entry) []proto.Entry {
+	for i := range out {
+		if out[i].Ref.Addr == e.Ref.Addr && out[i].Flags == e.Flags {
+			return out
+		}
+	}
+	return append(out, e)
 }

@@ -72,6 +72,44 @@ type Network struct {
 	// in flight when the filter returns false for its (from, to) pair.
 	// Scenario tools use it to simulate network partitions.
 	linkFilter func(from, to Addr) bool
+	// freeDeliveries pools in-flight datagram records so the per-datagram
+	// hot path (one delivery event per Send) does not allocate.
+	freeDeliveries *delivery
+}
+
+// delivery is one in-flight datagram, scheduled through the kernel's
+// closure-free dispatch path and recycled on arrival.
+type delivery struct {
+	net     *Network
+	ep      *endpoint
+	from    Addr
+	payload interface{}
+	size    int
+	next    *delivery
+}
+
+// deliverDatagram is the single dispatch function for every in-flight
+// datagram (sim.Kernel.Post's handler; no per-datagram closure).
+func deliverDatagram(arg interface{}) { arg.(*delivery).deliver() }
+
+func (d *delivery) deliver() {
+	n, ep, from, payload, size := d.net, d.ep, d.from, d.payload, d.size
+	d.net, d.ep, d.payload = nil, nil, nil
+	d.next = n.freeDeliveries
+	n.freeDeliveries = d
+
+	// Liveness is checked at arrival, not at send: UDP gives the sender
+	// no feedback, so a datagram to a dead host leaves the sender
+	// normally and vanishes in the network.
+	if !ep.alive {
+		n.stats.LostDead++
+		if n.trace != nil {
+			n.trace(TraceEvent{At: n.kernel.Now(), From: from, To: ep.addr, Size: size, Payload: payload, Dropped: true, Reason: "dead"})
+		}
+		return
+	}
+	n.stats.Delivered++
+	ep.handler(from, payload, size)
 }
 
 type endpoint struct {
@@ -180,52 +218,51 @@ func (n *Network) ResetStats() { n.stats = Stats{} }
 // Send transmits one datagram. Delivery is best-effort: the datagram may be
 // dropped by the loss model, because the destination is dead, or because it
 // exceeds the MTU. size is the datagram's wire size in bytes (payload is
-// carried by reference for speed; see package comment).
+// carried by reference for speed; see package comment). The in-flight leg
+// is a pooled record dispatched through the kernel's closure-free path, so
+// steady-state traffic does not allocate per datagram.
 func (n *Network) Send(from, to Addr, payload interface{}, size int) {
 	n.stats.Sent++
 	n.stats.Bytes += uint64(size)
 
-	drop := func(reason string) {
-		if n.trace != nil {
-			n.trace(TraceEvent{At: n.kernel.Now(), From: from, To: to, Size: size, Payload: payload, Dropped: true, Reason: reason})
-		}
-	}
-
 	if n.mtu > 0 && size > n.mtu {
 		n.stats.LostDead++ // accounted as undeliverable
-		drop("mtu")
+		n.traceDrop(from, to, payload, size, "mtu")
 		return
 	}
 	ep, ok := n.eps[to]
 	if !ok {
 		n.stats.LostDead++
-		drop("dead")
+		n.traceDrop(from, to, payload, size, "dead")
 		return
 	}
 	if n.linkFilter != nil && !n.linkFilter(from, to) {
 		n.stats.LostFiltered++
-		drop("filtered")
+		n.traceDrop(from, to, payload, size, "filtered")
 		return
 	}
 	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
 		n.stats.LostRandom++
-		drop("loss")
+		n.traceDrop(from, to, payload, size, "loss")
 		return
 	}
 	if n.trace != nil {
 		n.trace(TraceEvent{At: n.kernel.Now(), From: from, To: to, Size: size, Payload: payload})
 	}
 	delay := n.latency.Delay(from, to, n.rng)
-	n.kernel.Schedule(delay, func() {
-		// Liveness is checked at arrival, not at send: UDP gives the sender
-		// no feedback, so a datagram to a dead host leaves the sender
-		// normally and vanishes in the network.
-		if !ep.alive {
-			n.stats.LostDead++
-			drop("dead")
-			return
-		}
-		n.stats.Delivered++
-		ep.handler(from, payload, size)
-	})
+	d := n.freeDeliveries
+	if d == nil {
+		d = &delivery{}
+	} else {
+		n.freeDeliveries = d.next
+		d.next = nil
+	}
+	d.net, d.ep, d.from, d.payload, d.size = n, ep, from, payload, size
+	n.kernel.Post(delay, deliverDatagram, d)
+}
+
+func (n *Network) traceDrop(from, to Addr, payload interface{}, size int, reason string) {
+	if n.trace != nil {
+		n.trace(TraceEvent{At: n.kernel.Now(), From: from, To: to, Size: size, Payload: payload, Dropped: true, Reason: reason})
+	}
 }

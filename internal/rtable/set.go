@@ -184,9 +184,24 @@ func (s *Set) Sweep(now, ttl time.Duration) []proto.NodeRef {
 		s.dirty = true
 		// Map iteration order is random; deterministic callers need a
 		// stable order.
-		sort.Slice(removed, func(i, j int) bool { return removed[i].ID < removed[j].ID })
+		sortRefsByID(removed)
 	}
 	return removed
+}
+
+// sortRefsByID orders refs by (ID, Addr). Insertion sort: routing sets are
+// small (§III.e bounds them to a handful per structure) and the reflection
+// machinery of sort.Slice allocates on a path hit once per table mutation.
+func sortRefsByID(refs []proto.NodeRef) {
+	for i := 1; i < len(refs); i++ {
+		r := refs[i]
+		j := i - 1
+		for j >= 0 && (refs[j].ID > r.ID || (refs[j].ID == r.ID && refs[j].Addr > r.Addr)) {
+			refs[j+1] = refs[j]
+			j--
+		}
+		refs[j+1] = r
+	}
 }
 
 // Refs returns the entries' refs sorted by ID. The slice is shared with the
@@ -197,12 +212,7 @@ func (s *Set) Refs() []proto.NodeRef {
 		for _, e := range s.byAddr {
 			s.sorted = append(s.sorted, e.Ref)
 		}
-		sort.Slice(s.sorted, func(i, j int) bool {
-			if s.sorted[i].ID != s.sorted[j].ID {
-				return s.sorted[i].ID < s.sorted[j].ID
-			}
-			return s.sorted[i].Addr < s.sorted[j].Addr
-		})
+		sortRefsByID(s.sorted)
 		s.dirty = false
 	}
 	return s.sorted
@@ -255,13 +265,22 @@ func (s *Set) Neighbors(x idspace.ID) (left, right proto.NodeRef) {
 // Hearsay entries (never heard from directly, or silent beyond ttl) are
 // skipped, which is what keeps dead nodes from circulating forever.
 func (s *Set) NeighborsFresh(x idspace.ID, now, ttl time.Duration) (left, right proto.NodeRef) {
-	l := s.NeighborsFreshK(x, now, ttl, 1, true)
-	r := s.NeighborsFreshK(x, now, ttl, 1, false)
-	if len(l) > 0 {
-		left = l[0]
+	refs := s.Refs()
+	i := sort.Search(len(refs), func(i int) bool { return refs[i].ID >= x })
+	for l := i - 1; l >= 0; l-- {
+		if e := s.byAddr[refs[l].Addr]; e != nil && e.DirectFresh(now, ttl) {
+			left = refs[l]
+			break
+		}
 	}
-	if len(r) > 0 {
-		right = r[0]
+	for r := i; r < len(refs); r++ {
+		if refs[r].ID == x {
+			continue
+		}
+		if e := s.byAddr[refs[r].Addr]; e != nil && e.DirectFresh(now, ttl) {
+			right = refs[r]
+			break
+		}
 	}
 	return left, right
 }
@@ -269,23 +288,31 @@ func (s *Set) NeighborsFresh(x idspace.ID, now, ttl time.Duration) (left, right 
 // NeighborsFreshK returns up to k direct-fresh refs on one side of x
 // (left = below x), nearest first.
 func (s *Set) NeighborsFreshK(x idspace.ID, now, ttl time.Duration, k int, leftSide bool) []proto.NodeRef {
+	return s.AppendNeighborsFreshK(nil, x, now, ttl, k, leftSide)
+}
+
+// AppendNeighborsFreshK is NeighborsFreshK appending into out, for callers
+// that reuse a scratch buffer on the per-keep-alive hot path.
+func (s *Set) AppendNeighborsFreshK(out []proto.NodeRef, x idspace.ID, now, ttl time.Duration, k int, leftSide bool) []proto.NodeRef {
 	refs := s.Refs()
 	i := sort.Search(len(refs), func(i int) bool { return refs[i].ID >= x })
-	var out []proto.NodeRef
+	found := 0
 	if leftSide {
-		for l := i - 1; l >= 0 && len(out) < k; l-- {
+		for l := i - 1; l >= 0 && found < k; l-- {
 			if e := s.byAddr[refs[l].Addr]; e != nil && e.DirectFresh(now, ttl) {
 				out = append(out, refs[l])
+				found++
 			}
 		}
 		return out
 	}
-	for r := i; r < len(refs) && len(out) < k; r++ {
+	for r := i; r < len(refs) && found < k; r++ {
 		if refs[r].ID == x {
 			continue
 		}
 		if e := s.byAddr[refs[r].Addr]; e != nil && e.DirectFresh(now, ttl) {
 			out = append(out, refs[r])
+			found++
 		}
 	}
 	return out
@@ -321,7 +348,11 @@ func (s *Set) SideRank(x, id idspace.ID) int {
 
 // FreshRefs returns the refs of entries heard from directly within ttl.
 func (s *Set) FreshRefs(now, ttl time.Duration) []proto.NodeRef {
-	var out []proto.NodeRef
+	return s.AppendFreshRefs(nil, now, ttl)
+}
+
+// AppendFreshRefs is FreshRefs appending into out (scratch-buffer form).
+func (s *Set) AppendFreshRefs(out []proto.NodeRef, now, ttl time.Duration) []proto.NodeRef {
 	for _, r := range s.Refs() {
 		if e := s.byAddr[r.Addr]; e != nil && e.DirectFresh(now, ttl) {
 			out = append(out, r)
@@ -345,13 +376,16 @@ func (s *Set) HasID(x idspace.ID) (proto.NodeRef, bool) {
 // at this provider. It implements the "exchange only out-of-date data"
 // delta of §III.d.
 func (s *Set) ChangedSince(since uint32, level uint8, now time.Duration, out []proto.Entry) []proto.Entry {
-	s.Each(func(e *Entry) {
-		if e.Version > since {
+	// Plain loop rather than Each: the closure Each would need captures
+	// out, and this runs once per structure per outgoing keep-alive.
+	for _, r := range s.Refs() {
+		e := s.byAddr[r.Addr]
+		if e != nil && e.Version > since {
 			out = append(out, proto.Entry{
 				Ref: e.Ref, Level: level, Flags: e.Flags, Version: e.Version,
 				AgeDs: proto.AgeFrom(now, e.LastSeen),
 			})
 		}
-	})
+	}
 	return out
 }

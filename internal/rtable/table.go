@@ -2,7 +2,6 @@ package rtable
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
@@ -38,6 +37,11 @@ type Table struct {
 	// version is the monotone stamp for delta sync; bumped on every
 	// data-changing mutation.
 	version uint32
+
+	// levels caches the ascending occupied bus levels (rebuilt lazily; the
+	// delta composition walks them once per outgoing keep-alive).
+	levels      []uint8
+	levelsDirty bool
 }
 
 // New returns an empty table.
@@ -66,19 +70,36 @@ func (t *Table) BusLevel(i uint8) *Set {
 	if !ok {
 		s = NewSet()
 		t.Bus[i] = s
+		t.levelsDirty = true
 	}
 	return s
 }
 
-// busLevels returns the occupied bus levels in ascending order, so that
-// behaviour never depends on map iteration order.
-func (t *Table) busLevels() []uint8 {
-	levels := make([]uint8, 0, len(t.Bus))
-	for lvl := range t.Bus {
-		levels = append(levels, lvl)
+// DropLevel removes the whole set for a bus level (demotion vacates it).
+func (t *Table) DropLevel(i uint8) {
+	if _, ok := t.Bus[i]; ok {
+		delete(t.Bus, i)
+		t.levelsDirty = true
 	}
-	sort.Slice(levels, func(i, j int) bool { return levels[i] < levels[j] })
-	return levels
+}
+
+// busLevels returns the occupied bus levels in ascending order, so that
+// behaviour never depends on map iteration order. The slice is cached and
+// must not be mutated by callers.
+func (t *Table) busLevels() []uint8 {
+	if t.levelsDirty || (t.levels == nil && len(t.Bus) > 0) {
+		t.levels = t.levels[:0]
+		for lvl := range t.Bus {
+			t.levels = append(t.levels, lvl)
+		}
+		for i := 1; i < len(t.levels); i++ {
+			for j := i; j > 0 && t.levels[j-1] > t.levels[j]; j-- {
+				t.levels[j-1], t.levels[j] = t.levels[j], t.levels[j-1]
+			}
+		}
+		t.levelsDirty = false
+	}
+	return t.levels
 }
 
 // SetParent installs or refreshes the parent slot. Adoption counts as
@@ -170,6 +191,7 @@ func (t *Table) DowngradeLevels(addr uint64, maxLevel uint8) bool {
 			removed = true
 			if s.Len() == 0 {
 				delete(t.Bus, lvl)
+				t.levelsDirty = true
 			}
 		}
 	}
@@ -207,6 +229,7 @@ func (t *Table) Sweep(now, ttl time.Duration) SweepResult {
 		}
 		if s.Len() == 0 {
 			delete(t.Bus, lvl)
+			t.levelsDirty = true
 		}
 	}
 	res.Children = t.Children.Sweep(now, ttl)
@@ -227,8 +250,10 @@ func (t *Table) FindID(x idspace.ID) (proto.NodeRef, bool) {
 		return r, true
 	}
 	for _, lvl := range t.busLevels() {
-		if r, ok := t.Bus[lvl].HasID(x); ok {
-			return r, true
+		if s := t.Bus[lvl]; s != nil {
+			if r, ok := s.HasID(x); ok {
+				return r, true
+			}
 		}
 	}
 	if r, ok := t.Children.HasID(x); ok {
@@ -266,8 +291,10 @@ func (t *Table) Candidates(out []proto.NodeRef) []proto.NodeRef {
 		add(r)
 	}
 	for _, lvl := range t.busLevels() {
-		for _, r := range t.Bus[lvl].Refs() {
-			add(r)
+		if s := t.Bus[lvl]; s != nil {
+			for _, r := range s.Refs() {
+				add(r)
+			}
 		}
 	}
 	for _, r := range t.Children.Refs() {
@@ -302,10 +329,17 @@ func (t *Table) Size() int {
 // shipment to a neighbour that last saw version since. Entries carry their
 // age at this node (relative to now) so staleness accumulates across hops.
 func (t *Table) Delta(since uint32, now time.Duration) []proto.Entry {
-	var out []proto.Entry
+	return t.AppendDelta(nil, since, now)
+}
+
+// AppendDelta is Delta appending into out, for callers that reuse a
+// scratch buffer on the per-message hot path.
+func (t *Table) AppendDelta(out []proto.Entry, since uint32, now time.Duration) []proto.Entry {
 	out = t.Level0.ChangedSince(since, 0, now, out)
 	for _, lvl := range t.busLevels() {
-		out = t.Bus[lvl].ChangedSince(since, lvl, now, out)
+		if s := t.Bus[lvl]; s != nil {
+			out = s.ChangedSince(since, lvl, now, out)
+		}
 	}
 	out = t.Children.ChangedSince(since, 0, now, out)
 	out = t.NbrChildren.ChangedSince(since, 0, now, out)

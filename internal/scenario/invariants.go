@@ -40,9 +40,10 @@ func AllCheckers() []Checker {
 	}
 }
 
-// aliveByID returns the live nodes sorted by coordinate.
+// aliveByID returns the live nodes sorted by coordinate. AliveNodes hands
+// out the cluster's shared cache, so sort a copy.
 func aliveByID(c *simrt.Cluster) []*core.Node {
-	alive := c.AliveNodes()
+	alive := append([]*core.Node(nil), c.AliveNodes()...)
 	sort.Slice(alive, func(i, j int) bool { return alive[i].ID() < alive[j].ID() })
 	return alive
 }

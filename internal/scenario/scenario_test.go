@@ -15,6 +15,20 @@ func newCluster(t *testing.T, n int, seed int64) *simrt.Cluster {
 	return c
 }
 
+// checkedOpts is the standard invariant configuration for scenario tests:
+// all checkers, optional mid-run sampling, and the persistence filter on
+// the final evaluation — the oracle is "the overlay converges to an
+// invariant-clean state within a bounded window after the last phase",
+// not "the boundary instant catches no repair in flight".
+func checkedOpts(sample time.Duration) Options {
+	return Options{
+		Checkers:    AllCheckers(),
+		SampleEvery: sample,
+		FinalGrace:  3 * time.Second,
+		FinalChecks: 4,
+	}
+}
+
 // assertClean fails the test when the final invariant evaluation found
 // anything, printing every violation.
 func assertClean(t *testing.T, res *Result) {
@@ -33,7 +47,7 @@ func TestSteadyStateInvariants(t *testing.T) {
 		t.Skip("N=500 simulation; skipped with -short")
 	}
 	c := newCluster(t, 500, 1)
-	res := Run(c, Options{Checkers: AllCheckers()},
+	res := Run(c, checkedOpts(0),
 		Settle{For: 10 * time.Second})
 	assertClean(t, res)
 }
@@ -44,7 +58,7 @@ func TestContinuousChurnInvariants(t *testing.T) {
 	}
 	c := newCluster(t, 500, 2)
 	before := len(c.Nodes)
-	res := Run(c, Options{Checkers: AllCheckers(), SampleEvery: 5 * time.Second},
+	res := Run(c, checkedOpts(5*time.Second),
 		Settle{For: 8 * time.Second},
 		Churn{For: 20 * time.Second, JoinRate: 2, LeaveRate: 2},
 		Settle{For: 14 * time.Second})
@@ -65,7 +79,7 @@ func TestFlashCrowdInvariants(t *testing.T) {
 		t.Skip("N=500 simulation; skipped with -short")
 	}
 	c := newCluster(t, 500, 3)
-	res := Run(c, Options{Checkers: AllCheckers()},
+	res := Run(c, checkedOpts(0),
 		Settle{For: 8 * time.Second},
 		FlashCrowd{Joins: 100, Over: 5 * time.Second},
 		Settle{For: 14 * time.Second})
@@ -83,7 +97,7 @@ func TestZoneFailureInvariants(t *testing.T) {
 		t.Skip("N=500 simulation; skipped with -short")
 	}
 	c := newCluster(t, 500, 4)
-	res := Run(c, Options{Checkers: AllCheckers()},
+	res := Run(c, checkedOpts(0),
 		Settle{For: 8 * time.Second},
 		ZoneFailure{Zone: ZoneFraction(0.40, 0.55), Settle: 22 * time.Second})
 	// A 15% contiguous slice of a balanced population dies together.
@@ -98,7 +112,7 @@ func TestPartitionHealInvariants(t *testing.T) {
 		t.Skip("N=500 simulation; skipped with -short")
 	}
 	c := newCluster(t, 500, 5)
-	res := Run(c, Options{Checkers: AllCheckers()},
+	res := Run(c, checkedOpts(0),
 		Settle{For: 8 * time.Second},
 		PartitionHeal{Hold: 10 * time.Second, Heal: 25 * time.Second})
 	assertClean(t, res)
@@ -109,7 +123,7 @@ func TestRevivalWaveInvariants(t *testing.T) {
 		t.Skip("N=500 simulation; skipped with -short")
 	}
 	c := newCluster(t, 500, 6)
-	res := Run(c, Options{Checkers: AllCheckers()},
+	res := Run(c, checkedOpts(0),
 		Settle{For: 8 * time.Second},
 		ZoneFailure{Zone: ZoneFraction(0.70, 0.80), Settle: 15 * time.Second},
 		RevivalWave{Over: 5 * time.Second},

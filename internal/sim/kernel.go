@@ -2,9 +2,21 @@
 //
 // The TreeP paper evaluates the overlay with a packet-switching simulation
 // (§IV); this kernel is the substrate for that evaluation. It provides a
-// virtual clock, an event heap with stable FIFO ordering for simultaneous
-// events, cancellable timers, and seed-derived random streams, so that every
-// experiment in the repository is exactly reproducible from its seed.
+// virtual clock, a hierarchical timing-wheel scheduler with stable FIFO
+// ordering for simultaneous events, cancellable one-shot and periodic
+// timers, a pooled closure-free dispatch path for high-volume events, and
+// seed-derived random streams, so that every experiment in the repository
+// is exactly reproducible from its seed.
+//
+// Scheduler architecture (see DESIGN.md §7): events live in one of four
+// places. Events due at or before the wheel cursor sit in a small binary
+// heap (the ready heap) ordered by (time, sequence); near-future events
+// hash into three cascading wheel levels of 256 slots each (~1 ms ticks,
+// covering ~4.9 h); far-future events overflow into a second heap. Event
+// records are pooled on a free list and recycled the moment they fire or
+// are cancelled, so steady-state scheduling does not allocate. Timer
+// handles carry a generation number so a handle kept past its event's
+// recycling can never cancel the record's next occupant.
 //
 // The kernel is intentionally single-threaded: determinism is the property
 // the figures depend on. Parallelism lives one level up, in the experiment
@@ -22,20 +34,43 @@ import (
 // Kernel is a discrete-event scheduler with a virtual clock starting at 0.
 // The zero value is not usable; call New.
 type Kernel struct {
-	now    time.Duration
-	seq    uint64
-	events eventHeap
+	now time.Duration
+	seq uint64
+
+	// curTick is the wheel cursor: every live event with a tick at or
+	// before it is in the ready heap. The cursor may run ahead of the
+	// clock (after a deadline-bounded run); it never moves backwards.
+	curTick int64
+	levels  [wheelLevels]wheelLevel
+	// ready holds events that are due: popped in (at, seq) order, which
+	// gives the exact global ordering a single binary heap would.
+	ready eventHeap
+	// overflow holds events beyond the wheels' horizon, plus lazily
+	// cancelled entries counted by overflowCancelled and compacted when
+	// they outnumber the live ones.
+	overflow          eventHeap
+	overflowCancelled int
+
+	// free is the event-record pool (intrusive list through event.next).
+	free *event
+	// live counts scheduled, non-cancelled events (what Pending reports).
+	live int
+
 	// executed counts delivered events, for budget enforcement and stats.
 	executed uint64
 	// maxEvents aborts runaway simulations (protocol loops); 0 = unlimited.
 	maxEvents uint64
 	seed      int64
 	stopped   bool
+
+	// streams caches the per-label random streams so hot paths can call
+	// Stream repeatedly without re-allocating a generator.
+	streams map[uint64]*rand.Rand
 }
 
 // New returns a kernel whose random streams derive from seed.
 func New(seed int64) *Kernel {
-	return &Kernel{seed: seed}
+	return &Kernel{seed: seed, streams: make(map[uint64]*rand.Rand)}
 }
 
 // SetEventBudget caps the number of events a run may execute; Run returns
@@ -55,26 +90,52 @@ func (k *Kernel) Executed() uint64 { return k.executed }
 func (k *Kernel) Seed() int64 { return k.seed }
 
 // Timer is a handle to a scheduled event; Cancel prevents a pending event
-// from firing. Timers are single-shot.
+// from firing. The handle pins a (record, generation) pair: once the event
+// completes and its record is recycled, the handle goes permanently inert.
 type Timer struct {
-	ev *event
+	ev  *event
+	gen uint32
 }
 
 // Cancel stops the timer. Cancelling an already-fired or already-cancelled
-// timer is a no-op. It reports whether the event was still pending.
+// timer is a no-op. It reports whether the event was still pending. For
+// periodic timers, Cancel stops all future firings.
 func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.cancelled {
+	if t == nil || t.ev == nil {
 		return false
 	}
-	pending := !t.ev.fired
-	t.ev.cancelled = true
-	t.ev.fn = nil // release closure memory for long-lived heaps
-	return pending
+	ev := t.ev
+	if ev.gen != t.gen || ev.cancelled {
+		return false
+	}
+	k := ev.k
+	k.live--
+	switch {
+	case ev.where >= locWheel0:
+		// Wheel buckets are doubly linked: unlink and recycle on the
+		// spot, keeping occupancy bitmaps exact so the cursor never
+		// jumps to a slot holding only dead events.
+		lvl := int(ev.where - locWheel0)
+		k.levels[lvl].remove(ev, wheelSlot(eventTick(ev), lvl))
+		k.recycle(ev)
+	case ev.where == locOverflow:
+		// Heap entries are cancelled lazily; compact once the dead
+		// outnumber the live.
+		ev.cancel()
+		k.overflowCancelled++
+		if k.overflowCancelled*2 > k.overflow.Len() {
+			k.compactOverflow()
+		}
+	default: // locReady, locFiring
+		ev.cancel()
+	}
+	return true
 }
 
 // Pending reports whether the timer has neither fired nor been cancelled.
+// A periodic timer stays pending until cancelled.
 func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.fired && !t.ev.cancelled
+	return t != nil && t.ev != nil && t.ev.gen == t.gen && !t.ev.cancelled
 }
 
 // Schedule runs fn after delay of virtual time. A negative delay is treated
@@ -93,32 +154,70 @@ func (k *Kernel) ScheduleAt(at time.Duration, fn func()) *Timer {
 	if fn == nil {
 		panic("sim: ScheduleAt with nil fn")
 	}
+	ev := k.newEvent(at)
+	ev.fn = fn
+	k.insert(ev)
+	return &Timer{ev: ev, gen: ev.gen}
+}
+
+// SchedulePeriodic runs fn every interval of virtual time, first after one
+// interval, until the returned timer is cancelled. The single pooled event
+// record is re-queued after each firing (with a fresh sequence number, so
+// FIFO ordering against other events at the same instant is preserved),
+// replacing the allocate-a-closure-per-tick reschedule idiom.
+func (k *Kernel) SchedulePeriodic(interval time.Duration, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: SchedulePeriodic with nil fn")
+	}
+	if interval <= 0 {
+		panic("sim: SchedulePeriodic with non-positive interval")
+	}
+	ev := k.newEvent(k.now + interval)
+	ev.fn = fn
+	ev.period = interval
+	k.insert(ev)
+	return &Timer{ev: ev, gen: ev.gen}
+}
+
+// Post schedules h(arg) after delay without allocating: no closure is
+// captured and no Timer handle is created. It is the hot path for
+// high-volume fire-and-forget events (netsim schedules one per datagram);
+// h is typically a package-level dispatch function and arg a pooled record.
+func (k *Kernel) Post(delay time.Duration, h func(arg interface{}), arg interface{}) {
+	if h == nil {
+		panic("sim: Post with nil handler")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	ev := k.newEvent(k.now + delay)
+	ev.h = h
+	ev.arg = arg
+	k.insert(ev)
+}
+
+// newEvent takes a record from the pool and stamps time and sequence.
+func (k *Kernel) newEvent(at time.Duration) *event {
 	if at < k.now {
 		at = k.now
 	}
-	ev := &event{at: at, seq: k.seq, fn: fn}
+	ev := k.alloc()
+	ev.at = at
+	ev.seq = k.seq
 	k.seq++
-	heap.Push(&k.events, ev)
-	return &Timer{ev: ev}
+	k.live++
+	return ev
 }
 
-// Step executes the next pending event. It reports false when the queue is
-// empty (skipping over cancelled events without executing them).
+// Step executes the next pending event. It reports false when nothing is
+// scheduled (skipping over cancelled events without executing them).
 func (k *Kernel) Step() bool {
-	for k.events.Len() > 0 {
-		ev := heap.Pop(&k.events).(*event)
-		if ev.cancelled {
-			continue
-		}
-		k.now = ev.at
-		ev.fired = true
-		fn := ev.fn
-		ev.fn = nil
-		k.executed++
-		fn()
-		return true
+	ev := k.peek()
+	if ev == nil {
+		return false
 	}
-	return false
+	k.fire(ev)
+	return true
 }
 
 // Run executes events until the queue drains, the budget is exhausted, or
@@ -129,26 +228,36 @@ func (k *Kernel) Run() error {
 		if k.maxEvents > 0 && k.executed >= k.maxEvents {
 			return ErrBudget
 		}
-		if !k.Step() {
+		ev := k.peek()
+		if ev == nil {
 			return nil
 		}
+		k.fire(ev)
 	}
 	return nil
 }
 
 // RunUntil executes events with timestamps ≤ deadline and then advances the
-// clock to the deadline. Events scheduled beyond the deadline stay queued.
+// clock to the deadline. Events scheduled beyond the deadline stay queued;
+// events scheduled exactly at the deadline (including from callbacks firing
+// at the deadline) are executed.
 func (k *Kernel) RunUntil(deadline time.Duration) error {
 	k.stopped = false
 	for !k.stopped {
 		if k.maxEvents > 0 && k.executed >= k.maxEvents {
 			return ErrBudget
 		}
-		next, ok := k.peekTime()
-		if !ok || next > deadline {
+		ev := k.peek()
+		if ev == nil || ev.at > deadline {
+			// Idle until the deadline: move the cursor too, so the wheel
+			// windows stay centred on the clock for future inserts. Safe
+			// because nothing live remains at or before the deadline.
+			if dt := int64(deadline) >> tickShift; k.curTick < dt {
+				k.setTick(dt)
+			}
 			break
 		}
-		k.Step()
+		k.fire(ev)
 	}
 	if k.now < deadline {
 		k.now = deadline
@@ -162,27 +271,55 @@ func (k *Kernel) RunFor(d time.Duration) error { return k.RunUntil(k.now + d) }
 // Stop makes the innermost Run/RunUntil return after the current event.
 func (k *Kernel) Stop() { k.stopped = true }
 
-// Pending returns the number of queued (possibly cancelled) events.
-func (k *Kernel) Pending() int { return k.events.Len() }
+// Pending returns the number of live (scheduled, non-cancelled) events.
+func (k *Kernel) Pending() int { return k.live }
 
-func (k *Kernel) peekTime() (time.Duration, bool) {
-	for k.events.Len() > 0 {
-		ev := k.events[0]
-		if ev.cancelled {
-			heap.Pop(&k.events)
-			continue
+// fire delivers one event previously returned by peek (the ready-heap
+// minimum). One-shot records are recycled before the callback runs, so the
+// callback may immediately reuse the record by scheduling; periodic records
+// are re-queued with a fresh sequence number after the callback, matching
+// the ordering of the schedule-inside-the-callback idiom they replace.
+func (k *Kernel) fire(ev *event) {
+	heap.Pop(&k.ready)
+	k.now = ev.at
+	k.executed++
+	if ev.period > 0 {
+		ev.where = locFiring
+		ev.fn()
+		if ev.cancelled || ev.period <= 0 {
+			k.recycle(ev) // cancelled from inside its own callback
+			return
 		}
-		return ev.at, true
+		ev.at += ev.period
+		ev.seq = k.seq
+		k.seq++
+		k.insert(ev)
+		return
 	}
-	return 0, false
+	k.live--
+	fn, h, arg := ev.fn, ev.h, ev.arg
+	k.recycle(ev)
+	if fn != nil {
+		fn()
+	} else {
+		h(arg)
+	}
 }
 
 // Stream returns an independent deterministic random stream for the given
 // label (e.g. one per node, one for the workload). Streams derived from the
 // same kernel seed and label are identical across runs, and distinct labels
-// give uncorrelated streams (seed mixing via splitmix64).
+// give uncorrelated streams (seed mixing via splitmix64). Repeated calls
+// with the same label return the same stream object — the stream continues
+// rather than restarting — so per-event callers pay a map hit, not a
+// generator allocation.
 func (k *Kernel) Stream(label uint64) *rand.Rand {
-	return rand.New(rand.NewSource(int64(mix64(uint64(k.seed) ^ mix64(label)))))
+	if r, ok := k.streams[label]; ok {
+		return r
+	}
+	r := rand.New(rand.NewSource(int64(mix64(uint64(k.seed) ^ mix64(label)))))
+	k.streams[label] = r
+	return r
 }
 
 // mix64 is the splitmix64 finaliser, a cheap strong bit mixer.
@@ -191,35 +328,4 @@ func mix64(x uint64) uint64 {
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
-}
-
-// event is a heap entry. fired/cancelled are flags rather than removal from
-// the heap because container/heap removal by index would require index
-// maintenance; lazily skipping dead events is simpler and O(log n) amortised.
-type event struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	fired     bool
-	cancelled bool
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
 }

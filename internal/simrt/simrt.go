@@ -48,6 +48,10 @@ type Cluster struct {
 
 	byAddr map[uint64]*core.Node
 	alive  map[uint64]bool
+	// aliveList caches AliveNodes (construction order); nil means stale.
+	// Churn scenarios query liveness per injected event, which was an
+	// O(N) rebuild each time and dominated at N ≥ 5k populations.
+	aliveList []*core.Node
 	// LevelCounts reports the bulk-built members per level (nil without
 	// Bulk).
 	LevelCounts []int
@@ -121,6 +125,7 @@ func (c *Cluster) attach(cfg core.Config) *core.Node {
 	c.Nodes = append(c.Nodes, node)
 	c.byAddr[uint64(addr)] = node
 	c.alive[uint64(addr)] = true
+	c.aliveList = nil
 	return node
 }
 
@@ -174,6 +179,7 @@ func (c *Cluster) Kill(n *core.Node) {
 		return
 	}
 	c.alive[addr] = false
+	c.aliveList = nil
 	c.Net.Kill(netsim.Addr(addr))
 	n.Stop()
 }
@@ -187,21 +193,40 @@ func (c *Cluster) Revive(n *core.Node) {
 		return
 	}
 	c.alive[addr] = true
+	c.aliveList = nil
 	c.Net.Revive(netsim.Addr(addr))
 }
 
 // Alive reports whether the node is still up.
 func (c *Cluster) Alive(n *core.Node) bool { return c.alive[n.Addr()] }
 
-// AliveNodes returns the live nodes in construction order.
+// AliveNodes returns the live nodes in construction order. The slice is
+// cached between membership changes and must not be mutated by callers; it
+// is a snapshot that goes stale at the next Kill/Revive/Spawn.
 func (c *Cluster) AliveNodes() []*core.Node {
-	out := make([]*core.Node, 0, len(c.Nodes))
-	for _, n := range c.Nodes {
-		if c.alive[n.Addr()] {
-			out = append(out, n)
+	if c.aliveList == nil {
+		c.aliveList = make([]*core.Node, 0, len(c.Nodes))
+		for _, n := range c.Nodes {
+			if c.alive[n.Addr()] {
+				c.aliveList = append(c.aliveList, n)
+			}
 		}
 	}
-	return out
+	return c.aliveList
+}
+
+// AliveCount returns the live population without materialising the list.
+func (c *Cluster) AliveCount() int {
+	if c.aliveList != nil {
+		return len(c.aliveList)
+	}
+	count := 0
+	for _, up := range c.alive {
+		if up {
+			count++
+		}
+	}
+	return count
 }
 
 // DeadNodes returns the killed nodes in construction order (revival-wave
@@ -268,4 +293,15 @@ func (e *simEnv) SetTimer(d time.Duration, fn func()) core.Timer {
 		}
 	}
 	return e.cluster.Kernel.Schedule(d, guarded)
+}
+
+func (e *simEnv) SetPeriodic(d time.Duration, fn func()) core.Timer {
+	// One guard closure for the timer's whole lifetime; the kernel
+	// re-queues the same pooled event every interval.
+	guarded := func() {
+		if e.cluster.alive[e.addr] {
+			fn()
+		}
+	}
+	return e.cluster.Kernel.SchedulePeriodic(d, guarded)
 }

@@ -111,6 +111,50 @@ func (e *env) SetTimer(d time.Duration, fn func()) core.Timer {
 	return tm
 }
 
+// periodicTimer re-arms a wall-clock timer after each delivered tick. The
+// mutex covers the re-arm/cancel race: AfterFunc fires on the runtime
+// timer goroutine while Cancel arrives from the event loop.
+type periodicTimer struct {
+	mu      sync.Mutex
+	t       *time.Timer
+	stopped bool
+}
+
+func (p *periodicTimer) Cancel() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return false
+	}
+	p.stopped = true
+	if p.t != nil {
+		p.t.Stop()
+	}
+	return true
+}
+
+func (e *env) SetPeriodic(d time.Duration, fn func()) core.Timer {
+	p := &periodicTimer{}
+	var arm func()
+	arm = func() {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		if p.stopped {
+			return
+		}
+		p.t = time.AfterFunc(d, func() {
+			// Deliver the tick on the loop, then re-arm from the loop so
+			// ticks cannot pile up faster than the node consumes them.
+			select {
+			case e.tr.loop <- func() { fn(); arm() }:
+			case <-e.tr.done:
+			}
+		})
+	}
+	arm()
+	return p
+}
+
 // Listen binds a UDP socket on bind (e.g. "127.0.0.1:0") and creates the
 // node with the given configuration. The node's overlay address derives
 // from the bound socket address.

@@ -134,7 +134,7 @@ func (nw *SimNetwork) Now() time.Duration { return nw.cluster.Kernel.Now() }
 func (nw *SimNetwork) N() int { return len(nw.cluster.Nodes) }
 
 // AliveCount returns the number of live peers.
-func (nw *SimNetwork) AliveCount() int { return len(nw.cluster.AliveNodes()) }
+func (nw *SimNetwork) AliveCount() int { return nw.cluster.AliveCount() }
 
 // NodeID returns peer i's coordinate.
 func (nw *SimNetwork) NodeID(i int) ID { return nw.cluster.Nodes[i].ID() }
