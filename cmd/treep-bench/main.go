@@ -2,11 +2,19 @@
 // paper's evaluation (§IV and §III.e) plus the ablations listed in
 // DESIGN.md, printing the series the paper plots. Run with -quick for a
 // reduced sweep.
+//
+// With -compare it instead runs the cross-protocol harness: TreeP and the
+// named baselines play the same scenario script from identical seeds, and
+// the per-phase records are exported as CSV + JSON under -out:
+//
+//	treep-bench -compare chord,flood -scenario churn -n 2000 -out results/
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 	"time"
 
 	"treep/internal/experiment"
@@ -16,13 +24,49 @@ import (
 	"treep/internal/routing"
 )
 
+// usage prints the synopsis to stderr (installed as flag.Usage, and called
+// on every operand/flag-value error before the non-zero exit).
+func usage() {
+	fmt.Fprintf(flag.CommandLine.Output(), `treep-bench: TreeP paper reproduction and comparative benchmarks
+
+Paper mode (default): regenerate the kill-sweep figures, analytics and
+ablations of §IV / §III.e.
+
+Compare mode (-compare): run TreeP head-to-head against the named
+baselines through one scenario script from identical seeds, exporting
+per-phase CSV + JSON records:
+
+  treep-bench -compare chord,flood -scenario churn -n 2000 -out results/
+
+Backends: %s. Scenarios: %s.
+
+Flags:
+`, strings.Join(experiment.CompareBackends, ", "), strings.Join(experiment.CompareScenarios, ", "))
+	flag.PrintDefaults()
+}
+
+// fail prints the error and the usage, then exits non-zero.
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "treep-bench: "+format+"\n\n", args...)
+	usage()
+	os.Exit(2)
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "reduced network and trial count")
 	n := flag.Int("n", 1000, "network size for the kill sweeps")
 	trials := flag.Int("trials", 3, "trials (seeds) per sweep")
 	lookups := flag.Int("lookups", 150, "lookups per algorithm per step")
 	settle := flag.Duration("settle", 8*time.Second, "repair window after each kill step")
+	compare := flag.String("compare", "", "comma-separated baselines to compare TreeP against (chord, flood); enables compare mode")
+	scen := flag.String("scenario", "churn", "compare mode: scenario script (churn, flashcrowd, zonefail, partition)")
+	out := flag.String("out", "results", "compare mode: directory for the CSV/JSON records")
+	flag.Usage = usage
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fail("unexpected argument %q", flag.Arg(0))
+	}
 
 	if *quick {
 		*n, *trials, *lookups = 400, 2, 60
@@ -30,6 +74,11 @@ func main() {
 	seeds := make([]int64, *trials)
 	for i := range seeds {
 		seeds[i] = int64(i + 1)
+	}
+
+	if *compare != "" {
+		runCompare(*compare, *scen, *out, *n, seeds, *lookups)
+		return
 	}
 	base := experiment.Options{
 		N: *n, Seeds: seeds, LookupsPerStep: *lookups, Settle: *settle,
@@ -132,6 +181,46 @@ func main() {
 	p6 := resR.FailRateSeries(proto.AlgoG)
 	p6.Name = "fail%/retain"
 	printSeries(ablBase.KillPcts(), p5, p6)
+}
+
+// runCompare executes the cross-protocol harness and exports its records.
+func runCompare(compare, scen, out string, n int, seeds []int64, lookups int) {
+	// TreeP is always measured; -compare names the baselines. Dedupe so
+	// "-compare chord,chord" cannot double-run trials. Name and scenario
+	// validation is RunCompare's job — one source of truth.
+	backends := []string{"treep"}
+	seen := map[string]bool{"treep": true}
+	for _, b := range strings.Split(compare, ",") {
+		b = strings.TrimSpace(b)
+		if b == "" || seen[b] {
+			continue
+		}
+		seen[b] = true
+		backends = append(backends, b)
+	}
+	opts := experiment.CompareOptions{
+		N:               n,
+		Seeds:           seeds,
+		Backends:        backends,
+		Scenario:        scen,
+		LookupsPerPhase: lookups,
+	}
+	fmt.Printf("# Comparative run — backends=%s scenario=%s n=%d trials=%d lookups/phase=%d\n\n",
+		strings.Join(backends, ","), scen, n, len(seeds), lookups)
+	start := time.Now()
+	res, err := experiment.RunCompare(opts)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("## per-phase means across %d trials  [%v]\n", len(seeds), time.Since(start).Truncate(time.Second))
+	fmt.Println(experiment.CompareSummary(res))
+
+	csvPath, jsonPath, err := res.Recorder.Export(out, "compare-"+scen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "treep-bench: writing records: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("records: %s, %s (%d rows)\n", csvPath, jsonPath, len(res.Recorder.Records))
 }
 
 func printSeries(xs []float64, cols ...*metrics.Series) {

@@ -5,8 +5,11 @@
 // baseline lets the EXT-1 bench subject both to the same kill sweep.
 //
 // The implementation is deliberately standard: 64-bit ring, finger tables,
-// successor lists for fault tolerance, periodic stabilisation, and
-// recursive lookups answered directly to the origin.
+// successor lists for fault tolerance, periodic stabilisation with
+// fix_fingers, dynamic joins bootstrapped through a successor lookup, and
+// recursive lookups answered directly to the origin. Key types: Cluster
+// (a simulated deployment), Node, LookupResult. The comparative harness
+// drives it through the overlay.Chord adapter.
 package chord
 
 import (
@@ -64,9 +67,6 @@ type predecessorIs struct {
 
 type notify struct{ From ref }
 
-type ping struct{ From ref }
-type pong struct{ From ref }
-
 // Node is one Chord peer.
 type Node struct {
 	id   idspace.ID
@@ -79,6 +79,16 @@ type Node struct {
 	pred     ref
 
 	alive bool
+
+	// nextFinger rotates through the finger table for fix_fingers.
+	nextFinger int
+	// bootstrapping guards against concurrent bootstrap chains: stabilize
+	// re-triggers bootstrapJoin every round while the successor list is
+	// empty, but only one resolution may be in flight at a time.
+	bootstrapping bool
+	// stabTimer is the periodic stabilisation driver, cancelled on Kill so
+	// dead nodes stop consuming kernel events.
+	stabTimer *sim.Timer
 
 	nextReq uint64
 	pending map[uint64]*pendingLookup
@@ -120,6 +130,8 @@ type Cluster struct {
 	// timers are per-cluster periodic drivers.
 	stabilizeEvery time.Duration
 	lookupTimeout  time.Duration
+	// spawnRand drives dynamic-join decisions (new IDs, bootstrap picks).
+	spawnRand *rand.Rand
 }
 
 // New builds a Chord ring of n nodes with fully initialised fingers
@@ -134,6 +146,7 @@ func New(n int, seed int64) *Cluster {
 		byAddr:         map[netsim.Addr]*Node{},
 		stabilizeEvery: 2 * time.Second,
 		lookupTimeout:  10 * time.Second,
+		spawnRand:      k.Stream(0x73706e63), // "spnc"
 	}
 	idRand := k.Stream(0x63686f72) // "chor"
 	for i := 0; i < n; i++ {
@@ -177,17 +190,149 @@ func New(n int, seed int64) *Cluster {
 
 	// Periodic stabilisation per node.
 	for _, nd := range c.Nodes {
-		nd := nd
-		var tick func()
-		tick = func() {
-			if nd.alive {
-				nd.stabilize()
-			}
-			k.Schedule(c.stabilizeEvery, tick)
-		}
-		k.Schedule(time.Duration(nd.rng.Int63n(int64(c.stabilizeEvery))), tick)
+		c.startStabilize(nd)
 	}
 	return c
+}
+
+// startStabilize schedules a node's periodic stabilisation with a random
+// phase offset so rounds do not synchronise cluster-wide. The recurring
+// leg rides the kernel's pooled periodic path and is cancelled on Kill.
+func (c *Cluster) startStabilize(nd *Node) {
+	offset := time.Duration(nd.rng.Int63n(int64(c.stabilizeEvery)))
+	c.Kernel.Schedule(offset, func() {
+		if !nd.alive {
+			return
+		}
+		nd.stabilize(c)
+		nd.stabTimer = c.Kernel.SchedulePeriodic(c.stabilizeEvery, func() {
+			if nd.alive {
+				nd.stabilize(c)
+			}
+		})
+	})
+}
+
+// Join spawns a brand-new node mid-simulation and bootstraps it through a
+// live peer: the bootstrap resolves successor(newID); the joiner adopts
+// the answer as its successor, seeds its fingers with it, and lets
+// periodic stabilisation repair fingers and predecessors — the standard
+// simulation treatment of Chord's join. Integration completes
+// asynchronously as the kernel advances; it returns nil when no live
+// bootstrap exists.
+func (c *Cluster) Join() *Node {
+	alive := c.AliveNodes()
+	if len(alive) == 0 {
+		return nil
+	}
+	nd := &Node{
+		net:     c.Net,
+		pending: map[uint64]*pendingLookup{},
+		alive:   true,
+		id:      idspace.ID(c.spawnRand.Uint64()),
+	}
+	nd.addr = c.Net.Attach(func(from netsim.Addr, payload interface{}, size int) {
+		nd.handle(from, payload)
+	})
+	nd.rng = c.Kernel.Stream(uint64(nd.addr) + 1000)
+	c.Nodes = append(c.Nodes, nd)
+	c.byAddr[nd.addr] = nd
+
+	c.bootstrapJoin(nd)
+	c.startStabilize(nd)
+	return nd
+}
+
+// bootstrapJoin resolves successor(nd.id) through a random live peer and
+// installs the answer. A failed resolution (the bootstrap died, the ring
+// was churning, the lookup timed out) is retried through a fresh
+// bootstrap every stabilisation interval until the node has a successor —
+// without the retry a lost join leaves a permanent ghost that counts as
+// alive but can neither route nor be routed to.
+func (c *Cluster) bootstrapJoin(nd *Node) {
+	if !nd.alive || nd.bootstrapping || !nd.firstLiveSuccessor().zero() {
+		return
+	}
+	var boot *Node
+	for _, cand := range c.AliveNodes() {
+		if cand.addr != nd.addr {
+			boot = cand
+			break
+		}
+	}
+	if boot == nil {
+		return
+	}
+	// Randomise among live peers: scan start chosen by the spawn stream.
+	if alive := c.AliveNodes(); len(alive) > 1 {
+		for tries := 0; tries < 4; tries++ {
+			cand := alive[c.spawnRand.Intn(len(alive))]
+			if cand.addr != nd.addr {
+				boot = cand
+				break
+			}
+		}
+	}
+	nd.bootstrapping = true
+	boot.Lookup(c, nd.id, func(r LookupResult) {
+		nd.bootstrapping = false
+		if !nd.alive || !nd.firstLiveSuccessor().zero() {
+			return
+		}
+		if !r.Found || r.Addr == nd.addr {
+			c.Kernel.Schedule(c.stabilizeEvery, func() { c.bootstrapJoin(nd) })
+			return
+		}
+		succ := ref{ID: r.Succ, Addr: r.Addr}
+		nd.succList = append([]ref{succ}, nd.succList...)
+		if len(nd.succList) > succListLen {
+			nd.succList = nd.succList[:succListLen]
+		}
+		for f := range nd.fingers {
+			if nd.fingers[f].zero() {
+				nd.fingers[f] = succ
+			}
+		}
+	})
+}
+
+// Partition splits the network at the given ring coordinate: datagrams
+// between nodes on opposite sides of split are dropped until Heal.
+func (c *Cluster) Partition(split idspace.ID) {
+	c.Net.SetLinkFilter(netsim.SplitFilter(split, func(a netsim.Addr) (idspace.ID, bool) {
+		nd, ok := c.byAddr[a]
+		if !ok {
+			return 0, false
+		}
+		return nd.id, true
+	}))
+}
+
+// Heal removes the partition installed by Partition.
+func (c *Cluster) Heal() { c.Net.SetLinkFilter(nil) }
+
+// LookupTimeout reports how long a lookup can stay pending before its
+// origin gives up.
+func (c *Cluster) LookupTimeout() time.Duration { return c.lookupTimeout }
+
+// StateSize returns the node's routing-state entry count: distinct peers
+// referenced by its fingers, successor list and predecessor.
+func (nd *Node) StateSize() int {
+	seen := map[netsim.Addr]bool{}
+	for _, f := range nd.fingers {
+		if !f.zero() {
+			seen[f.Addr] = true
+		}
+	}
+	for _, s := range nd.succList {
+		if !s.zero() {
+			seen[s.Addr] = true
+		}
+	}
+	if !nd.pred.zero() {
+		seen[nd.pred.Addr] = true
+	}
+	return len(seen)
 }
 
 // Run advances virtual time.
@@ -196,6 +341,10 @@ func (c *Cluster) Run(d time.Duration) { _ = c.Kernel.RunFor(d) }
 // Kill fail-stops a node.
 func (c *Cluster) Kill(nd *Node) {
 	nd.alive = false
+	if nd.stabTimer != nil {
+		nd.stabTimer.Cancel()
+		nd.stabTimer = nil
+	}
 	c.Net.Kill(nd.addr)
 }
 
@@ -290,20 +439,44 @@ func (nd *Node) firstLiveSuccessor() ref {
 }
 
 // stabilize is Chord's periodic maintenance: verify the successor, adopt
-// its predecessor when closer, refresh the successor list, and notify.
-func (nd *Node) stabilize() {
+// its predecessor when closer, refresh the successor list, notify, and
+// run one fix_fingers step.
+func (nd *Node) stabilize(c *Cluster) {
+	// Keepalive-based failure detection, modelled out-of-band at
+	// stabilise cadence (the same convention as DropDead): dead entries
+	// fall off the front of the successor list and a dead predecessor is
+	// forgotten. A node whose entire successor list died re-bootstraps
+	// through a live peer — without this, a node orphaned by its
+	// successor's death would probe the corpse forever.
+	for len(nd.succList) > 0 && !c.Net.Alive(nd.succList[0].Addr) {
+		nd.succList = nd.succList[1:]
+	}
+	if !nd.pred.zero() && !c.Net.Alive(nd.pred.Addr) {
+		nd.pred = ref{}
+	}
 	succ := nd.firstLiveSuccessor()
 	if succ.zero() {
+		c.bootstrapJoin(nd)
 		return
 	}
 	nd.Stats.StabilizeMsgs++
 	nd.net.Send(nd.addr, succ.Addr, &getPredecessor{From: ref{ID: nd.id, Addr: nd.addr}}, 32)
-	// Probe one random finger to detect death: replace dead fingers with
-	// the successor (coarse but standard practice in simulations).
-	f := nd.rng.Intn(64)
-	if !nd.fingers[f].zero() {
-		nd.net.Send(nd.addr, nd.fingers[f].Addr, &ping{From: ref{ID: nd.id, Addr: nd.addr}}, 16)
-	}
+	nd.fixFinger(c)
+}
+
+// fixFinger is Chord's fix_fingers: re-resolve successor(id + 2^f) for one
+// finger per round, rotating f. The resolution is a normal recursive
+// lookup, so dead fingers heal and newly joined nodes become finger
+// targets without any out-of-band state.
+func (nd *Node) fixFinger(c *Cluster) {
+	f := nd.nextFinger
+	nd.nextFinger = (nd.nextFinger + 1) % len(nd.fingers)
+	start := nd.id + idspace.ID(uint64(1)<<uint(f))
+	nd.Lookup(c, start, func(r LookupResult) {
+		if r.Found && nd.alive {
+			nd.fingers[f] = ref{ID: r.Succ, Addr: r.Addr}
+		}
+	})
 }
 
 // handle dispatches chord messages.
@@ -347,10 +520,6 @@ func (nd *Node) handle(from netsim.Addr, payload interface{}) {
 		if nd.pred.zero() || between(m.From.ID, nd.pred.ID, nd.id) {
 			nd.pred = m.From
 		}
-	case *ping:
-		nd.net.Send(nd.addr, from, &pong{From: ref{ID: nd.id, Addr: nd.addr}}, 16)
-	case *pong:
-		// Liveness confirmed; nothing to update in this compact baseline.
 	}
 }
 

@@ -1,8 +1,11 @@
-// Package experiment reproduces the TreeP paper's evaluation (§IV): the
-// kill sweep that drives Figures A–I, the analytic checks of §III.e
-// (height law, routing-table sizes), and the ablations documented in
-// DESIGN.md. Each trial is an independent deterministic simulation;
-// trials run concurrently on a worker pool.
+// Package experiment reproduces the TreeP paper's evaluation (§IV) and
+// extends it: the kill sweep that drives Figures A–I (RunKillSweep), the
+// analytic checks of §III.e (height law, routing-table sizes), the
+// ablations documented in DESIGN.md, the scripted-scenario experiments
+// (RunScenario), and the cross-protocol comparative runner (RunCompare)
+// that plays TreeP, Chord and flooding through identical scenario
+// scripts from identical seeds. Each trial is an independent
+// deterministic simulation; trials run concurrently on a worker pool.
 package experiment
 
 import (

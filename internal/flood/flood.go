@@ -1,11 +1,15 @@
 // Package flood is a Gnutella-style unstructured baseline: nodes form a
 // random k-regular-ish graph and lookups flood with a TTL and duplicate
 // suppression. The paper's introduction dismisses blind flooding as
-// unscalable (§I, citing "Why Gnutella Can't Scale"); the EXT-1 bench
-// shows the message-cost gap against TreeP on identical workloads.
+// unscalable (§I, citing "Why Gnutella Can't Scale"); the comparative
+// harness shows the message-cost gap against TreeP on identical
+// workloads. Key types: Cluster (a simulated deployment, with dynamic
+// Join and keepalive-modelled PruneDead re-wiring), Node, Result. The
+// comparative harness drives it through the overlay.Flood adapter.
 package flood
 
 import (
+	"math/rand"
 	"time"
 
 	"treep/internal/idspace"
@@ -19,6 +23,8 @@ type query struct {
 	Target idspace.ID
 	ReqID  uint64
 	TTL    uint8
+	// Hops counts forwards taken so far, so a hit can report path length.
+	Hops uint8
 }
 
 // queryHit answers the origin directly.
@@ -70,34 +76,37 @@ type Cluster struct {
 	Net    *netsim.Network
 	Nodes  []*Node
 
+	byAddr  map[netsim.Addr]*Node
+	degree  int
+	wire    *rand.Rand
+	idRand  *rand.Rand
 	timeout time.Duration
+	// nextReq numbers lookups; per-cluster (not package-global) so
+	// concurrent trials in different clusters do not race.
+	nextReq uint64
 }
 
 // New builds n nodes wired into a random graph of the given degree.
 func New(n, degree int, seed int64) *Cluster {
 	k := sim.New(seed)
 	net := netsim.New(k)
-	c := &Cluster{Kernel: k, Net: net, timeout: 10 * time.Second}
-	idRand := k.Stream(0x666c6f6f) // "floo"
+	c := &Cluster{
+		Kernel:  k,
+		Net:     net,
+		byAddr:  map[netsim.Addr]*Node{},
+		degree:  degree,
+		wire:    k.Stream(0x77697265), // "wire"
+		idRand:  k.Stream(0x666c6f6f), // "floo"
+		timeout: 10 * time.Second,
+	}
 	for i := 0; i < n; i++ {
-		nd := &Node{
-			net:     net,
-			alive:   true,
-			id:      idspace.ID(idRand.Uint64()),
-			seen:    map[uint64]bool{},
-			pending: map[uint64]*pending{},
-		}
-		nd.addr = net.Attach(func(from netsim.Addr, payload interface{}, size int) {
-			nd.handle(from, payload)
-		})
-		c.Nodes = append(c.Nodes, nd)
+		c.attach()
 	}
 	// Random graph: each node draws `degree` distinct peers; edges are
 	// symmetric.
-	wire := k.Stream(0x77697265) // "wire"
 	for i, nd := range c.Nodes {
 		for len(nd.peers) < degree {
-			j := wire.Intn(n)
+			j := c.wire.Intn(n)
 			if j == i {
 				continue
 			}
@@ -113,6 +122,101 @@ func New(n, degree int, seed int64) *Cluster {
 	}
 	return c
 }
+
+// attach creates one unwired live node on the network.
+func (c *Cluster) attach() *Node {
+	nd := &Node{
+		net:     c.Net,
+		alive:   true,
+		id:      idspace.ID(c.idRand.Uint64()),
+		seen:    map[uint64]bool{},
+		pending: map[uint64]*pending{},
+	}
+	nd.addr = c.Net.Attach(func(from netsim.Addr, payload interface{}, size int) {
+		nd.handle(from, payload)
+	})
+	c.Nodes = append(c.Nodes, nd)
+	c.byAddr[nd.addr] = nd
+	return nd
+}
+
+// Join spawns a new node mid-simulation and wires it to `degree` random
+// live peers with symmetric edges (a Gnutella client dialling its host
+// cache). It returns nil when no live peer exists to dial.
+func (c *Cluster) Join() *Node {
+	alive := c.AliveNodes()
+	if len(alive) == 0 {
+		return nil
+	}
+	nd := c.attach()
+	for tries := 0; len(nd.peers) < c.degree && tries < 8*c.degree; tries++ {
+		other := alive[c.wire.Intn(len(alive))]
+		if other.addr == nd.addr || hasPeer(nd, other.addr) {
+			continue
+		}
+		nd.peers = append(nd.peers, other.addr)
+		other.peers = append(other.peers, nd.addr)
+	}
+	return nd
+}
+
+// PruneDead drops dead endpoints from every live node's adjacency list and
+// re-wires under-connected nodes back up to the target degree — the
+// harness's stand-in for Gnutella's keepalive-based neighbour eviction and
+// host-cache re-dialling. Called at phase boundaries, mirroring
+// (*chord.Cluster).DropDead.
+func (c *Cluster) PruneDead() {
+	alive := c.AliveNodes()
+	aliveAddr := make(map[netsim.Addr]bool, len(alive))
+	for _, nd := range alive {
+		aliveAddr[nd.addr] = true
+	}
+	for _, nd := range alive {
+		kept := nd.peers[:0]
+		for _, p := range nd.peers {
+			if aliveAddr[p] {
+				kept = append(kept, p)
+			}
+		}
+		nd.peers = kept
+	}
+	for _, nd := range alive {
+		for tries := 0; len(nd.peers) < c.degree && tries < 8*c.degree; tries++ {
+			other := alive[c.wire.Intn(len(alive))]
+			if other.addr == nd.addr || hasPeer(nd, other.addr) {
+				continue
+			}
+			nd.peers = append(nd.peers, other.addr)
+			other.peers = append(other.peers, nd.addr)
+		}
+	}
+}
+
+// Partition splits the network at the given coordinate: datagrams between
+// nodes on opposite sides of split are dropped until Heal.
+func (c *Cluster) Partition(split idspace.ID) {
+	c.Net.SetLinkFilter(netsim.SplitFilter(split, func(a netsim.Addr) (idspace.ID, bool) {
+		nd, ok := c.byAddr[a]
+		if !ok {
+			return 0, false
+		}
+		return nd.id, true
+	}))
+}
+
+// Heal removes the partition installed by Partition.
+func (c *Cluster) Heal() { c.Net.SetLinkFilter(nil) }
+
+// LookupTimeout reports how long a lookup can stay pending before its
+// origin gives up.
+func (c *Cluster) LookupTimeout() time.Duration { return c.timeout }
+
+// Degree returns the target adjacency degree of the random graph.
+func (c *Cluster) Degree() int { return c.degree }
+
+// StateSize returns the node's routing-state entry count (its adjacency
+// list — flooding keeps no other routing state).
+func (nd *Node) StateSize() int { return len(nd.peers) }
 
 func hasPeer(nd *Node, a netsim.Addr) bool {
 	for _, p := range nd.peers {
@@ -153,13 +257,11 @@ func (nd *Node) ID() idspace.ID { return nd.id }
 // metric).
 func (c *Cluster) MessagesSent() uint64 { return c.Net.Stats().Sent }
 
-var reqCounter uint64
-
 // Lookup floods for the exact target ID; cb fires once with the outcome.
 func (nd *Node) Lookup(c *Cluster, target idspace.ID, ttl uint8, cb func(Result)) {
 	nd.Stats.LookupsStarted++
-	reqCounter++
-	req := reqCounter
+	c.nextReq++
+	req := c.nextReq
 	p := &pending{cb: cb}
 	nd.pending[req] = p
 	p.timer = c.Kernel.Schedule(c.timeout, func() {
@@ -186,6 +288,7 @@ func (nd *Node) flood(q *query, except netsim.Addr) {
 	}
 	next := *q
 	next.TTL--
+	next.Hops++
 	for _, p := range nd.peers {
 		if p == except {
 			continue
@@ -207,7 +310,7 @@ func (nd *Node) handle(from netsim.Addr, payload interface{}) {
 		nd.seen[m.ReqID] = true
 		if nd.id == m.Target {
 			nd.Stats.Hits++
-			nd.net.Send(nd.addr, m.Origin, &queryHit{ReqID: m.ReqID, ID: nd.id, Addr: nd.addr, Hops: 1}, 32)
+			nd.net.Send(nd.addr, m.Origin, &queryHit{ReqID: m.ReqID, ID: nd.id, Addr: nd.addr, Hops: m.Hops}, 32)
 			return
 		}
 		nd.flood(m, from)

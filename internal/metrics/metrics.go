@@ -1,8 +1,11 @@
 // Package metrics provides the measurement plumbing for the TreeP
-// evaluation: hop histograms, the hops×failure surfaces of Figures F–I,
-// min/max envelopes (Figure E), and union-find partition analysis of the
-// live overlay (the paper attributes its Figure E spike to the network
-// splitting into isolated sub-networks).
+// evaluation: hop histograms (Histogram), the hops×failure surfaces of
+// Figures F–I (Surface), min/max envelopes of Figure E (MinMax, Series),
+// union-find partition analysis of the live overlay (UnionFind — the
+// paper attributes its Figure E spike to the network splitting into
+// isolated sub-networks), and the structured per-phase recorder of the
+// comparative harness (PhaseRecord, Recorder), which exports CSV and
+// JSON artefacts.
 package metrics
 
 import (

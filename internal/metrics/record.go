@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// PhaseRecord is one backend × trial × phase measurement row of a
+// comparative run: the lookup outcome distribution at the phase boundary
+// plus the message/byte cost charged to the phase itself (maintenance,
+// churn protocol) and to the measurement window.
+type PhaseRecord struct {
+	// Backend names the protocol ("treep", "chord", "flood").
+	Backend string `json:"backend"`
+	// Scenario names the phase script the trial played.
+	Scenario string `json:"scenario"`
+	// Phase names the phase this boundary closed, PhaseIdx its position.
+	Phase    string `json:"phase"`
+	PhaseIdx int    `json:"phase_idx"`
+	// Seed is the trial's seed; identical across backends.
+	Seed int64 `json:"seed"`
+	// N is the initial population, Alive the live population at the
+	// boundary.
+	N     int `json:"n"`
+	Alive int `json:"alive"`
+	// Joins/Leaves/ZoneKilled count membership events injected during the
+	// phase.
+	Joins      int `json:"joins"`
+	Leaves     int `json:"leaves"`
+	ZoneKilled int `json:"zone_killed"`
+	// Lookups is the number issued at the boundary; Found of them
+	// resolved to the exact target.
+	Lookups int `json:"lookups"`
+	Found   int `json:"found"`
+	// FailPct is failures / lookups in percent.
+	FailPct float64 `json:"fail_pct"`
+	// HopMean/HopP50/HopP99 summarise successful-lookup path lengths.
+	HopMean float64 `json:"hop_mean"`
+	HopP50  int     `json:"hop_p50"`
+	HopP99  int     `json:"hop_p99"`
+	// LatencyMeanMs is the mean resolution latency of successful lookups
+	// in virtual milliseconds.
+	LatencyMeanMs float64 `json:"latency_mean_ms"`
+	// MaintMsgs/MaintBytes is the network traffic sent during the phase
+	// window (maintenance plus join/leave protocol; no measurement
+	// lookups).
+	MaintMsgs  uint64 `json:"maint_msgs"`
+	MaintBytes uint64 `json:"maint_bytes"`
+	// LookupMsgs/LookupBytes is the traffic sent during the measurement
+	// window (lookup routing plus the background maintenance that keeps
+	// running; the same background applies to every backend).
+	LookupMsgs  uint64 `json:"lookup_msgs"`
+	LookupBytes uint64 `json:"lookup_bytes"`
+	// MsgsPerLookup is LookupMsgs / Lookups (raw window cost).
+	MsgsPerLookup float64 `json:"msgs_per_lookup"`
+	// PhaseSecs and WindowSecs are the virtual durations of the phase and
+	// measurement windows, the denominators for rate corrections.
+	PhaseSecs  float64 `json:"phase_secs"`
+	WindowSecs float64 `json:"window_secs"`
+	// NetMsgsPerLookup estimates the per-lookup routing cost with the
+	// phase's maintenance rate subtracted from the measurement window
+	// (clamped at zero): (LookupMsgs − MaintMsgs/PhaseSecs·WindowSecs) /
+	// Lookups.
+	NetMsgsPerLookup float64 `json:"net_msgs_per_lookup"`
+	// StateSize is the total routing-state entry count across live nodes;
+	// StatePerNode the per-node mean.
+	StateSize    int     `json:"state_size"`
+	StatePerNode float64 `json:"state_per_node"`
+}
+
+// recordHeader lists the CSV columns, in PhaseRecord field order.
+var recordHeader = []string{
+	"backend", "scenario", "phase", "phase_idx", "seed", "n", "alive",
+	"joins", "leaves", "zone_killed",
+	"lookups", "found", "fail_pct",
+	"hop_mean", "hop_p50", "hop_p99", "latency_mean_ms",
+	"maint_msgs", "maint_bytes", "lookup_msgs", "lookup_bytes",
+	"msgs_per_lookup", "phase_secs", "window_secs", "net_msgs_per_lookup",
+	"state_size", "state_per_node",
+}
+
+// row renders the record as CSV fields matching recordHeader.
+func (r *PhaseRecord) row() []string {
+	return []string{
+		r.Backend, r.Scenario, r.Phase,
+		fmt.Sprint(r.PhaseIdx), fmt.Sprint(r.Seed), fmt.Sprint(r.N), fmt.Sprint(r.Alive),
+		fmt.Sprint(r.Joins), fmt.Sprint(r.Leaves), fmt.Sprint(r.ZoneKilled),
+		fmt.Sprint(r.Lookups), fmt.Sprint(r.Found), fmt.Sprintf("%.2f", r.FailPct),
+		fmt.Sprintf("%.2f", r.HopMean), fmt.Sprint(r.HopP50), fmt.Sprint(r.HopP99),
+		fmt.Sprintf("%.2f", r.LatencyMeanMs),
+		fmt.Sprint(r.MaintMsgs), fmt.Sprint(r.MaintBytes),
+		fmt.Sprint(r.LookupMsgs), fmt.Sprint(r.LookupBytes),
+		fmt.Sprintf("%.2f", r.MsgsPerLookup),
+		fmt.Sprintf("%.2f", r.PhaseSecs), fmt.Sprintf("%.2f", r.WindowSecs),
+		fmt.Sprintf("%.2f", r.NetMsgsPerLookup),
+		fmt.Sprint(r.StateSize), fmt.Sprintf("%.2f", r.StatePerNode),
+	}
+}
+
+// Recorder accumulates PhaseRecords and exports them as CSV and JSON, the
+// machine-readable artefacts of a comparative run.
+type Recorder struct {
+	Records []PhaseRecord
+}
+
+// Add appends one record.
+func (rec *Recorder) Add(r PhaseRecord) { rec.Records = append(rec.Records, r) }
+
+// Sort orders records by (backend, seed, phase index) so exports are
+// stable regardless of trial completion order.
+func (rec *Recorder) Sort() {
+	sort.SliceStable(rec.Records, func(i, j int) bool {
+		a, b := &rec.Records[i], &rec.Records[j]
+		if a.Backend != b.Backend {
+			return a.Backend < b.Backend
+		}
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		return a.PhaseIdx < b.PhaseIdx
+	})
+}
+
+// WriteCSV writes a header plus one line per record.
+func (rec *Recorder) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(recordHeader); err != nil {
+		return err
+	}
+	for i := range rec.Records {
+		if err := cw.Write(rec.Records[i].row()); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the records as an indented JSON array.
+func (rec *Recorder) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec.Records)
+}
+
+// Export writes <base>.csv and <base>.json under dir, creating the
+// directory as needed, and returns the two paths.
+func (rec *Recorder) Export(dir, base string) (csvPath, jsonPath string, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", err
+	}
+	csvPath = filepath.Join(dir, base+".csv")
+	jsonPath = filepath.Join(dir, base+".json")
+	cf, err := os.Create(csvPath)
+	if err != nil {
+		return "", "", err
+	}
+	defer cf.Close()
+	if err := rec.WriteCSV(cf); err != nil {
+		return "", "", err
+	}
+	jf, err := os.Create(jsonPath)
+	if err != nil {
+		return "", "", err
+	}
+	defer jf.Close()
+	if err := rec.WriteJSON(jf); err != nil {
+		return "", "", err
+	}
+	return csvPath, jsonPath, nil
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleRecords() []PhaseRecord {
+	return []PhaseRecord{
+		{Backend: "flood", Scenario: "churn", Phase: "settle", PhaseIdx: 1, Seed: 2, N: 100, Alive: 98, Lookups: 50, Found: 50},
+		{Backend: "treep", Scenario: "churn", Phase: "churn", PhaseIdx: 0, Seed: 1, N: 100, Alive: 97,
+			Lookups: 50, Found: 45, FailPct: 10, HopMean: 2.5, MaintMsgs: 1234, MsgsPerLookup: 7.5},
+		{Backend: "treep", Scenario: "churn", Phase: "settle", PhaseIdx: 1, Seed: 1, N: 100, Alive: 97, Lookups: 50, Found: 50},
+	}
+}
+
+// TestRecorderSortOrder: records order by (backend, seed, phase index).
+func TestRecorderSortOrder(t *testing.T) {
+	var rec Recorder
+	for _, r := range sampleRecords() {
+		rec.Add(r)
+	}
+	rec.Sort()
+	got := make([]string, len(rec.Records))
+	for i, r := range rec.Records {
+		got[i] = r.Backend + "/" + r.Phase
+	}
+	want := []string{"flood/settle", "treep/churn", "treep/settle"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRecorderCSV: the CSV has a header matching every row's width, and
+// values land in the named columns.
+func TestRecorderCSV(t *testing.T) {
+	var rec Recorder
+	for _, r := range sampleRecords() {
+		rec.Add(r)
+	}
+	rec.Sort()
+	var buf bytes.Buffer
+	if err := rec.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want header + 3", len(rows))
+	}
+	col := map[string]int{}
+	for i, name := range rows[0] {
+		col[name] = i
+	}
+	for _, want := range []string{"backend", "fail_pct", "maint_msgs", "net_msgs_per_lookup", "state_per_node"} {
+		if _, ok := col[want]; !ok {
+			t.Errorf("CSV header missing column %q", want)
+		}
+	}
+	if rows[2][col["backend"]] != "treep" || rows[2][col["maint_msgs"]] != "1234" {
+		t.Errorf("unexpected row 2: %v", rows[2])
+	}
+}
+
+// TestRecorderJSONRoundTrip: WriteJSON output unmarshals back losslessly.
+func TestRecorderJSONRoundTrip(t *testing.T) {
+	var rec Recorder
+	for _, r := range sampleRecords() {
+		rec.Add(r)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var back []PhaseRecord
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("round-trip has %d records, want 3", len(back))
+	}
+	if back[1] != rec.Records[1] {
+		t.Errorf("record 1 changed in round trip:\n got %+v\nwant %+v", back[1], rec.Records[1])
+	}
+}
+
+// TestRecorderExport: Export creates the directory and both files.
+func TestRecorderExport(t *testing.T) {
+	var rec Recorder
+	rec.Add(sampleRecords()[0])
+	dir := filepath.Join(t.TempDir(), "nested", "out")
+	csvPath, jsonPath, err := rec.Export(dir, "compare-test")
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	for _, p := range []string{csvPath, jsonPath} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("export artefact %s missing or empty (err=%v)", p, err)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"time"
 
+	"treep/internal/idspace"
 	"treep/internal/sim"
 )
 
@@ -198,6 +199,25 @@ func (n *Network) Revive(a Addr) {
 // filter models partitions and asymmetric connectivity failures; it is
 // consulted at send time, like a routing black hole between the sides.
 func (n *Network) SetLinkFilter(fn func(from, to Addr) bool) { n.linkFilter = fn }
+
+// SplitFilter builds a link filter that partitions endpoints into two
+// sides at an overlay coordinate: a datagram passes only when both ends
+// sit on the same side of split. idOf resolves an endpoint's overlay ID;
+// endpoints it cannot resolve pass unconditionally. Sides are resolved
+// lazily at send time, so nodes attached mid-partition are partitioned
+// correctly too. Every overlay backend shares this one implementation:
+//
+//	net.SetLinkFilter(netsim.SplitFilter(split, idOf))
+func SplitFilter(split idspace.ID, idOf func(Addr) (idspace.ID, bool)) func(from, to Addr) bool {
+	return func(from, to Addr) bool {
+		a, aok := idOf(from)
+		b, bok := idOf(to)
+		if !aok || !bok {
+			return true
+		}
+		return (a <= split) == (b <= split)
+	}
+}
 
 // Alive reports whether the endpoint exists and is live.
 func (n *Network) Alive(a Addr) bool {

@@ -1,0 +1,118 @@
+package overlay
+
+import (
+	"math/rand"
+	"time"
+
+	"treep/internal/chord"
+	"treep/internal/idspace"
+	"treep/internal/netsim"
+	"treep/internal/sim"
+)
+
+// Chord adapts the chord.Cluster baseline to the Overlay interface. A
+// lookup succeeds when successor(target) resolves to the exact live
+// target node — the same "find this node" workload the other backends
+// run.
+type Chord struct {
+	C *chord.Cluster
+
+	rng *rand.Rand
+}
+
+// NewChord builds a steady-state Chord ring of n nodes with periodic
+// stabilisation running.
+func NewChord(n int, seed int64) *Chord {
+	c := chord.New(n, seed)
+	return &Chord{C: c, rng: c.Kernel.Stream(0x6f766c79)} // "ovly"
+}
+
+// Name implements Overlay.
+func (a *Chord) Name() string { return "chord" }
+
+// Kernel implements Overlay.
+func (a *Chord) Kernel() *sim.Kernel { return a.C.Kernel }
+
+// NetStats implements Overlay.
+func (a *Chord) NetStats() netsim.Stats { return a.C.Net.Stats() }
+
+// AliveCount implements Overlay.
+func (a *Chord) AliveCount() int { return len(a.C.AliveNodes()) }
+
+// AliveIDs implements Overlay.
+func (a *Chord) AliveIDs() []idspace.ID {
+	alive := a.C.AliveNodes()
+	out := make([]idspace.ID, len(alive))
+	for i, n := range alive {
+		out[i] = n.ID()
+	}
+	return out
+}
+
+// Join implements Overlay.
+func (a *Chord) Join() bool { return a.C.Join() != nil }
+
+// Leave implements Overlay.
+func (a *Chord) Leave() bool {
+	alive := a.C.AliveNodes()
+	if len(alive) <= 2 {
+		return false
+	}
+	a.C.Kill(alive[a.rng.Intn(len(alive))])
+	return true
+}
+
+// KillZone implements Overlay.
+func (a *Chord) KillZone(zone idspace.Region) int {
+	killed := 0
+	for _, n := range a.C.AliveNodes() {
+		if zone.Contains(n.ID()) {
+			a.C.Kill(n)
+			killed++
+		}
+	}
+	return killed
+}
+
+// Partition implements Overlay.
+func (a *Chord) Partition(split idspace.ID) { a.C.Partition(split) }
+
+// Heal implements Overlay.
+func (a *Chord) Heal() { a.C.Heal() }
+
+// MaintenanceTick implements Overlay: run Chord's timeout-based failure
+// eviction (modelled out-of-band, see chord.DropDead).
+func (a *Chord) MaintenanceTick() { a.C.DropDead() }
+
+// Lookup implements Overlay.
+func (a *Chord) Lookup(origin int, target idspace.ID, cb func(Outcome)) {
+	alive := a.C.AliveNodes()
+	if len(alive) == 0 {
+		cb(Outcome{})
+		return
+	}
+	n := alive[origin%len(alive)]
+	start := a.C.Kernel.Now()
+	n.Lookup(a.C, target, func(r chord.LookupResult) {
+		cb(Outcome{
+			Found:   r.Found && r.Succ == target,
+			Hops:    r.Hops,
+			Latency: a.C.Kernel.Now() - start,
+		})
+	})
+}
+
+// LookupWindow implements Overlay.
+func (a *Chord) LookupWindow() time.Duration { return a.C.LookupTimeout() + time.Second }
+
+// Run implements Overlay.
+func (a *Chord) Run(d time.Duration) { a.C.Run(d) }
+
+// StateSize implements Overlay.
+func (a *Chord) StateSize() int {
+	total := 0
+	for _, n := range a.C.AliveNodes() {
+		total += n.StateSize()
+	}
+	return total
+}

@@ -1,0 +1,131 @@
+package overlay
+
+import (
+	"math/rand"
+	"time"
+
+	"treep/internal/flood"
+	"treep/internal/idspace"
+	"treep/internal/netsim"
+	"treep/internal/sim"
+)
+
+// DefaultFloodDegree is the random-graph degree used when callers do not
+// specify one (a typical Gnutella client keeps 4–8 neighbours).
+const DefaultFloodDegree = 6
+
+// DefaultFloodTTL is the flood hop budget (Gnutella shipped with TTL 7; one
+// extra hop covers the sparser corners of a churned graph).
+const DefaultFloodTTL = 8
+
+// Flood adapts the flood.Cluster baseline to the Overlay interface.
+// Lookups flood for the exact target ID with a fixed TTL.
+type Flood struct {
+	C *flood.Cluster
+
+	ttl uint8
+	rng *rand.Rand
+}
+
+// NewFlood builds a flooding network of n nodes wired at the given degree;
+// degree and ttl fall back to the package defaults when non-positive.
+func NewFlood(n, degree, ttl int, seed int64) *Flood {
+	if degree <= 0 {
+		degree = DefaultFloodDegree
+	}
+	if ttl <= 0 {
+		ttl = DefaultFloodTTL
+	}
+	c := flood.New(n, degree, seed)
+	return &Flood{C: c, ttl: uint8(ttl), rng: c.Kernel.Stream(0x6f766c79)} // "ovly"
+}
+
+// Name implements Overlay.
+func (a *Flood) Name() string { return "flood" }
+
+// Kernel implements Overlay.
+func (a *Flood) Kernel() *sim.Kernel { return a.C.Kernel }
+
+// NetStats implements Overlay.
+func (a *Flood) NetStats() netsim.Stats { return a.C.Net.Stats() }
+
+// AliveCount implements Overlay.
+func (a *Flood) AliveCount() int { return len(a.C.AliveNodes()) }
+
+// AliveIDs implements Overlay.
+func (a *Flood) AliveIDs() []idspace.ID {
+	alive := a.C.AliveNodes()
+	out := make([]idspace.ID, len(alive))
+	for i, n := range alive {
+		out[i] = n.ID()
+	}
+	return out
+}
+
+// Join implements Overlay.
+func (a *Flood) Join() bool { return a.C.Join() != nil }
+
+// Leave implements Overlay.
+func (a *Flood) Leave() bool {
+	alive := a.C.AliveNodes()
+	if len(alive) <= 2 {
+		return false
+	}
+	a.C.Kill(alive[a.rng.Intn(len(alive))])
+	return true
+}
+
+// KillZone implements Overlay.
+func (a *Flood) KillZone(zone idspace.Region) int {
+	killed := 0
+	for _, n := range a.C.AliveNodes() {
+		if zone.Contains(n.ID()) {
+			a.C.Kill(n)
+			killed++
+		}
+	}
+	return killed
+}
+
+// Partition implements Overlay.
+func (a *Flood) Partition(split idspace.ID) { a.C.Partition(split) }
+
+// Heal implements Overlay.
+func (a *Flood) Heal() { a.C.Heal() }
+
+// MaintenanceTick implements Overlay: evict dead neighbours and re-dial
+// under-connected nodes (modelled out-of-band, see flood.PruneDead).
+func (a *Flood) MaintenanceTick() { a.C.PruneDead() }
+
+// Lookup implements Overlay.
+func (a *Flood) Lookup(origin int, target idspace.ID, cb func(Outcome)) {
+	alive := a.C.AliveNodes()
+	if len(alive) == 0 {
+		cb(Outcome{})
+		return
+	}
+	n := alive[origin%len(alive)]
+	start := a.C.Kernel.Now()
+	n.Lookup(a.C, target, a.ttl, func(r flood.Result) {
+		cb(Outcome{
+			Found:   r.Found,
+			Hops:    r.Hops,
+			Latency: a.C.Kernel.Now() - start,
+		})
+	})
+}
+
+// LookupWindow implements Overlay.
+func (a *Flood) LookupWindow() time.Duration { return a.C.LookupTimeout() + time.Second }
+
+// Run implements Overlay.
+func (a *Flood) Run(d time.Duration) { a.C.Run(d) }
+
+// StateSize implements Overlay.
+func (a *Flood) StateSize() int {
+	total := 0
+	for _, n := range a.C.AliveNodes() {
+		total += n.StateSize()
+	}
+	return total
+}

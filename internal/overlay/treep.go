@@ -1,0 +1,130 @@
+package overlay
+
+import (
+	"math/rand"
+	"time"
+
+	"treep/internal/core"
+	"treep/internal/idspace"
+	"treep/internal/netsim"
+	"treep/internal/proto"
+	"treep/internal/sim"
+	"treep/internal/simrt"
+)
+
+// TreeP adapts a simrt.Cluster (the paper's overlay) to the Overlay
+// interface. Lookups use algorithm G — the paper's baseline greedy
+// algorithm — so the cross-protocol comparison measures the architecture,
+// not the smartest retry strategy.
+type TreeP struct {
+	C *simrt.Cluster
+
+	algo proto.Algo
+	rng  *rand.Rand
+}
+
+// NewTreeP builds a bulk-initialised, started TreeP cluster of n nodes.
+func NewTreeP(n int, seed int64) *TreeP {
+	c := simrt.New(simrt.Options{
+		N:      n,
+		Seed:   seed,
+		Config: core.Defaults(),
+		Bulk:   true,
+	})
+	c.StartAll()
+	return &TreeP{C: c, algo: proto.AlgoG, rng: c.Kernel.Stream(0x6f766c79)} // "ovly"
+}
+
+// Name implements Overlay.
+func (t *TreeP) Name() string { return "treep" }
+
+// Kernel implements Overlay.
+func (t *TreeP) Kernel() *sim.Kernel { return t.C.Kernel }
+
+// NetStats implements Overlay.
+func (t *TreeP) NetStats() netsim.Stats { return t.C.Net.Stats() }
+
+// AliveCount implements Overlay.
+func (t *TreeP) AliveCount() int { return t.C.AliveCount() }
+
+// AliveIDs implements Overlay.
+func (t *TreeP) AliveIDs() []idspace.ID {
+	alive := t.C.AliveNodes()
+	out := make([]idspace.ID, len(alive))
+	for i, n := range alive {
+		out[i] = n.ID()
+	}
+	return out
+}
+
+// Join implements Overlay: spawn a fresh node and bootstrap it through a
+// live peer (the protocol's dynamic join).
+func (t *TreeP) Join() bool { return t.C.SpawnJoin() != nil }
+
+// Leave implements Overlay.
+func (t *TreeP) Leave() bool {
+	alive := t.C.AliveNodes()
+	if len(alive) <= 2 {
+		return false
+	}
+	t.C.Kill(alive[t.rng.Intn(len(alive))])
+	return true
+}
+
+// KillZone implements Overlay.
+func (t *TreeP) KillZone(zone idspace.Region) int {
+	killed := 0
+	for _, n := range t.C.AliveNodes() {
+		if zone.Contains(n.ID()) {
+			t.C.Kill(n)
+			killed++
+		}
+	}
+	return killed
+}
+
+// Partition implements Overlay.
+func (t *TreeP) Partition(split idspace.ID) { t.C.Partition(split) }
+
+// Heal implements Overlay.
+func (t *TreeP) Heal() { t.C.Heal() }
+
+// MaintenanceTick implements Overlay. TreeP's failure detection is fully
+// in-protocol (parent keepalives, table sweeps), so there is nothing to
+// model out-of-band.
+func (t *TreeP) MaintenanceTick() {}
+
+// Lookup implements Overlay.
+func (t *TreeP) Lookup(origin int, target idspace.ID, cb func(Outcome)) {
+	alive := t.C.AliveNodes()
+	if len(alive) == 0 {
+		cb(Outcome{})
+		return
+	}
+	n := alive[origin%len(alive)]
+	n.Lookup(target, t.algo, func(r core.LookupResult) {
+		cb(Outcome{
+			Found:   r.Status == core.LookupFound && r.Best.ID == target,
+			Hops:    r.Hops,
+			Latency: r.Latency,
+		})
+	})
+}
+
+// LookupWindow implements Overlay.
+func (t *TreeP) LookupWindow() time.Duration {
+	return t.C.Nodes[0].Config().LookupTimeout + time.Second
+}
+
+// Run implements Overlay.
+func (t *TreeP) Run(d time.Duration) { t.C.Run(d) }
+
+// StateSize implements Overlay: total routing-table entries across live
+// nodes (parents, buses, rings — everything the table holds).
+func (t *TreeP) StateSize() int {
+	total := 0
+	for _, n := range t.C.AliveNodes() {
+		total += n.Table().Size()
+	}
+	return total
+}

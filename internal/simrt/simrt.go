@@ -247,13 +247,13 @@ func (c *Cluster) DeadNodes() []*core.Node {
 // arrive), and it resolves sides from node IDs lazily, so nodes spawned
 // mid-partition are partitioned correctly too.
 func (c *Cluster) Partition(split idspace.ID) {
-	c.Net.SetLinkFilter(func(from, to netsim.Addr) bool {
-		a, b := c.byAddr[uint64(from)], c.byAddr[uint64(to)]
-		if a == nil || b == nil {
-			return true
+	c.Net.SetLinkFilter(netsim.SplitFilter(split, func(a netsim.Addr) (idspace.ID, bool) {
+		n, ok := c.byAddr[uint64(a)]
+		if !ok {
+			return 0, false
 		}
-		return (a.ID() <= split) == (b.ID() <= split)
-	})
+		return n.ID(), true
+	}))
 }
 
 // Heal removes the partition installed by Partition.
