@@ -195,6 +195,13 @@ func BenchmarkScenarioChurn5k(b *testing.B) {
 	benchScenarioN(b, 5000, churnPhases())
 }
 
+func BenchmarkScenarioChurn10k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("N=10000 scenario: skipped in -short mode")
+	}
+	benchScenarioN(b, 10000, churnPhases())
+}
+
 func BenchmarkScenarioFlashCrowd(b *testing.B) {
 	benchScenario(b, []scenario.Phase{
 		scenario.FlashCrowd{Joins: 60, Over: 4 * time.Second},

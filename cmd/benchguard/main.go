@@ -1,0 +1,94 @@
+// benchguard gates CI on allocation regressions: it compares a fresh
+// scale-table JSON (treep-bench -scale) against the checked-in baseline
+// and exits non-zero when allocs/run regressed beyond the tolerance.
+//
+// Allocations per run are the machine-independent cost metric of the
+// deterministic simulation — wall-clock on shared CI runners swings 2×,
+// but the allocation count of a seeded scenario is stable to a fraction
+// of a percent, so a 15% jump is a real regression, not noise.
+//
+//	benchguard -baseline ci/bench-baseline.json -current results/scale-churn.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// point mirrors the fields of treep-bench's ScalePoint that the guard
+// cares about; extra fields in either file are ignored.
+type point struct {
+	N         int    `json:"n"`
+	AllocsRun uint64 `json:"allocs_run"`
+}
+
+func load(path string) (map[int]point, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var pts []point
+	if err := json.Unmarshal(data, &pts); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[int]point, len(pts))
+	for _, p := range pts {
+		out[p.N] = p
+	}
+	return out, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "ci/bench-baseline.json", "checked-in baseline scale table")
+	current := flag.String("current", "results/scale-churn.json", "freshly generated scale table")
+	maxRegress := flag.Float64("max-regress", 0.15, "allowed fractional allocs/run growth before failing")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(1)
+	}
+
+	failed := false
+	compared := 0
+	for n, b := range base {
+		c, ok := cur[n]
+		if !ok {
+			// A missing population silently unguards that scale point —
+			// treat it as a failure so the CI -scale list and the baseline
+			// cannot drift apart unnoticed.
+			fmt.Fprintf(os.Stderr, "benchguard: N=%d in baseline but missing from current run\n", n)
+			failed = true
+			continue
+		}
+		compared++
+		ratio := float64(c.AllocsRun) / float64(b.AllocsRun)
+		status := "ok"
+		if ratio > 1+*maxRegress {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("benchguard: N=%d allocs/run %d -> %d (%+.1f%%) %s\n",
+			n, b.AllocsRun, c.AllocsRun, 100*(ratio-1), status)
+		if ratio < 1-*maxRegress {
+			fmt.Printf("benchguard: N=%d improved beyond tolerance — update %s to lock in the gain\n", n, *baseline)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no comparable populations between baseline and current")
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: allocs/run regressed more than %.0f%%\n", *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: allocation budget holds")
+}

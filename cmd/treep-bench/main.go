@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,6 +40,15 @@ per-phase CSV + JSON records:
 
   treep-bench -compare chord,flood -scenario churn -n 2000 -out results/
 
+Scale mode (-scale): run the canonical churn scenario at each listed
+population and export the substrate scale table (events/s, allocs/run,
+peak heap) as CSV + JSON — the machine-readable source of the
+EXPERIMENTS.md scale table and CI's allocation-budget guard:
+
+  treep-bench -scale 500,2000,10000 -lookups 60 -out results/
+
+-cpuprofile/-memprofile write pprof profiles of any mode.
+
 Backends: %s. Scenarios: %s.
 
 Flags:
@@ -45,11 +56,25 @@ Flags:
 	flag.PrintDefaults()
 }
 
+// flushProfiles finalises any active -cpuprofile/-memprofile output; it
+// must run before every exit path or the profile files are truncated.
+// main installs the real implementation once the flags are parsed.
+var flushProfiles = func() {}
+
 // fail prints the error and the usage, then exits non-zero.
 func fail(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "treep-bench: "+format+"\n\n", args...)
 	usage()
+	flushProfiles()
 	os.Exit(2)
+}
+
+// fatal prints the error (no usage — the flags were fine) and exits
+// non-zero, flushing profiles first.
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "treep-bench: "+format+"\n", args...)
+	flushProfiles()
+	os.Exit(1)
 }
 
 func main() {
@@ -60,13 +85,51 @@ func main() {
 	settle := flag.Duration("settle", 8*time.Second, "repair window after each kill step")
 	compare := flag.String("compare", "", "comma-separated baselines to compare TreeP against (chord, flood); enables compare mode")
 	scen := flag.String("scenario", "churn", "compare mode: scenario script (churn, flashcrowd, zonefail, partition)")
-	out := flag.String("out", "results", "compare mode: directory for the CSV/JSON records")
+	out := flag.String("out", "results", "compare/scale mode: directory for the CSV/JSON records")
+	scale := flag.String("scale", "", "comma-separated populations (e.g. 500,2000,10000): run the canonical churn scenario per N and export the substrate scale table; enables scale mode")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
 
 	if flag.NArg() > 0 {
 		fail("unexpected argument %q", flag.Arg(0))
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fail("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("cpuprofile: %v", err)
+		}
+	}
+	cpuOn, memPath := *cpuprofile != "", *memprofile
+	flushed := false
+	flushProfiles = func() {
+		if flushed {
+			return
+		}
+		flushed = true
+		if cpuOn {
+			pprof.StopCPUProfile()
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "treep-bench: memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "treep-bench: memprofile: %v\n", err)
+		}
+	}
+	defer flushProfiles()
 
 	if *quick {
 		*n, *trials, *lookups = 400, 2, 60
@@ -76,6 +139,13 @@ func main() {
 		seeds[i] = int64(i + 1)
 	}
 
+	if *scale != "" && *compare != "" {
+		fail("-scale and -compare are mutually exclusive")
+	}
+	if *scale != "" {
+		runScale(*scale, *out, *lookups)
+		return
+	}
 	if *compare != "" {
 		runCompare(*compare, *scen, *out, *n, seeds, *lookups)
 		return

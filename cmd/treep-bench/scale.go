@@ -1,0 +1,202 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"treep/internal/experiment"
+	"treep/internal/proto"
+	"treep/internal/scenario"
+)
+
+// ScalePoint is one row of the machine-generated substrate scale table
+// (EXPERIMENTS.md): the canonical churn scenario at one population, with
+// the three quantities the scale claims are judged on — events/s must
+// stay flat as N grows, allocs/run and peak heap must grow linearly at
+// worst.
+type ScalePoint struct {
+	N          int     `json:"n"`
+	WallSec    float64 `json:"wall_sec"`
+	Events     uint64  `json:"events"`
+	EventsPerS float64 `json:"events_per_sec"`
+	// AllocsRun is the number of heap allocations over the run (the
+	// machine-independent cost metric; runtime.MemStats.Mallocs delta).
+	AllocsRun uint64 `json:"allocs_run"`
+	// PeakHeapBytes is the maximum live heap observed while the scenario
+	// ran (sampled HeapAlloc).
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	FailPct       float64 `json:"fail_pct"`
+	Violations    float64 `json:"violations_end"`
+}
+
+// scaleChurnPhases is the canonical churn timeline used at every scale
+// point — identical to BenchmarkScenarioChurn* in bench_test.go so the
+// table and the CI benchmarks track the same workload.
+func scaleChurnPhases() []scenario.Phase {
+	return []scenario.Phase{
+		scenario.Churn{For: 15 * time.Second, JoinRate: 2, LeaveRate: 2},
+		scenario.Settle{For: 12 * time.Second},
+	}
+}
+
+// heapWatcher samples HeapAlloc until stopped and reports the maximum.
+type heapWatcher struct {
+	stop chan struct{}
+	done chan struct{}
+	peak atomic.Uint64
+}
+
+func watchHeap() *heapWatcher {
+	w := &heapWatcher{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(w.done)
+		// ReadMemStats stops the world; a 250 ms cadence keeps the peak
+		// estimate honest without perturbing the run it is measuring.
+		var ms runtime.MemStats
+		tick := time.NewTicker(250 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > w.peak.Load() {
+				w.peak.Store(ms.HeapAlloc)
+			}
+			select {
+			case <-w.stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return w
+}
+
+func (w *heapWatcher) Stop() uint64 {
+	close(w.stop)
+	<-w.done
+	return w.peak.Load()
+}
+
+// runScale executes the churn scenario once per population and writes the
+// scale table as CSV + JSON under outDir.
+func runScale(spec, outDir string, lookups int) {
+	var ns []int
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			fail("bad -scale population %q", f)
+		}
+		ns = append(ns, n)
+	}
+	if len(ns) == 0 {
+		fail("-scale needs at least one population")
+	}
+
+	fmt.Printf("# Substrate scale — churn 15s@2+2, settle 12s, %d lookups/phase, seed 1\n\n", lookups)
+	fmt.Printf("| %7s | %9s | %9s | %11s | %9s | %6s | %10s |\n",
+		"N", "wall", "events/s", "allocs/run", "peak heap", "fail%", "violations")
+
+	points := make([]ScalePoint, 0, len(ns))
+	var ms runtime.MemStats
+	for _, n := range ns {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		mallocs0 := ms.Mallocs
+		w := watchHeap()
+		start := time.Now()
+		res := experiment.RunScenario(experiment.ScenarioOptions{
+			N:               n,
+			Seeds:           []int64{1},
+			Phases:          scaleChurnPhases(),
+			LookupsPerPhase: lookups,
+			Parallel:        1,
+		})
+		wall := time.Since(start)
+		peak := w.Stop()
+		runtime.ReadMemStats(&ms)
+
+		p := ScalePoint{
+			N:             n,
+			WallSec:       wall.Seconds(),
+			AllocsRun:     ms.Mallocs - mallocs0,
+			PeakHeapBytes: peak,
+		}
+		if r := res.Trials[0].Result; r != nil {
+			p.Events = r.Events
+			p.EventsPerS = float64(r.Events) / wall.Seconds()
+		}
+		fr := res.FailRateByPhase(proto.AlgoG)
+		if len(fr.Y) > 0 {
+			p.FailPct = fr.Y[len(fr.Y)-1]
+		}
+		vi := res.ViolationsByPhase()
+		if len(vi.Y) > 0 {
+			p.Violations = vi.Y[len(vi.Y)-1]
+		}
+		points = append(points, p)
+		fmt.Printf("| %7d | %8.1fs | %9.0f | %11d | %8.1fM | %6.1f | %10.1f |\n",
+			p.N, p.WallSec, p.EventsPerS, p.AllocsRun, float64(p.PeakHeapBytes)/(1<<20), p.FailPct, p.Violations)
+	}
+
+	if err := writeScale(outDir, points); err != nil {
+		fatal("writing scale records: %v", err)
+	}
+	fmt.Printf("\nrecords: %s, %s\n",
+		filepath.Join(outDir, "scale-churn.csv"), filepath.Join(outDir, "scale-churn.json"))
+}
+
+// writeScale exports the scale table as CSV + JSON.
+func writeScale(outDir string, points []ScalePoint) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	jf, err := os.Create(filepath.Join(outDir, "scale-churn.json"))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(jf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(points); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+
+	cf, err := os.Create(filepath.Join(outDir, "scale-churn.csv"))
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(cf)
+	_ = cw.Write([]string{"n", "wall_sec", "events", "events_per_sec", "allocs_run", "peak_heap_bytes", "fail_pct", "violations_end"})
+	for _, p := range points {
+		_ = cw.Write([]string{
+			strconv.Itoa(p.N),
+			strconv.FormatFloat(p.WallSec, 'f', 3, 64),
+			strconv.FormatUint(p.Events, 10),
+			strconv.FormatFloat(p.EventsPerS, 'f', 1, 64),
+			strconv.FormatUint(p.AllocsRun, 10),
+			strconv.FormatUint(p.PeakHeapBytes, 10),
+			strconv.FormatFloat(p.FailPct, 'f', 2, 64),
+			strconv.FormatFloat(p.Violations, 'f', 2, 64),
+		})
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		cf.Close()
+		return err
+	}
+	return cf.Close()
+}

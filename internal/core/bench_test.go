@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"treep/internal/idspace"
+	"treep/internal/nodeprof"
+	"treep/internal/proto"
+)
+
+// benchEnv is a minimal Env for protocol micro-benchmarks: sends are
+// dropped after recycling pooled payloads (emulating the network's
+// end-of-delivery hook), timers are inert. This isolates per-message
+// protocol cost from both the simulator kernel and the network model —
+// the number BenchmarkProtocolStep reports is what one inbound keep-alive
+// costs the node itself.
+type benchEnv struct {
+	addr uint64
+	now  time.Duration
+	rng  *rand.Rand
+	sent uint64
+}
+
+func (e *benchEnv) Addr() uint64       { return e.addr }
+func (e *benchEnv) Now() time.Duration { return e.now }
+func (e *benchEnv) Rand() *rand.Rand   { return e.rng }
+
+func (e *benchEnv) Send(to uint64, msg proto.Message) {
+	e.sent++
+	if r, ok := msg.(proto.Recyclable); ok {
+		r.Recycle()
+	}
+}
+
+type benchTimer struct{}
+
+func (benchTimer) Cancel() bool { return false }
+
+func (e *benchEnv) SetTimer(d time.Duration, fn func()) Timer    { return benchTimer{} }
+func (e *benchEnv) SetPeriodic(d time.Duration, fn func()) Timer { return benchTimer{} }
+
+// benchCluster bulk-builds n steady-state nodes on benchEnvs and returns
+// them in ID order together with a realistic inbound Ping for the target
+// node (composed by its ring neighbour, delta plus structural entries).
+func benchCluster(n int) (nodes []*Node, target *Node, from uint64, ping *proto.Ping) {
+	gen := nodeprof.NewGenerator(nodeprof.DefaultClasses(), 42)
+	assigner := idspace.BalancedAssigner{}
+	nodes = make([]*Node, n)
+	for i := 0; i < n; i++ {
+		cfg := Defaults()
+		cfg.ID = assigner.Assign(i, n, "")
+		cfg.Profile = gen.Next()
+		nodes[i] = NewNode(cfg, &benchEnv{addr: uint64(i + 1), rng: rand.New(rand.NewSource(int64(i + 1)))})
+	}
+	BulkBuild(nodes, Defaults().MaxHeight)
+
+	target = nodes[n/2]
+	nbr := nodes[n/2-1]
+	ping = &proto.Ping{From: nbr.Ref(), Seq: 1}
+	ping.Entries = nbr.composeUpdateInto(nil, target.Addr(), false)
+	return nodes, target, nbr.Addr(), ping
+}
+
+// BenchmarkProtocolStep measures one inbound keep-alive Ping through
+// HandleMessage — touch, delta application, membership notes, and the
+// composed Pong reply — with no kernel or network in the loop. This is
+// the per-message protocol cost that must stay flat as N grows.
+func BenchmarkProtocolStep(b *testing.B) {
+	_, target, from, ping := benchCluster(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target.HandleMessage(from, ping)
+	}
+	b.ReportMetric(float64(target.Stats.MsgsOut)/float64(b.N), "replies/op")
+}
+
+// BenchmarkProtocolKeepalive measures one outbound keep-alive tick: the
+// active-peer walk and one composed update per active connection.
+func BenchmarkProtocolKeepalive(b *testing.B) {
+	_, target, _, _ := benchCluster(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		target.keepaliveTick()
+	}
+}
+
+// TestProtocolSteadyStateAllocs pins the pooled protocol paths at zero
+// steady-state allocations: handling an inbound keep-alive (including the
+// pooled Pong reply) and running an outbound keep-alive tick must not
+// allocate once buffers are warm.
+func TestProtocolSteadyStateAllocs(t *testing.T) {
+	_, target, from, ping := benchCluster(512)
+	// Warm every scratch buffer and pool.
+	for i := 0; i < 16; i++ {
+		target.HandleMessage(from, ping)
+		target.keepaliveTick()
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		target.HandleMessage(from, ping)
+	}); allocs != 0 {
+		t.Fatalf("inbound keep-alive allocated %.1f times per message, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		target.keepaliveTick()
+	}); allocs != 0 {
+		t.Fatalf("keep-alive tick allocated %.1f times per tick, want 0", allocs)
+	}
+}

@@ -95,7 +95,7 @@ func (n *Node) promoteSelf(level uint8) {
 
 	// Join the bus: link towards the nearest known member.
 	if best, _, ok := n.bestKnownMember(level, n.cfg.ID); ok && best.MaxLevel >= level {
-		n.send(best.Addr, &proto.BusLinkReq{From: n.Ref(), Level: level})
+		n.sendBusLinkReq(best.Addr, level)
 	}
 
 	// Claim children: announce to every known peer inside the region whose
@@ -145,7 +145,7 @@ func (n *Node) courtRef(ref proto.NodeRef) {
 		n.courtTimer.Cancel()
 	}
 	n.courting = ref.Addr
-	n.send(ref.Addr, &proto.ChildReport{From: n.Ref(), Degree: uint8(n.degreeAt(0))})
+	n.sendChildReport(ref.Addr)
 	probation := n.cfg.ElectionMin
 	if probation < 500*time.Millisecond {
 		probation = 500 * time.Millisecond
@@ -211,7 +211,7 @@ func (n *Node) handleParentClaim(from uint64, m *proto.ParentClaim) {
 				n.electionTimer.Cancel()
 				n.electionTimer = nil
 			}
-			n.send(m.From.Addr, &proto.ChildReport{From: n.Ref(), Degree: uint8(n.degreeAt(0))})
+			n.sendChildReport(m.From.Addr)
 		}
 		return
 	}
@@ -221,7 +221,7 @@ func (n *Node) handleParentClaim(from uint64, m *proto.ParentClaim) {
 		n.table.BusLevel(m.Level).Upsert(m.From, proto.FNeighbor, n.env.Now(), n.table.NextVersion(), rtable.Direct)
 		l, r := n.busNeighbors(m.Level)
 		if l.Addr == m.From.Addr || r.Addr == m.From.Addr {
-			n.send(m.From.Addr, &proto.BusLinkReq{From: n.Ref(), Level: m.Level})
+			n.sendBusLinkReq(m.From.Addr, m.Level)
 		}
 	}
 }
@@ -274,7 +274,10 @@ func (n *Node) handleChildReport(from uint64, m *proto.ChildReport) {
 
 	// Ack so children learn our ancestors and bus neighbours (their
 	// superior node lists) and keep that knowledge fresh.
-	n.send(from, &proto.Pong{From: n.Ref(), Seq: 0, Entries: n.composeUpdate(from, true)})
+	ack := proto.AcquirePong()
+	ack.From = n.Ref()
+	ack.Entries = n.composeUpdateInto(ack.Entries, from, true)
+	n.send(from, ack)
 
 	n.maybeSplit()
 }
@@ -283,7 +286,7 @@ func (n *Node) handleReparent(from uint64, m *proto.Reparent) {
 	// A refusal from a node we were courting: remember it so the
 	// candidate search stops offering it, then try the next option.
 	if m.NewParent.IsZero() && n.courting == from {
-		n.refused[from] = n.env.Now()
+		n.markRefused(from)
 		n.courting = 0
 		if n.courtTimer != nil {
 			n.courtTimer.Cancel()
@@ -438,7 +441,7 @@ func (n *Node) handlePromoteGrant(from uint64, m *proto.PromoteGrant) {
 	l, r := n.busNeighbors(m.Level)
 	for _, nb := range []proto.NodeRef{l, r} {
 		if !nb.IsZero() {
-			n.send(nb.Addr, &proto.BusLinkReq{From: n.Ref(), Level: m.Level})
+			n.sendBusLinkReq(nb.Addr, m.Level)
 		}
 	}
 	claim := &proto.ParentClaim{From: n.Ref(), Level: m.Level, Region: m.Region}
@@ -453,7 +456,7 @@ func (n *Node) handlePromoteGrant(from uint64, m *proto.PromoteGrant) {
 	}
 	// Our parent may still cover us at the new level + 1; re-report so it
 	// refreshes our level, or get redirected to the right member.
-	n.send(from, &proto.ChildReport{From: n.Ref(), Degree: uint8(n.degreeAt(0))})
+	n.sendChildReport(from)
 	n.pushUpdates()
 }
 
@@ -546,7 +549,7 @@ func (n *Node) handleDemote(from uint64, m *proto.Demote) {
 	}
 	// Bus repair towards the successor.
 	if !m.Successor.IsZero() && m.Successor.Addr != n.Addr() && m.Level <= n.maxLevel {
-		n.send(m.Successor.Addr, &proto.BusLinkReq{From: n.Ref(), Level: m.Level})
+		n.sendBusLinkReq(m.Successor.Addr, m.Level)
 	}
 }
 
@@ -572,7 +575,9 @@ func (n *Node) handleBusLinkReq(from uint64, m *proto.BusLinkReq) {
 			right = mref
 		}
 	}
-	n.send(from, &proto.BusLinkAck{From: n.Ref(), Level: lvl, Left: left, Right: right})
+	ack := proto.AcquireBusLinkAck()
+	ack.From, ack.Level, ack.Left, ack.Right = n.Ref(), lvl, left, right
+	n.send(from, ack)
 }
 
 func (n *Node) handleBusLinkAck(from uint64, m *proto.BusLinkAck) {

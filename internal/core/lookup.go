@@ -81,7 +81,7 @@ func (n *Node) Lookup(target idspace.ID, algo proto.Algo, cb func(LookupResult))
 	}
 
 	// Route the first step locally.
-	step := routing.Route(n.Ref(), n.table, req, false, 0, n.cfg.Routing)
+	step := routing.RouteWith(&n.routeScratch, n.Ref(), n.table, req, false, 0, n.cfg.Routing)
 	switch step.Action {
 	case routing.Deliver:
 		n.Stats.LookupsDelivered++
@@ -117,7 +117,7 @@ func (n *Node) handleLookupRequest(from uint64, m *proto.LookupRequest) {
 	parent, hasParent := n.table.Parent()
 	fromParent := hasParent && parent.Addr == from
 
-	step := routing.Route(n.Ref(), n.table, m, fromParent, from, n.cfg.Routing)
+	step := routing.RouteWith(&n.routeScratch, n.Ref(), n.table, m, fromParent, from, n.cfg.Routing)
 	switch step.Action {
 	case routing.Deliver:
 		n.Stats.LookupsDelivered++

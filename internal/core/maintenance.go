@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"treep/internal/idspace"
@@ -51,7 +50,10 @@ func (n *Node) keepaliveTick() {
 func (n *Node) sendPing(to uint64) {
 	n.pingSeq++
 	n.Stats.PingsSent++
-	n.send(to, &proto.Ping{From: n.Ref(), Seq: n.pingSeq, Entries: n.composeUpdate(to, false)})
+	p := proto.AcquirePing()
+	p.From, p.Seq = n.Ref(), n.pingSeq
+	p.Entries = n.composeUpdateInto(p.Entries, to, false)
+	n.send(to, p)
 }
 
 // pushUpdates immediately ships pending deltas to all active peers; called
@@ -63,7 +65,7 @@ func (n *Node) pushUpdates() {
 	}
 	v := n.table.Version()
 	for _, peer := range n.activePeers() {
-		if n.lastSent[peer.Addr] < v {
+		if ps, ok := n.peers[peer.Addr]; !ok || ps.lastSent < v {
 			n.sendPing(peer.Addr)
 		}
 	}
@@ -74,9 +76,23 @@ func (n *Node) pushUpdates() {
 func (n *Node) sweepTick() {
 	now := n.env.Now()
 	res := n.table.Sweep(now, n.cfg.EntryTTL)
-	for addr, claim := range n.peerLevel {
-		if now-claim.at >= n.cfg.EntryTTL {
-			delete(n.peerLevel, addr)
+	for addr, ps := range n.peers {
+		if ps.hasClaim && now-ps.claimAt >= n.cfg.EntryTTL {
+			ps.hasClaim = false
+		}
+		if ps.refused && now-ps.refusedAt >= n.cfg.EntryTTL {
+			n.clearRefusal(ps)
+		}
+		// A state that carries nothing any more is dropped. Delta cursors
+		// for long-idle peers go too — without this the table grows with
+		// every address ever contacted, a slow leak under perpetual
+		// churn. Dropping an idle cursor is safe: recontacting the peer
+		// just resends a full (receiver-deduplicated) table once. The
+		// horizon is several TTLs so active-connection cursors, which
+		// refresh every keep-alive, are never touched.
+		idleCursor := ps.lastSent == 0 || now-ps.lastSentAt >= 4*n.cfg.EntryTTL
+		if !ps.hasClaim && !ps.refused && idleCursor {
+			delete(n.peers, addr)
 		}
 	}
 	if n.table.Level0.Len() == 0 {
@@ -94,7 +110,7 @@ func (n *Node) sweepTick() {
 		l, r := n.table.Level0.Neighbors(n.cfg.ID)
 		for _, nb := range []proto.NodeRef{l, r} {
 			if !nb.IsZero() {
-				n.send(nb.Addr, &proto.Hello{From: n.Ref(), MaxChildren: uint8(n.maxChildren)})
+				n.sendHello(nb.Addr)
 			}
 		}
 	}
@@ -102,19 +118,23 @@ func (n *Node) sweepTick() {
 	// Bus repair per level (ascending, for cross-process determinism):
 	// relink towards the new nearest member.
 	if len(res.Bus) > 0 {
-		levels := make([]int, 0, len(res.Bus))
+		levels := n.scratchLevels[:0]
 		for lvl := range res.Bus {
-			levels = append(levels, int(lvl))
+			levels = append(levels, lvl)
 		}
-		sort.Ints(levels)
-		for _, l := range levels {
-			lvl := uint8(l)
+		for i := 1; i < len(levels); i++ {
+			for j := i; j > 0 && levels[j-1] > levels[j]; j-- {
+				levels[j-1], levels[j] = levels[j], levels[j-1]
+			}
+		}
+		n.scratchLevels = levels
+		for _, lvl := range levels {
 			if lvl > n.maxLevel {
 				continue
 			}
 			if best, _, ok := n.bestKnownMember(lvl, n.cfg.ID); ok {
 				n.Stats.BusRepairs++
-				n.send(best.Addr, &proto.BusLinkReq{From: n.Ref(), Level: lvl})
+				n.sendBusLinkReq(best.Addr, lvl)
 			}
 		}
 	}
@@ -141,7 +161,7 @@ func (n *Node) sweepTick() {
 // reporting are deleted by the parent).
 func (n *Node) reportTick() {
 	if p, ok := n.table.Parent(); ok {
-		n.send(p.Addr, &proto.ChildReport{From: n.Ref(), Degree: uint8(n.degreeAt(0))})
+		n.sendChildReport(p.Addr)
 		return
 	}
 	n.adoptOrElect()
@@ -152,6 +172,27 @@ func (n *Node) reportTick() {
 	if _, ok := n.table.Parent(); !ok && n.courting == 0 && n.electionTimer == nil {
 		n.contactAnchor()
 	}
+}
+
+// sendHello sends a pooled first-contact/repair greeting.
+func (n *Node) sendHello(to uint64) {
+	h := proto.AcquireHello()
+	h.From, h.MaxChildren = n.Ref(), uint8(n.maxChildren)
+	n.send(to, h)
+}
+
+// sendBusLinkReq sends a pooled bus (re)link request.
+func (n *Node) sendBusLinkReq(to uint64, lvl uint8) {
+	r := proto.AcquireBusLinkReq()
+	r.From, r.Level = n.Ref(), lvl
+	n.send(to, r)
+}
+
+// sendChildReport sends the pooled child→parent heartbeat.
+func (n *Node) sendChildReport(to uint64) {
+	cr := proto.AcquireChildReport()
+	cr.From, cr.Degree = n.Ref(), uint8(n.degreeAt(0))
+	n.send(to, cr)
 }
 
 // contactAnchor greets a random anchor; isolated nodes rejoin through it.
@@ -168,7 +209,7 @@ func (n *Node) contactAnchor() {
 		n.send(a, &proto.JoinRequest{From: n.Ref()})
 		return
 	}
-	n.send(a, &proto.Hello{From: n.Ref(), MaxChildren: uint8(n.maxChildren)})
+	n.sendHello(a)
 }
 
 // ensureHierarchy re-checks the standing conditions that drive hierarchy
@@ -190,7 +231,7 @@ func (n *Node) handleHello(from uint64, m *proto.Hello) {
 	if !known {
 		// Mutual introduction: "When two nodes communicate for the first
 		// time they exchange information about their resources and state."
-		n.send(from, &proto.Hello{From: n.Ref(), MaxChildren: uint8(n.maxChildren)})
+		n.sendHello(from)
 	}
 }
 
@@ -199,7 +240,10 @@ func (n *Node) handlePing(from uint64, m *proto.Ping) {
 	n.noteRef(m.From, true)
 	n.applyEntries(from, m.From, m.Entries)
 	n.Stats.PongsSent++
-	n.send(from, &proto.Pong{From: n.Ref(), Seq: m.Seq, Entries: n.composeUpdate(from, n.table.Children.Get(from) != nil)})
+	pong := proto.AcquirePong()
+	pong.From, pong.Seq = n.Ref(), m.Seq
+	pong.Entries = n.composeUpdateInto(pong.Entries, from, n.table.Children.Get(from) != nil)
+	n.send(from, pong)
 }
 
 func (n *Node) handlePong(from uint64, m *proto.Pong) {
@@ -255,7 +299,7 @@ func (n *Node) handleJoinAccept(from uint64, m *proto.JoinAccept) {
 			continue
 		}
 		n.table.Level0.Upsert(nb, proto.FNeighbor, now, n.table.NextVersion(), rtable.Hearsay)
-		n.send(nb.Addr, &proto.Hello{From: n.Ref(), MaxChildren: uint8(n.maxChildren)})
+		n.sendHello(nb.Addr)
 	}
 	if !m.Parent.IsZero() && m.Parent.Addr != n.Addr() {
 		// The suggested parent is hearsay from the acceptor: court it
@@ -314,12 +358,17 @@ func (n *Node) noteRefAt(r proto.NodeRef, direct bool, validated time.Duration) 
 // claim: hearsay advertising a level above what the peer last said about
 // itself is stale and must not resurrect phantom bus membership.
 func (n *Node) claimCap(addr uint64, advertised uint8) uint8 {
-	claim, ok := n.peerLevel[addr]
-	if !ok || n.env.Now()-claim.at >= n.cfg.EntryTTL {
+	var ps *peerState
+	if addr == n.curAddr && n.curPeer != nil {
+		ps = n.curPeer // the sender itself: no extra lookup
+	} else if p, ok := n.peers[addr]; ok {
+		ps = p
+	}
+	if ps == nil || !ps.hasClaim || n.env.Now()-ps.claimAt >= n.cfg.EntryTTL {
 		return advertised
 	}
-	if claim.maxLevel < advertised {
-		return claim.maxLevel
+	if ps.claimLevel < advertised {
+		return ps.claimLevel
 	}
 	return advertised
 }
@@ -336,7 +385,9 @@ func (n *Node) applyEntries(from uint64, sender proto.NodeRef, entries []proto.E
 	// §III.c stores children of *direct* neighbours only.
 	bl, br := n.busNeighbors(n.maxLevel)
 	fromBusNbr := (!bl.IsZero() && bl.Addr == from) || (!br.IsZero() && br.Addr == from)
-	var upward []proto.Entry
+	// Newly learned upper-level members are forwarded to the parent in a
+	// pooled Pong, acquired only when something actually flows upward.
+	var up *proto.Pong
 	for _, e := range entries {
 		if e.Ref.IsZero() || e.Ref.Addr == n.Addr() {
 			continue
@@ -389,14 +440,18 @@ func (n *Node) applyEntries(from uint64, sender proto.NodeRef, entries []proto.E
 		// from having two roots of the tree that are not connected."
 		if n.noteRefAt(e.Ref, false, validated) && e.Ref.MaxLevel > 0 && hasParent &&
 			from != parent.Addr && e.Ref.Addr != parent.Addr {
-			upward = append(upward, proto.Entry{
+			if up == nil {
+				up = proto.AcquirePong()
+				up.From = n.Ref()
+			}
+			up.Entries = append(up.Entries, proto.Entry{
 				Ref: e.Ref, Level: e.Ref.MaxLevel, Flags: proto.FNeighbor,
 				Version: n.table.Version(), AgeDs: proto.AgeFrom(now, validated),
 			})
 		}
 	}
-	if len(upward) > 0 {
-		n.send(parent.Addr, &proto.Pong{From: n.Ref(), Entries: upward})
+	if up != nil {
+		n.send(parent.Addr, up)
 	}
 	n.ensureHierarchy()
 }

@@ -7,6 +7,7 @@ import (
 
 	"treep/internal/idspace"
 	"treep/internal/proto"
+	"treep/internal/routing"
 	"treep/internal/rtable"
 )
 
@@ -27,9 +28,18 @@ type Node struct {
 
 	table *rtable.Table
 
-	// lastSent tracks, per peer, the table version already shipped to it,
-	// implementing the "exchange only out-of-date data" delta protocol.
-	lastSent map[uint64]uint32
+	// peers is the per-peer protocol state (delta-sync cursor, fresh level
+	// claim, courtship refusal), one table looked up once per inbound
+	// message instead of one map per concern. curAddr/curPeer cache the
+	// state of the message currently being handled, so the per-entry
+	// claimCap checks on the apply path cost no extra lookups for the
+	// sender itself.
+	peers   map[uint64]*peerState
+	curAddr uint64
+	curPeer *peerState
+	// refusals counts peers with a live refusal, so the candidate search
+	// skips per-candidate lookups entirely in the common all-clear state.
+	refusals int
 	pingSeq  uint32
 
 	// Election/demotion countdowns (§III.b). One of each at a time.
@@ -45,20 +55,6 @@ type Node struct {
 
 	// lastSplit rate-limits promotion grants (see maybeSplit).
 	lastSplit time.Duration
-
-	// refused remembers peers that explicitly declined to parent us
-	// (usually because our knowledge of their level was stale), so the
-	// candidate search skips them for a TTL instead of re-courting in a
-	// livelock.
-	refused map[uint64]time.Duration
-
-	// peerLevel records the hierarchy level each peer last claimed for
-	// itself in a direct message. Hearsay cannot raise a peer's believed
-	// membership above its own fresh claim: without this, stale bus refs
-	// circulate in keep-alive advertisements between third parties faster
-	// than direct contact corrects them, and a demoted peer stays a
-	// phantom member of its old level forever.
-	peerLevel map[uint64]levelClaim
 
 	// Periodic timers.
 	keepaliveTimer Timer
@@ -78,6 +74,8 @@ type Node struct {
 	scratchPeers   []proto.NodeRef
 	scratchMembers []proto.NodeRef
 	scratchIDs     []idspace.ID
+	scratchLevels  []uint8
+	routeScratch   routing.Scratch
 
 	// Origin-side lookup bookkeeping.
 	pending   map[uint64]*pendingLookup
@@ -107,10 +105,59 @@ func (n *Node) SetPeriodic(d time.Duration, fn func()) Timer { return n.env.SetP
 // Now exposes the runtime clock to layered services.
 func (n *Node) Now() time.Duration { return n.env.Now() }
 
-// levelClaim is a peer's self-advertised level and when it was heard.
-type levelClaim struct {
-	maxLevel uint8
-	at       time.Duration
+// peerState is everything the node tracks about one peer outside the
+// routing table:
+//
+//   - lastSent: the table version already shipped to the peer — the
+//     "exchange only out-of-date data" delta cursor of §III.d;
+//   - the peer's fresh self-claimed level. Hearsay cannot raise a peer's
+//     believed membership above its own fresh claim: without this, stale
+//     bus refs circulate in keep-alive advertisements between third
+//     parties faster than direct contact corrects them, and a demoted
+//     peer stays a phantom member of its old level forever;
+//   - a refusal mark for peers that explicitly declined to parent us
+//     (usually because our knowledge of their level was stale), so the
+//     candidate search skips them for a TTL instead of re-courting in a
+//     livelock.
+type peerState struct {
+	lastSent   uint32
+	lastSentAt time.Duration
+	claimLevel uint8
+	hasClaim   bool
+	claimAt    time.Duration
+	refused    bool
+	refusedAt  time.Duration
+}
+
+// peerFor returns the peer-state entry for addr, creating it on first use.
+func (n *Node) peerFor(addr uint64) *peerState {
+	if addr == n.curAddr && n.curPeer != nil {
+		return n.curPeer
+	}
+	ps, ok := n.peers[addr]
+	if !ok {
+		ps = &peerState{}
+		n.peers[addr] = ps
+	}
+	return ps
+}
+
+// markRefused records an explicit parenting refusal from addr.
+func (n *Node) markRefused(addr uint64) {
+	ps := n.peerFor(addr)
+	if !ps.refused {
+		n.refusals++
+	}
+	ps.refused = true
+	ps.refusedAt = n.env.Now()
+}
+
+// clearRefusal drops an expired refusal mark.
+func (n *Node) clearRefusal(ps *peerState) {
+	if ps.refused {
+		ps.refused = false
+		n.refusals--
+	}
 }
 
 type pendingLookup struct {
@@ -125,14 +172,12 @@ type pendingLookup struct {
 func NewNode(cfg Config, env Env) *Node {
 	cfg = cfg.withDefaults()
 	n := &Node{
-		cfg:       cfg,
-		env:       env,
-		score:     cfg.Profile.Score(),
-		table:     rtable.New(),
-		lastSent:  map[uint64]uint32{},
-		pending:   map[uint64]*pendingLookup{},
-		refused:   map[uint64]time.Duration{},
-		peerLevel: map[uint64]levelClaim{},
+		cfg:     cfg,
+		env:     env,
+		score:   cfg.Profile.Score(),
+		table:   rtable.New(),
+		peers:   map[uint64]*peerState{},
+		pending: map[uint64]*pendingLookup{},
 	}
 	n.maxChildren = cfg.ChildPolicy.MaxChildren(cfg.Profile)
 	if n.maxChildren < 2 {
@@ -219,6 +264,10 @@ func (n *Node) Join(bootstrap uint64) {
 // ignored (wire compatibility).
 func (n *Node) HandleMessage(from uint64, msg proto.Message) {
 	n.Stats.MsgsIn++
+	// One peer-state lookup per inbound message; everything downstream
+	// (claim checks, delta cursor) reads the cached pointer.
+	n.curAddr, n.curPeer = from, n.peerFor(from)
+	defer func() { n.curAddr, n.curPeer = 0, nil }()
 	// Any authenticated-by-arrival communication refreshes the sender's
 	// timestamps (§III.c).
 	n.table.Touch(from, n.env.Now())
@@ -226,7 +275,7 @@ func (n *Node) HandleMessage(from uint64, msg proto.Message) {
 	// longer claims is stale knowledge, dropped on the spot and barred
 	// from hearsay re-introduction while the claim stays fresh.
 	if ref, ok := senderRef(msg); ok && ref.Addr == from {
-		n.peerLevel[from] = levelClaim{maxLevel: ref.MaxLevel, at: n.env.Now()}
+		n.curPeer.claimLevel, n.curPeer.hasClaim, n.curPeer.claimAt = ref.MaxLevel, true, n.env.Now()
 		n.table.DowngradeLevels(from, ref.MaxLevel)
 	}
 	// A courted parent proves itself alive with any direct message —
@@ -456,11 +505,13 @@ func (n *Node) bestKnownMember(level uint8, near idspace.ID) (proto.NodeRef, tim
 		if r.IsZero() || r.Addr == n.Addr() || r.MaxLevel < level {
 			return
 		}
-		if t, ok := n.refused[r.Addr]; ok {
-			if now-t < n.cfg.EntryTTL {
-				return
+		if n.refusals > 0 {
+			if ps, ok := n.peers[r.Addr]; ok && ps.refused {
+				if now-ps.refusedAt < n.cfg.EntryTTL {
+					return
+				}
+				n.clearRefusal(ps)
 			}
-			delete(n.refused, r.Addr)
 		}
 		d := idspace.Dist(r.ID, near)
 		if !found || d < bestD ||
@@ -570,24 +621,22 @@ func (n *Node) superiorEntries(out []proto.Entry) []proto.Entry {
 	return out
 }
 
-// composeUpdate merges the version-gated delta for a peer with the
+// composeUpdateInto merges the version-gated delta for a peer with the
 // always-shipped structural entries (deduplicated by address+flags, delta
-// first). forChild additionally ships the superior list. Everything is
-// staged in scratch buffers; the one allocation is the exact-size entry
-// slice that escapes into the outgoing message.
-func (n *Node) composeUpdate(peer uint64, forChild bool) []proto.Entry {
-	delta := n.table.AppendDelta(n.scratchDelta[:0], n.lastSent[peer], n.env.Now())
+// first), appending into out — normally a pooled message's recycled entry
+// buffer, which makes the keep-alive path allocation-free in steady
+// state. forChild additionally ships the superior list.
+func (n *Node) composeUpdateInto(out []proto.Entry, peer uint64, forChild bool) []proto.Entry {
+	ps := n.peerFor(peer)
+	delta := n.table.AppendDelta(n.scratchDelta[:0], ps.lastSent, n.env.Now())
 	n.scratchDelta = delta
-	n.lastSent[peer] = n.table.Version()
+	ps.lastSent = n.table.Version()
+	ps.lastSentAt = n.env.Now()
 	structural := n.structuralEntries(n.scratchEntries[:0])
 	if forChild {
 		structural = n.superiorEntries(structural)
 	}
 	n.scratchEntries = structural
-	if len(delta)+len(structural) == 0 {
-		return nil
-	}
-	out := make([]proto.Entry, 0, len(delta)+len(structural))
 	for _, e := range delta {
 		out = appendEntryDedup(out, e)
 	}

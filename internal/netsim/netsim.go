@@ -62,10 +62,12 @@ type Network struct {
 	// lossRate is the probability a datagram is silently dropped in flight.
 	lossRate float64
 	rng      *rand.Rand
-	next     Addr
-	eps      map[Addr]*endpoint
-	stats    Stats
-	trace    func(TraceEvent)
+	// eps is indexed by address: Attach hands out sequential addresses
+	// starting at 1 (slot 0 is NoAddr), so endpoint resolution on the
+	// per-datagram path is an array index, not a map probe.
+	eps   []*endpoint
+	stats Stats
+	trace func(TraceEvent)
 	// mtu drops datagrams larger than this size when > 0, mirroring the
 	// 64 KiB UDP limit by default.
 	mtu int
@@ -76,6 +78,23 @@ type Network struct {
 	// freeDeliveries pools in-flight datagram records so the per-datagram
 	// hot path (one delivery event per Send) does not allocate.
 	freeDeliveries *delivery
+}
+
+// recyclable matches payloads that want to be returned to a pool once
+// the network is finished with them (see proto.Recyclable). Recycling is
+// suppressed while a trace hook is installed: trace consumers may retain
+// payloads beyond the delivery instant.
+type recyclable interface{ Recycle() }
+
+// release recycles a payload whose datagram life has ended (delivered or
+// dropped), unless tracing retains payloads.
+func (n *Network) release(payload interface{}) {
+	if n.trace != nil {
+		return
+	}
+	if r, ok := payload.(recyclable); ok {
+		r.Recycle()
+	}
 }
 
 // delivery is one in-flight datagram, scheduled through the kernel's
@@ -107,10 +126,12 @@ func (d *delivery) deliver() {
 		if n.trace != nil {
 			n.trace(TraceEvent{At: n.kernel.Now(), From: from, To: ep.addr, Size: size, Payload: payload, Dropped: true, Reason: "dead"})
 		}
+		n.release(payload)
 		return
 	}
 	n.stats.Delivered++
 	ep.handler(from, payload, size)
+	n.release(payload)
 }
 
 type endpoint struct {
@@ -141,8 +162,7 @@ func New(k *sim.Kernel, opts ...Option) *Network {
 		kernel:  k,
 		latency: UniformLatency{Min: 10 * time.Millisecond, Max: 60 * time.Millisecond},
 		rng:     k.Stream(0x6e6574), // "net"
-		next:    1,
-		eps:     map[Addr]*endpoint{},
+		eps:     []*endpoint{nil},   // slot 0 = NoAddr
 		mtu:     64 << 10,
 	}
 	for _, o := range opts {
@@ -160,17 +180,24 @@ func (n *Network) Attach(h Handler) Addr {
 	if h == nil {
 		panic("netsim: Attach with nil handler")
 	}
-	a := n.next
-	n.next++
-	n.eps[a] = &endpoint{addr: a, handler: h, alive: true}
+	a := Addr(len(n.eps))
+	n.eps = append(n.eps, &endpoint{addr: a, handler: h, alive: true})
 	return a
+}
+
+// ep resolves an address to its endpoint, or nil.
+func (n *Network) ep(a Addr) *endpoint {
+	if a == NoAddr || int(a) >= len(n.eps) {
+		return nil
+	}
+	return n.eps[a]
 }
 
 // SetHandler replaces the handler of an existing endpoint (used by runtimes
 // that attach before constructing the protocol state machine).
 func (n *Network) SetHandler(a Addr, h Handler) {
-	ep, ok := n.eps[a]
-	if !ok {
+	ep := n.ep(a)
+	if ep == nil {
 		panic(fmt.Sprintf("netsim: SetHandler on unknown %v", a))
 	}
 	ep.handler = h
@@ -181,7 +208,7 @@ func (n *Network) SetHandler(a Addr, h Handler) {
 // arrival (the process is gone). Killing an unknown or dead endpoint is a
 // no-op so failure injectors can be sloppy.
 func (n *Network) Kill(a Addr) {
-	if ep, ok := n.eps[a]; ok {
+	if ep := n.ep(a); ep != nil {
 		ep.alive = false
 	}
 }
@@ -189,7 +216,7 @@ func (n *Network) Kill(a Addr) {
 // Revive brings a killed endpoint back (node restart). The endpoint keeps
 // its address and handler.
 func (n *Network) Revive(a Addr) {
-	if ep, ok := n.eps[a]; ok {
+	if ep := n.ep(a); ep != nil {
 		ep.alive = true
 	}
 }
@@ -221,12 +248,12 @@ func SplitFilter(split idspace.ID, idOf func(Addr) (idspace.ID, bool)) func(from
 
 // Alive reports whether the endpoint exists and is live.
 func (n *Network) Alive(a Addr) bool {
-	ep, ok := n.eps[a]
-	return ok && ep.alive
+	ep := n.ep(a)
+	return ep != nil && ep.alive
 }
 
 // Size returns the number of attached endpoints (live or dead).
-func (n *Network) Size() int { return len(n.eps) }
+func (n *Network) Size() int { return len(n.eps) - 1 }
 
 // Stats returns a copy of the accumulated counters.
 func (n *Network) Stats() Stats { return n.stats }
@@ -248,22 +275,26 @@ func (n *Network) Send(from, to Addr, payload interface{}, size int) {
 	if n.mtu > 0 && size > n.mtu {
 		n.stats.LostDead++ // accounted as undeliverable
 		n.traceDrop(from, to, payload, size, "mtu")
+		n.release(payload)
 		return
 	}
-	ep, ok := n.eps[to]
-	if !ok {
+	ep := n.ep(to)
+	if ep == nil {
 		n.stats.LostDead++
 		n.traceDrop(from, to, payload, size, "dead")
+		n.release(payload)
 		return
 	}
 	if n.linkFilter != nil && !n.linkFilter(from, to) {
 		n.stats.LostFiltered++
 		n.traceDrop(from, to, payload, size, "filtered")
+		n.release(payload)
 		return
 	}
 	if n.lossRate > 0 && n.rng.Float64() < n.lossRate {
 		n.stats.LostRandom++
 		n.traceDrop(from, to, payload, size, "loss")
+		n.release(payload)
 		return
 	}
 	if n.trace != nil {

@@ -1,0 +1,99 @@
+package proto
+
+import "sync"
+
+// Recyclable is implemented by message types that can return to a pool
+// once the delivery layer is finished with them. The keep-alive traffic
+// (Ping/Pong with piggybacked entries, child reports) dominates a
+// steady-state overlay's message volume; pooling those three types makes
+// the per-message hot path allocation-free in the simulator, where
+// payloads travel by reference and the network knows exactly when a
+// datagram's life ends.
+//
+// Contract: a recyclable message is sent to exactly one destination and
+// must not be retained (nor any slice it carries) by a receiving handler
+// after the handler returns. The core protocol obeys this: entry slices
+// are consumed into routing tables by value during handling.
+type Recyclable interface{ Recycle() }
+
+var (
+	pingPool        = sync.Pool{New: func() interface{} { return new(Ping) }}
+	pongPool        = sync.Pool{New: func() interface{} { return new(Pong) }}
+	childReportPool = sync.Pool{New: func() interface{} { return new(ChildReport) }}
+	helloPool       = sync.Pool{New: func() interface{} { return new(Hello) }}
+	busLinkReqPool  = sync.Pool{New: func() interface{} { return new(BusLinkReq) }}
+	busLinkAckPool  = sync.Pool{New: func() interface{} { return new(BusLinkAck) }}
+)
+
+// entrySeedCap pre-sizes a pooled message's entry buffer: typical updates
+// carry a dozen-odd entries, and seeding the capacity once per pool
+// object avoids the 1→2→4→8 append ladder on every fresh buffer.
+const entrySeedCap = 24
+
+func seedEntries(es []Entry) []Entry {
+	if cap(es) < entrySeedCap {
+		return make([]Entry, 0, entrySeedCap)
+	}
+	return es[:0]
+}
+
+// AcquirePing returns a pooled Ping. Entries keeps its previous capacity
+// with zero length, so delta composition appends without reallocating.
+func AcquirePing() *Ping {
+	p := pingPool.Get().(*Ping)
+	p.From, p.Seq, p.Entries = NodeRef{}, 0, seedEntries(p.Entries)
+	return p
+}
+
+// Recycle implements Recyclable.
+func (p *Ping) Recycle() { pingPool.Put(p) }
+
+// AcquirePong returns a pooled Pong (see AcquirePing).
+func AcquirePong() *Pong {
+	p := pongPool.Get().(*Pong)
+	p.From, p.Seq, p.Entries = NodeRef{}, 0, seedEntries(p.Entries)
+	return p
+}
+
+// Recycle implements Recyclable.
+func (p *Pong) Recycle() { pongPool.Put(p) }
+
+// AcquireChildReport returns a pooled ChildReport.
+func AcquireChildReport() *ChildReport {
+	c := childReportPool.Get().(*ChildReport)
+	*c = ChildReport{}
+	return c
+}
+
+// Recycle implements Recyclable.
+func (c *ChildReport) Recycle() { childReportPool.Put(c) }
+
+// AcquireHello returns a pooled Hello.
+func AcquireHello() *Hello {
+	h := helloPool.Get().(*Hello)
+	*h = Hello{}
+	return h
+}
+
+// Recycle implements Recyclable.
+func (h *Hello) Recycle() { helloPool.Put(h) }
+
+// AcquireBusLinkReq returns a pooled BusLinkReq.
+func AcquireBusLinkReq() *BusLinkReq {
+	r := busLinkReqPool.Get().(*BusLinkReq)
+	*r = BusLinkReq{}
+	return r
+}
+
+// Recycle implements Recyclable.
+func (r *BusLinkReq) Recycle() { busLinkReqPool.Put(r) }
+
+// AcquireBusLinkAck returns a pooled BusLinkAck.
+func AcquireBusLinkAck() *BusLinkAck {
+	a := busLinkAckPool.Get().(*BusLinkAck)
+	*a = BusLinkAck{}
+	return a
+}
+
+// Recycle implements Recyclable.
+func (a *BusLinkAck) Recycle() { busLinkAckPool.Put(a) }

@@ -68,6 +68,14 @@ type Params struct {
 // DefaultMaxAlternates bounds the NGSA list when Params leaves it zero.
 const DefaultMaxAlternates = 8
 
+// Scratch holds reusable buffers for the routing decision. A node (or any
+// single-threaded driver) keeps one Scratch and passes it to RouteWith so
+// the per-hop candidate collection allocates nothing. The zero value is
+// ready to use.
+type Scratch struct {
+	cands []proto.NodeRef
+}
+
 // Route makes the §III.f forwarding decision for req at the node self with
 // routing table tbl.
 //
@@ -81,6 +89,13 @@ const DefaultMaxAlternates = 8
 // originated); it is excluded from candidates to avoid immediate
 // bounce-backs.
 func Route(self proto.NodeRef, tbl *rtable.Table, req *proto.LookupRequest, fromParent bool, sender uint64, p Params) Step {
+	var sc Scratch
+	return RouteWith(&sc, self, tbl, req, fromParent, sender, p)
+}
+
+// RouteWith is Route reusing the caller's scratch buffers; it is the
+// allocation-free form used on the per-message forwarding path.
+func RouteWith(sc *Scratch, self proto.NodeRef, tbl *rtable.Table, req *proto.LookupRequest, fromParent bool, sender uint64, p Params) Step {
 	if req.TTL == 0 {
 		return Step{Action: Drop}
 	}
@@ -106,8 +121,11 @@ func Route(self proto.NodeRef, tbl *rtable.Table, req *proto.LookupRequest, from
 	}
 	dSelf := model.D(self, x)
 
-	// Candidate set: every peer in the table, except the sender.
-	cands := tbl.Candidates(nil)
+	// Candidate set: every peer in the table, except the sender. Collected
+	// once per decision into the scratch buffer; escalate and the
+	// ownership checks reuse the same collection.
+	cands := tbl.Candidates(sc.cands[:0])
+	sc.cands = cands
 	filtered := cands[:0]
 	for _, c := range cands {
 		if c.Addr == sender || c.Addr == self.Addr {
@@ -196,7 +214,7 @@ func routeGreedy(self proto.NodeRef, req *proto.LookupRequest, model Model, cand
 			return Step{Action: Forward, Next: best, Alternates: req.Alternates}
 		}
 	}
-	return escalate(self, req, model, x, dSelf, tbl, p, sender, false)
+	return escalate(self, req, model, cands, x, dSelf, tbl, p, sender, false)
 }
 
 // routeNG is algorithms NG and NGSA: take the first candidate strictly
@@ -219,7 +237,7 @@ func routeNG(self proto.NodeRef, req *proto.LookupRequest, model Model, cands []
 		}
 	}
 	if !found {
-		return escalate(self, req, model, x, dSelf, tbl, p, sender, collectAlternates)
+		return escalate(self, req, model, cands, x, dSelf, tbl, p, sender, collectAlternates)
 	}
 	out := req.Alternates
 	if collectAlternates {
@@ -234,7 +252,7 @@ func routeNG(self proto.NodeRef, req *proto.LookupRequest, model Model, cands []
 // list (closest member satisfying the halving rule, else the highest-level
 // member), else — for NGSA — fall back to an alternate carried in the
 // request, else give up.
-func escalate(self proto.NodeRef, req *proto.LookupRequest, model Model, x idspace.ID, dSelf float64, tbl *rtable.Table, p Params, sender uint64, ngsa bool) Step {
+func escalate(self proto.NodeRef, req *proto.LookupRequest, model Model, cands []proto.NodeRef, x idspace.ID, dSelf float64, tbl *rtable.Table, p Params, sender uint64, ngsa bool) Step {
 	// Lateral hand-off: when this node's coverage makes D = 0 it believes
 	// it owns the target — but the coverage radius is an approximation,
 	// and the true owner of a 1-D tessellation is the *nearest* member.
@@ -246,8 +264,8 @@ func escalate(self proto.NodeRef, req *proto.LookupRequest, model Model, x idspa
 		dE := idspace.Dist(self.ID, x)
 		var lateral proto.NodeRef
 		bestD := dE
-		for _, c := range tbl.Candidates(nil) {
-			if c.Addr == self.Addr || c.Addr == sender || c.MaxLevel < self.MaxLevel {
+		for _, c := range cands {
+			if c.MaxLevel < self.MaxLevel {
 				continue
 			}
 			if d := idspace.Dist(c.ID, x); d < bestD {
@@ -287,44 +305,47 @@ func escalate(self proto.NodeRef, req *proto.LookupRequest, model Model, x idspa
 	// between node IDs and terminate here. Exact-node lookups are
 	// unaffected — while the target is alive and reachable, someone
 	// strictly closer is always known until the request stands on it.
-	if !anyCloser(tbl, self, x, sender) {
+	if !anyCloser(cands, self, x) {
 		return Step{Action: Deliver, Found: self}
 	}
 
 	// Climb: superiors = superior node list plus the immediate parent.
-	sups := append([]proto.NodeRef{}, tbl.Superiors.Refs()...)
-	if parent, ok := tbl.Parent(); ok {
-		sups = append(sups, parent)
+	// Walked in place (refs slice + parent slot) rather than materialised:
+	// this path runs once per escalating hop.
+	parent, hasParent := tbl.Parent()
+	eachSup := func(fn func(proto.NodeRef)) {
+		for _, s := range tbl.Superiors.Refs() {
+			if s.Addr != self.Addr && s.Addr != sender {
+				fn(s)
+			}
+		}
+		if hasParent && parent.Addr != self.Addr && parent.Addr != sender {
+			fn(parent)
+		}
 	}
-	if len(sups) > 0 {
+	{
 		// "forward the request to the Node that is the closest to X
 		// satisfying D(n,x) ≤ ½·D(a,x)".
 		var best proto.NodeRef
 		bestD := dSelf / 2
 		found := false
-		for _, s := range sups {
-			if s.Addr == self.Addr || s.Addr == sender {
-				continue
-			}
+		eachSup(func(s proto.NodeRef) {
 			if d := model.D(s, x); d <= bestD {
 				best, bestD, found = s, d, true
 			}
-		}
+		})
 		if found {
 			return Step{Action: Forward, Next: best, Alternates: req.Alternates}
 		}
 		// "IF none match the criteria THEN send the request to the
 		// superior node with the highest level."
 		var top proto.NodeRef
-		for _, s := range sups {
-			if s.Addr == self.Addr || s.Addr == sender {
-				continue
-			}
+		eachSup(func(s proto.NodeRef) {
 			if top.IsZero() || s.MaxLevel > top.MaxLevel ||
 				(s.MaxLevel == top.MaxLevel && idspace.Dist(s.ID, x) < idspace.Dist(top.ID, x)) {
 				top = s
 			}
-		}
+		})
 		if !top.IsZero() {
 			return Step{Action: Forward, Next: top, Alternates: req.Alternates}
 		}
@@ -345,13 +366,10 @@ func escalate(self proto.NodeRef, req *proto.LookupRequest, model Model, x idspa
 	return Step{Action: NotFound}
 }
 
-// anyCloser reports whether any table candidate (excluding the sender) is
-// strictly Euclidean-closer to x than self.
-func anyCloser(tbl *rtable.Table, self proto.NodeRef, x idspace.ID, sender uint64) bool {
-	for _, c := range tbl.Candidates(nil) {
-		if c.Addr == self.Addr || c.Addr == sender {
-			continue
-		}
+// anyCloser reports whether any candidate is strictly Euclidean-closer to
+// x than self. cands is already sender- and self-filtered.
+func anyCloser(cands []proto.NodeRef, self proto.NodeRef, x idspace.ID) bool {
+	for _, c := range cands {
 		if idspace.Dist(c.ID, x) < idspace.Dist(self.ID, x) {
 			return true
 		}
@@ -415,19 +433,23 @@ func mergeAlternates(old, fresh []proto.NodeRef, max int) []proto.NodeRef {
 	if len(fresh) == 0 {
 		return old
 	}
-	seen := make(map[uint64]bool, len(old)+len(fresh))
+	// Linear-scan dedup: the list is capped at max (default 8), so a map
+	// here costs two allocations per NGSA hop for no win. The result
+	// still allocates — it escapes into the forwarded request.
 	out := make([]proto.NodeRef, 0, len(old)+len(fresh))
-	for _, r := range old {
-		if !seen[r.Addr] {
-			seen[r.Addr] = true
-			out = append(out, r)
+	appendDedup := func(r proto.NodeRef) {
+		for i := range out {
+			if out[i].Addr == r.Addr {
+				return
+			}
 		}
+		out = append(out, r)
+	}
+	for _, r := range old {
+		appendDedup(r)
 	}
 	for _, r := range fresh {
-		if !seen[r.Addr] {
-			seen[r.Addr] = true
-			out = append(out, r)
-		}
+		appendDedup(r)
 	}
 	if len(out) > max {
 		out = out[:max]

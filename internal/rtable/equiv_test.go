@@ -1,0 +1,471 @@
+package rtable
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"treep/internal/idspace"
+	"treep/internal/proto"
+)
+
+// refSet is the pre-slab, map-based Set implementation, kept verbatim as
+// the behavioural oracle: the slab rewrite must be observation-equivalent
+// under every operation sequence.
+type refSet struct {
+	byAddr map[uint64]*Entry
+	sorted []proto.NodeRef
+	dirty  bool
+}
+
+func newRefSet() *refSet { return &refSet{byAddr: map[uint64]*Entry{}} }
+
+func (s *refSet) Len() int               { return len(s.byAddr) }
+func (s *refSet) Get(addr uint64) *Entry { return s.byAddr[addr] }
+
+func (s *refSet) Upsert(ref proto.NodeRef, flags proto.EntryFlag, validated time.Duration, version uint32, mode UpsertMode) *Entry {
+	e, ok := s.byAddr[ref.Addr]
+	if !ok {
+		e = &Entry{Ref: ref, Flags: flags, LastSeen: validated, Version: version, LastDirect: neverDirect}
+		if mode == Direct {
+			e.LastDirect = validated
+		}
+		s.byAddr[ref.Addr] = e
+		s.dirty = true
+		return e
+	}
+	applyContent := e.Ref != ref
+	if mode == Hearsay && ref.MaxLevel < e.Ref.MaxLevel {
+		applyContent = false
+	}
+	if applyContent {
+		if e.Ref.ID != ref.ID {
+			s.dirty = true
+		}
+		e.Ref = ref
+		e.Version = version
+	}
+	if e.Flags|flags != e.Flags {
+		e.Flags |= flags
+		e.Version = version
+	}
+	switch mode {
+	case Direct:
+		if validated > e.LastSeen {
+			e.LastSeen = validated
+		}
+		if validated > e.LastDirect {
+			e.LastDirect = validated
+		}
+	case Vouched:
+		if validated > e.LastSeen {
+			e.LastSeen = validated
+		}
+	}
+	return e
+}
+
+func (s *refSet) Touch(addr uint64, now time.Duration) bool {
+	if e, ok := s.byAddr[addr]; ok {
+		e.LastSeen = now
+		e.LastDirect = now
+		return true
+	}
+	return false
+}
+
+func (s *refSet) Remove(addr uint64) bool {
+	if _, ok := s.byAddr[addr]; !ok {
+		return false
+	}
+	delete(s.byAddr, addr)
+	s.dirty = true
+	return true
+}
+
+func (s *refSet) Sweep(now, ttl time.Duration) []proto.NodeRef {
+	var removed []proto.NodeRef
+	for addr, e := range s.byAddr {
+		if now-e.LastSeen > ttl {
+			removed = append(removed, e.Ref)
+			delete(s.byAddr, addr)
+		}
+	}
+	if removed != nil {
+		s.dirty = true
+		sort.Slice(removed, func(i, j int) bool {
+			return refLess(removed[i], removed[j])
+		})
+	}
+	return removed
+}
+
+func (s *refSet) Refs() []proto.NodeRef {
+	if s.dirty || s.sorted == nil {
+		s.sorted = s.sorted[:0]
+		for _, e := range s.byAddr {
+			s.sorted = append(s.sorted, e.Ref)
+		}
+		sort.Slice(s.sorted, func(i, j int) bool {
+			return refLess(s.sorted[i], s.sorted[j])
+		})
+		s.dirty = false
+	}
+	return s.sorted
+}
+
+func (s *refSet) ChangedSince(since uint32, level uint8, now time.Duration, out []proto.Entry) []proto.Entry {
+	for _, r := range s.Refs() {
+		e := s.byAddr[r.Addr]
+		if e != nil && e.Version > since {
+			out = append(out, proto.Entry{
+				Ref: e.Ref, Level: level, Flags: e.Flags, Version: e.Version,
+				AgeDs: proto.AgeFrom(now, e.LastSeen),
+			})
+		}
+	}
+	return out
+}
+
+func (s *refSet) FreshRefs(now, ttl time.Duration) []proto.NodeRef {
+	var out []proto.NodeRef
+	for _, r := range s.Refs() {
+		if e := s.byAddr[r.Addr]; e != nil && e.DirectFresh(now, ttl) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (s *refSet) Neighbors(x idspace.ID) (left, right proto.NodeRef) {
+	refs := s.Refs()
+	i := sort.Search(len(refs), func(i int) bool { return refs[i].ID >= x })
+	if i > 0 {
+		left = refs[i-1]
+	}
+	for i < len(refs) && refs[i].ID == x {
+		i++
+	}
+	if i < len(refs) {
+		right = refs[i]
+	}
+	return left, right
+}
+
+func (s *refSet) NeighborsFresh(x idspace.ID, now, ttl time.Duration) (left, right proto.NodeRef) {
+	refs := s.Refs()
+	i := sort.Search(len(refs), func(i int) bool { return refs[i].ID >= x })
+	for l := i - 1; l >= 0; l-- {
+		if e := s.byAddr[refs[l].Addr]; e != nil && e.DirectFresh(now, ttl) {
+			left = refs[l]
+			break
+		}
+	}
+	for r := i; r < len(refs); r++ {
+		if refs[r].ID == x {
+			continue
+		}
+		if e := s.byAddr[refs[r].Addr]; e != nil && e.DirectFresh(now, ttl) {
+			right = refs[r]
+			break
+		}
+	}
+	return left, right
+}
+
+func (s *refSet) NeighborsFreshK(x idspace.ID, now, ttl time.Duration, k int, leftSide bool) []proto.NodeRef {
+	var out []proto.NodeRef
+	refs := s.Refs()
+	i := sort.Search(len(refs), func(i int) bool { return refs[i].ID >= x })
+	found := 0
+	if leftSide {
+		for l := i - 1; l >= 0 && found < k; l-- {
+			if e := s.byAddr[refs[l].Addr]; e != nil && e.DirectFresh(now, ttl) {
+				out = append(out, refs[l])
+				found++
+			}
+		}
+		return out
+	}
+	for r := i; r < len(refs) && found < k; r++ {
+		if refs[r].ID == x {
+			continue
+		}
+		if e := s.byAddr[refs[r].Addr]; e != nil && e.DirectFresh(now, ttl) {
+			out = append(out, refs[r])
+			found++
+		}
+	}
+	return out
+}
+
+func (s *refSet) SideRank(x, id idspace.ID) int {
+	refs := s.Refs()
+	i := sort.Search(len(refs), func(i int) bool { return refs[i].ID >= x })
+	rank := 0
+	if id < x {
+		for l := i - 1; l >= 0; l-- {
+			if refs[l].ID <= id {
+				break
+			}
+			rank++
+		}
+		return rank
+	}
+	for r := i; r < len(refs); r++ {
+		if refs[r].ID == x {
+			continue
+		}
+		if refs[r].ID >= id {
+			break
+		}
+		rank++
+	}
+	return rank
+}
+
+func (s *refSet) Nearest(x idspace.ID) (proto.NodeRef, bool) {
+	refs := s.Refs()
+	if len(refs) == 0 {
+		return proto.NodeRef{}, false
+	}
+	best := refs[0]
+	bestD := idspace.Dist(best.ID, x)
+	for _, r := range refs[1:] {
+		if d := idspace.Dist(r.ID, x); d < bestD {
+			best, bestD = r, d
+		}
+	}
+	return best, true
+}
+
+func (s *refSet) HasID(x idspace.ID) (proto.NodeRef, bool) {
+	refs := s.Refs()
+	i := sort.Search(len(refs), func(i int) bool { return refs[i].ID >= x })
+	if i < len(refs) && refs[i].ID == x {
+		return refs[i], true
+	}
+	return proto.NodeRef{}, false
+}
+
+// equivOps drives one operation sequence against both implementations and
+// fails at the first observable divergence. Addresses and IDs draw from a
+// small pool so collisions (re-inserts, same-ID entries, slot reuse after
+// expiry) happen constantly.
+func equivOps(t *testing.T, ops []byte) {
+	t.Helper()
+	slab := NewSet()
+	ref := newRefSet()
+	now := time.Duration(0)
+	const ttl = 100 * time.Millisecond
+
+	u64 := func(i int) uint64 {
+		if i+1 < len(ops) {
+			return uint64(ops[i])<<8 | uint64(ops[i+1])
+		}
+		return uint64(ops[i%len(ops)])
+	}
+	var version uint32
+
+	for i := 0; i+4 < len(ops); i += 5 {
+		op := ops[i] % 6
+		addr := 1 + u64(i+1)%24
+		// IDs derive from the address so that re-upserting a live peer is
+		// usually a content-only update (level/score change, same ID) —
+		// the case whose staleness semantics the refs cache is allowed to
+		// defer — with occasional genuine ID moves mixed in.
+		id := idspace.ID(addr * 0x0A0000000000000)
+		if ops[i+2]%16 == 0 {
+			id += idspace.ID(ops[i+2]) * 0x04000000000000
+		}
+		now += time.Duration(ops[i+3]%50) * time.Millisecond
+		switch op {
+		case 0, 1: // Upsert dominates real traffic.
+			version++
+			mode := UpsertMode(ops[i+4] % 3)
+			r := proto.NodeRef{ID: id, Addr: addr, MaxLevel: ops[i+4] % 4, Score: uint16(ops[i+4])}
+			flags := proto.EntryFlag(1 << (ops[i+4] % 5))
+			validated := now - time.Duration(ops[i+4]%120)*time.Millisecond
+			a := slab.Upsert(r, flags, validated, version, mode)
+			b := ref.Upsert(r, flags, validated, version, mode)
+			if *a != *b {
+				t.Fatalf("op %d: Upsert result diverged: slab=%+v ref=%+v", i, *a, *b)
+			}
+		case 2:
+			if got, want := slab.Touch(addr, now), ref.Touch(addr, now); got != want {
+				t.Fatalf("op %d: Touch(%d) slab=%v ref=%v", i, addr, got, want)
+			}
+		case 3:
+			if got, want := slab.Remove(addr), ref.Remove(addr); got != want {
+				t.Fatalf("op %d: Remove(%d) slab=%v ref=%v", i, addr, got, want)
+			}
+		case 4:
+			a := slab.Sweep(now, ttl)
+			b := ref.Sweep(now, ttl)
+			if fmt.Sprint(a) != fmt.Sprint(b) {
+				t.Fatalf("op %d: Sweep diverged:\nslab %v\nref  %v", i, a, b)
+			}
+		case 5: // pure queries, checked below
+		}
+		// Compare only ONE query family per op, selected by the input.
+		// Each query call has cache-materialisation side effects (the
+		// refs cache refreshes lazily, and stale content-only updates
+		// stay invisible until then — load-bearing protocol semantics);
+		// comparing everything every op would force both caches fresh
+		// and mask divergences in exactly that laziness. The selector
+		// lets staleness windows build up differently per sequence.
+		checkEquiv(t, i, slab, ref, now, ttl, id, int(ops[i+4]%8))
+	}
+	// Final full sweep over every view.
+	for sel := 0; sel < 8; sel++ {
+		checkEquiv(t, -1, slab, ref, now, ttl, idspace.ID(0x4000000000000000), sel)
+	}
+}
+
+// checkEquiv compares one observable view (selected by sel) of the two
+// sets.
+func checkEquiv(t *testing.T, op int, slab *Set, ref *refSet, now, ttl time.Duration, x idspace.ID, sel int) {
+	t.Helper()
+	if slab.Len() != ref.Len() {
+		t.Fatalf("op %d: Len slab=%d ref=%d", op, slab.Len(), ref.Len())
+	}
+	switch sel {
+	case 0:
+		a, b := slab.Refs(), ref.Refs()
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("op %d: Refs diverged:\nslab %v\nref  %v", op, a, b)
+		}
+		for _, r := range b {
+			ea, eb := slab.Get(r.Addr), ref.Get(r.Addr)
+			if ea == nil || *ea != *eb {
+				t.Fatalf("op %d: Get(%d) diverged: slab=%+v ref=%+v", op, r.Addr, ea, eb)
+			}
+		}
+	case 1:
+		da := slab.ChangedSince(0, 1, now, nil)
+		db := ref.ChangedSince(0, 1, now, nil)
+		if fmt.Sprint(da) != fmt.Sprint(db) {
+			t.Fatalf("op %d: ChangedSince diverged:\nslab %v\nref  %v", op, da, db)
+		}
+	case 2:
+		fa, fb := slab.FreshRefs(now, ttl), ref.FreshRefs(now, ttl)
+		if fmt.Sprint(fa) != fmt.Sprint(fb) {
+			t.Fatalf("op %d: FreshRefs diverged:\nslab %v\nref  %v", op, fa, fb)
+		}
+	case 3:
+		la, ra := slab.Neighbors(x)
+		lb, rb := ref.Neighbors(x)
+		if la != lb || ra != rb {
+			t.Fatalf("op %d: Neighbors(%v) diverged: slab=(%v,%v) ref=(%v,%v)", op, x, la, ra, lb, rb)
+		}
+	case 4:
+		la, ra := slab.NeighborsFresh(x, now, ttl)
+		lb, rb := ref.NeighborsFresh(x, now, ttl)
+		if la != lb || ra != rb {
+			t.Fatalf("op %d: NeighborsFresh(%v) diverged: slab=(%v,%v) ref=(%v,%v)", op, x, la, ra, lb, rb)
+		}
+	case 5:
+		for _, left := range []bool{true, false} {
+			ka := slab.NeighborsFreshK(x, now, ttl, 3, left)
+			kb := ref.NeighborsFreshK(x, now, ttl, 3, left)
+			if fmt.Sprint(ka) != fmt.Sprint(kb) {
+				t.Fatalf("op %d: NeighborsFreshK(%v,left=%v) diverged:\nslab %v\nref  %v", op, x, left, ka, kb)
+			}
+		}
+	case 6:
+		if ga, gb := slab.SideRank(x, x+1), ref.SideRank(x, x+1); ga != gb {
+			t.Fatalf("op %d: SideRank diverged: slab=%d ref=%d", op, ga, gb)
+		}
+		na, oka := slab.Nearest(x)
+		nb, okb := ref.Nearest(x)
+		if oka != okb || na != nb {
+			t.Fatalf("op %d: Nearest(%v) diverged: slab=(%v,%v) ref=(%v,%v)", op, x, na, oka, nb, okb)
+		}
+	case 7:
+		ha, oka := slab.HasID(x)
+		hb, okb := ref.HasID(x)
+		if oka != okb || ha != hb {
+			t.Fatalf("op %d: HasID(%v) diverged: slab=(%v,%v) ref=(%v,%v)", op, x, ha, oka, hb, okb)
+		}
+	}
+}
+
+// TestSetEquivalenceRandom drives long random operation sequences through
+// the slab-backed Set and the map-based reference.
+func TestSetEquivalenceRandom(t *testing.T) {
+	seeds := 150
+	opsLen := 600
+	if testing.Short() {
+		seeds = 30
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		ops := make([]byte, opsLen)
+		rng.Read(ops)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) { equivOps(t, ops) })
+	}
+}
+
+// FuzzSetEquivalence lets the fuzzer search for diverging sequences.
+func FuzzSetEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 4; i++ {
+		ops := make([]byte, 100)
+		rng.Read(ops)
+		f.Add(ops)
+	}
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) < 5 {
+			return
+		}
+		equivOps(t, ops)
+	})
+}
+
+// TestSetSteadyStateAllocs pins the refresh-heavy hot paths at zero
+// allocations: keep-alive traffic touches, re-upserts and delta
+// composition over an existing population must not allocate.
+func TestSetSteadyStateAllocs(t *testing.T) {
+	s := NewSet()
+	now := time.Duration(0)
+	refs := make([]proto.NodeRef, 12)
+	for i := range refs {
+		refs[i] = proto.NodeRef{ID: idspace.ID(i) << 40, Addr: uint64(i + 1), MaxLevel: uint8(i % 3)}
+		s.Upsert(refs[i], proto.FNeighbor, now, uint32(i+1), Direct)
+	}
+	scratch := make([]proto.Entry, 0, 32)
+	allocs := testing.AllocsPerRun(200, func() {
+		now += time.Millisecond
+		for _, r := range refs {
+			s.Upsert(r, proto.FNeighbor, now, 99, Direct)
+			s.Touch(r.Addr, now)
+		}
+		scratch = s.ChangedSince(0, 0, now, scratch[:0])
+		s.Refs()
+		s.NeighborsFresh(refs[3].ID, now, time.Hour)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Set operations allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSetSlotReuse verifies expired slots are recycled rather than growing
+// the slab: a churn loop (insert + expire) must keep slab capacity bounded.
+func TestSetSlotReuse(t *testing.T) {
+	s := NewSet()
+	const ttl = 10 * time.Millisecond
+	now := time.Duration(0)
+	for round := 0; round < 1000; round++ {
+		now += time.Minute
+		addr := uint64(1 + round%7)
+		s.Upsert(proto.NodeRef{ID: idspace.ID(round) << 32, Addr: addr}, proto.FNeighbor, now, uint32(round), Direct)
+		now += time.Minute
+		s.Sweep(now, ttl)
+	}
+	if cap(s.slab) > 16 {
+		t.Fatalf("slab grew to %d slots under churn; free-list reuse broken", cap(s.slab))
+	}
+}

@@ -60,21 +60,197 @@ func (e *Entry) DirectFresh(now, ttl time.Duration) bool {
 // Set is a collection of entries keyed by transport address, with an
 // ID-sorted view for neighbour queries. The zero value is not usable; use
 // NewSet.
+//
+// Storage layout (the protocol hot path runs through these sets several
+// times per message, so the representation is chosen for cache locality
+// over pointer convenience):
+//
+//   - slab: a contiguous []Entry. Slots freed by Remove/Sweep go on a
+//     free list and are reused by the next insert, so steady-state churn
+//     allocates nothing.
+//   - keys/vals: a small open-addressed (linear probing, backward-shift
+//     deletion) hash table mapping address → slab slot. One cache line
+//     per probe instead of the general map machinery.
+//   - order: the live slots in (ID, Addr) order, maintained incrementally
+//     on insert/remove/ID-change (an O(n) memmove on sets §III.e bounds
+//     to a handful of entries — never a full re-sort).
+//
+// Pointers returned by Get/Upsert point into the slab and are valid only
+// until the next mutating call on the set.
 type Set struct {
-	byAddr map[uint64]*Entry
-	// sorted caches the ID-ordered refs; rebuilt lazily after mutation.
+	slab  []Entry
+	free  []int32
+	order []int32
+	// Open-addressed index: idx[i].ref == 0 means empty, otherwise the
+	// slab slot is idx[i].ref-1. len(idx) is a power of two; key and
+	// value share a cache line (this probe is the hottest operation on
+	// the protocol path — six structures are touched per inbound
+	// message).
+	idx []setSlot
+	// sorted caches the ID-ordered refs; rebuilt lazily (a straight copy
+	// through order, no sorting) after a membership or ID change.
 	sorted []proto.NodeRef
 	dirty  bool
 }
 
 // NewSet returns an empty set.
-func NewSet() *Set { return &Set{byAddr: map[uint64]*Entry{}} }
+func NewSet() *Set { return &Set{} }
 
 // Len returns the number of entries.
-func (s *Set) Len() int { return len(s.byAddr) }
+func (s *Set) Len() int { return len(s.order) }
 
-// Get returns the entry for addr, or nil.
-func (s *Set) Get(addr uint64) *Entry { return s.byAddr[addr] }
+// setSlot is one probe-table slot: an address and its slab index + 1
+// (0 marks an empty slot, so any address — including 0 — can be a key).
+type setSlot struct {
+	addr uint64
+	ref  int32
+}
+
+// fibMult spreads addresses over the probe table (Fibonacci hashing).
+const fibMult = 0x9E3779B97F4A7C15
+
+// probeHome returns the preferred probe slot for addr.
+func (s *Set) probeHome(addr uint64) uint64 {
+	// Multiply-shift wants the top bits; mask them down to the table.
+	return (addr * fibMult) >> 32 & uint64(len(s.idx)-1)
+}
+
+// lookup returns the probe position and slab slot for addr, or ok=false
+// (with the position of the first empty probe slot) when absent.
+func (s *Set) lookup(addr uint64) (pos uint64, slot int32, ok bool) {
+	if len(s.idx) == 0 {
+		return 0, 0, false
+	}
+	mask := uint64(len(s.idx) - 1)
+	for pos = s.probeHome(addr); ; pos = (pos + 1) & mask {
+		sl := s.idx[pos]
+		if sl.ref == 0 {
+			return pos, 0, false
+		}
+		if sl.addr == addr {
+			return pos, sl.ref - 1, true
+		}
+	}
+}
+
+// idxInsert adds addr→slot to the probe table, growing it as needed.
+func (s *Set) idxInsert(addr uint64, slot int32) {
+	if len(s.idx) == 0 || 4*(len(s.order)+1) > 3*len(s.idx) {
+		s.idxGrow()
+	}
+	pos, _, ok := s.lookup(addr)
+	if ok {
+		s.idx[pos].ref = slot + 1
+		return
+	}
+	s.idx[pos] = setSlot{addr: addr, ref: slot + 1}
+}
+
+// idxGrow rebuilds the probe table at double capacity from the live slots.
+func (s *Set) idxGrow() {
+	n := 2 * len(s.idx)
+	if n < 8 {
+		n = 8
+	}
+	s.idx = make([]setSlot, n)
+	mask := uint64(n - 1)
+	for _, slot := range s.order {
+		addr := s.slab[slot].Ref.Addr
+		pos := s.probeHome(addr)
+		for s.idx[pos].ref != 0 {
+			pos = (pos + 1) & mask
+		}
+		s.idx[pos] = setSlot{addr: addr, ref: slot + 1}
+	}
+}
+
+// idxDelete removes the probe entry at pos, backward-shifting the cluster
+// so linear probing needs no tombstones.
+func (s *Set) idxDelete(pos uint64) {
+	mask := uint64(len(s.idx) - 1)
+	i := pos
+	for {
+		s.idx[i].ref = 0
+		j := i
+		for {
+			j = (j + 1) & mask
+			if s.idx[j].ref == 0 {
+				return
+			}
+			home := s.probeHome(s.idx[j].addr)
+			// Move j back to i unless j's home lies cyclically in (i, j]
+			// — then j is already as close to home as it can get.
+			if i <= j {
+				if i < home && home <= j {
+					continue
+				}
+			} else if i < home || home <= j {
+				continue
+			}
+			s.idx[i] = s.idx[j]
+			i = j
+			break
+		}
+	}
+}
+
+// Get returns the entry for addr, or nil. The pointer is valid until the
+// next mutating call on the set.
+func (s *Set) Get(addr uint64) *Entry {
+	if _, slot, ok := s.lookup(addr); ok {
+		return &s.slab[slot]
+	}
+	return nil
+}
+
+// refLess orders refs by (ID, Addr).
+func refLess(a, b proto.NodeRef) bool {
+	return a.ID < b.ID || (a.ID == b.ID && a.Addr < b.Addr)
+}
+
+// orderPos returns the position in order where ref belongs (the first
+// live entry not ordered before ref).
+func (s *Set) orderPos(ref proto.NodeRef) int {
+	return sort.Search(len(s.order), func(i int) bool {
+		return !refLess(s.slab[s.order[i]].Ref, ref)
+	})
+}
+
+// orderInsert places slot into the ordered view.
+func (s *Set) orderInsert(slot int32) {
+	pos := s.orderPos(s.slab[slot].Ref)
+	if s.order == nil {
+		s.order = make([]int32, 0, 8)
+	}
+	s.order = append(s.order, 0)
+	copy(s.order[pos+1:], s.order[pos:])
+	s.order[pos] = slot
+}
+
+// orderRemove drops the entry holding ref from the ordered view.
+func (s *Set) orderRemove(ref proto.NodeRef) {
+	pos := s.orderPos(ref)
+	// Duplicate (ID, Addr) pairs cannot exist (Addr is the key), so pos
+	// names the slot exactly.
+	s.order = append(s.order[:pos], s.order[pos+1:]...)
+}
+
+// newSlot takes a slab slot from the free list or extends the slab. The
+// first extension reserves a handful of slots at once: routing sets hold
+// several entries from their first use, and seeding the capacity skips
+// the 1-2-4-8 growth ladder on every set in a large population.
+func (s *Set) newSlot() int32 {
+	if n := len(s.free); n > 0 {
+		slot := s.free[n-1]
+		s.free = s.free[:n-1]
+		return slot
+	}
+	if s.slab == nil {
+		s.slab = make([]Entry, 0, 8)
+	}
+	s.slab = append(s.slab, Entry{})
+	return int32(len(s.slab) - 1)
+}
 
 // UpsertMode grades how trustworthy an update's source is. The grades
 // control which timestamps an update may advance — the mechanism that
@@ -107,26 +283,36 @@ const (
 // relayed entries. Timestamps never move backward, so a stale relay cannot
 // regress fresher knowledge — and because ages accumulate across hops, a
 // dead node's entries drain everywhere within one TTL of its last words.
+//
+// The returned pointer is valid until the next mutating call on the set.
 func (s *Set) Upsert(ref proto.NodeRef, flags proto.EntryFlag, validated time.Duration, version uint32, mode UpsertMode) *Entry {
-	e, ok := s.byAddr[ref.Addr]
+	_, slot, ok := s.lookup(ref.Addr)
 	if !ok {
-		e = &Entry{Ref: ref, Flags: flags, LastSeen: validated, Version: version, LastDirect: neverDirect}
+		slot = s.newSlot()
+		e := &s.slab[slot]
+		*e = Entry{Ref: ref, Flags: flags, LastSeen: validated, Version: version, LastDirect: neverDirect}
 		if mode == Direct {
 			e.LastDirect = validated
 		}
-		s.byAddr[ref.Addr] = e
+		s.idxInsert(ref.Addr, slot)
+		s.orderInsert(slot)
 		s.dirty = true
 		return e
 	}
+	e := &s.slab[slot]
 	applyContent := e.Ref != ref
 	if mode == Hearsay && ref.MaxLevel < e.Ref.MaxLevel {
 		applyContent = false
 	}
 	if applyContent {
 		if e.Ref.ID != ref.ID {
+			s.orderRemove(e.Ref)
+			e.Ref = ref
+			s.orderInsert(slot)
 			s.dirty = true
+		} else {
+			e.Ref = ref
 		}
-		e.Ref = ref
 		e.Version = version
 	}
 	if e.Flags|flags != e.Flags {
@@ -152,7 +338,8 @@ func (s *Set) Upsert(ref proto.NodeRef, flags proto.EntryFlag, validated time.Du
 // Touch records an active communication with addr, refreshing both
 // timestamps. It reports whether the entry exists.
 func (s *Set) Touch(addr uint64, now time.Duration) bool {
-	if e, ok := s.byAddr[addr]; ok {
+	if _, slot, ok := s.lookup(addr); ok {
+		e := &s.slab[slot]
 		e.LastSeen = now
 		e.LastDirect = now
 		return true
@@ -162,46 +349,48 @@ func (s *Set) Touch(addr uint64, now time.Duration) bool {
 
 // Remove deletes the entry for addr, reporting whether it existed.
 func (s *Set) Remove(addr uint64) bool {
-	if _, ok := s.byAddr[addr]; !ok {
+	pos, slot, ok := s.lookup(addr)
+	if !ok {
 		return false
 	}
-	delete(s.byAddr, addr)
+	s.orderRemove(s.slab[slot].Ref)
+	s.idxDelete(pos)
+	s.free = append(s.free, slot)
 	s.dirty = true
 	return true
 }
 
 // Sweep removes entries whose LastSeen is older than now-ttl and returns
-// the removed refs (callers react to losses, e.g. a vanished parent).
+// the removed refs in (ID, Addr) order (callers react to losses, e.g. a
+// vanished parent). The returned slice is freshly allocated; Table.Sweep
+// uses the scratch-buffered sweepInto instead.
 func (s *Set) Sweep(now, ttl time.Duration) []proto.NodeRef {
-	var removed []proto.NodeRef
-	for addr, e := range s.byAddr {
-		if now-e.LastSeen > ttl {
-			removed = append(removed, e.Ref)
-			delete(s.byAddr, addr)
-		}
-	}
-	if removed != nil {
-		s.dirty = true
-		// Map iteration order is random; deterministic callers need a
-		// stable order.
-		sortRefsByID(removed)
-	}
-	return removed
+	return s.sweepInto(nil, now, ttl)
 }
 
-// sortRefsByID orders refs by (ID, Addr). Insertion sort: routing sets are
-// small (§III.e bounds them to a handful per structure) and the reflection
-// machinery of sort.Slice allocates on a path hit once per table mutation.
-func sortRefsByID(refs []proto.NodeRef) {
-	for i := 1; i < len(refs); i++ {
-		r := refs[i]
-		j := i - 1
-		for j >= 0 && (refs[j].ID > r.ID || (refs[j].ID == r.ID && refs[j].Addr > r.Addr)) {
-			refs[j+1] = refs[j]
-			j--
+// sweepInto is Sweep appending into out (Table.Sweep reuses one scratch
+// buffer per structure across sweep ticks).
+func (s *Set) sweepInto(out []proto.NodeRef, now, ttl time.Duration) []proto.NodeRef {
+	w := 0
+	for _, slot := range s.order {
+		e := &s.slab[slot]
+		if now-e.LastSeen > ttl {
+			out = append(out, e.Ref)
+			pos, _, ok := s.lookup(e.Ref.Addr)
+			if ok {
+				s.idxDelete(pos)
+			}
+			s.free = append(s.free, slot)
+			continue
 		}
-		refs[j+1] = r
+		s.order[w] = slot
+		w++
 	}
+	if w != len(s.order) {
+		s.order = s.order[:w]
+		s.dirty = true
+	}
+	return out
 }
 
 // Refs returns the entries' refs sorted by ID. The slice is shared with the
@@ -209,19 +398,20 @@ func sortRefsByID(refs []proto.NodeRef) {
 func (s *Set) Refs() []proto.NodeRef {
 	if s.dirty || s.sorted == nil {
 		s.sorted = s.sorted[:0]
-		for _, e := range s.byAddr {
-			s.sorted = append(s.sorted, e.Ref)
+		for _, slot := range s.order {
+			s.sorted = append(s.sorted, s.slab[slot].Ref)
 		}
-		sortRefsByID(s.sorted)
 		s.dirty = false
 	}
 	return s.sorted
 }
 
-// Each calls fn for every entry in ID order.
+// Each calls fn for every entry in ID order. The *Entry is valid for the
+// duration of the callback; fn must not mutate the set.
 func (s *Set) Each(fn func(*Entry)) {
-	for _, ref := range s.Refs() {
-		fn(s.byAddr[ref.Addr])
+	s.Refs() // keep the cache-refresh side effect of the refs-driven walk
+	for _, slot := range s.order {
+		fn(&s.slab[slot])
 	}
 }
 
@@ -242,12 +432,17 @@ func (s *Set) Nearest(x idspace.ID) (proto.NodeRef, bool) {
 	return best, true
 }
 
+// searchID returns the first position in the ordered view whose ID is >= x.
+func (s *Set) searchID(refs []proto.NodeRef, x idspace.ID) int {
+	return sort.Search(len(refs), func(i int) bool { return refs[i].ID >= x })
+}
+
 // Neighbors returns the refs immediately left and right of x in ID order
 // (excluding any entry with exactly ID x). Either result may be zero when x
 // is at an edge of the set.
 func (s *Set) Neighbors(x idspace.ID) (left, right proto.NodeRef) {
 	refs := s.Refs()
-	i := sort.Search(len(refs), func(i int) bool { return refs[i].ID >= x })
+	i := s.searchID(refs, x)
 	if i > 0 {
 		left = refs[i-1]
 	}
@@ -260,15 +455,20 @@ func (s *Set) Neighbors(x idspace.ID) (left, right proto.NodeRef) {
 	return left, right
 }
 
+// entryAt returns the live entry at ordered position i. Callers must have
+// materialised refs via Refs() in the same unmutated state, so positions
+// align between the refs cache and the order view.
+func (s *Set) entryAt(i int) *Entry { return &s.slab[s.order[i]] }
+
 // NeighborsFresh returns the direct-fresh refs immediately left and right
 // of x: the neighbours this node may legitimately vouch for to others.
 // Hearsay entries (never heard from directly, or silent beyond ttl) are
 // skipped, which is what keeps dead nodes from circulating forever.
 func (s *Set) NeighborsFresh(x idspace.ID, now, ttl time.Duration) (left, right proto.NodeRef) {
 	refs := s.Refs()
-	i := sort.Search(len(refs), func(i int) bool { return refs[i].ID >= x })
+	i := s.searchID(refs, x)
 	for l := i - 1; l >= 0; l-- {
-		if e := s.byAddr[refs[l].Addr]; e != nil && e.DirectFresh(now, ttl) {
+		if s.entryAt(l).DirectFresh(now, ttl) {
 			left = refs[l]
 			break
 		}
@@ -277,7 +477,7 @@ func (s *Set) NeighborsFresh(x idspace.ID, now, ttl time.Duration) (left, right 
 		if refs[r].ID == x {
 			continue
 		}
-		if e := s.byAddr[refs[r].Addr]; e != nil && e.DirectFresh(now, ttl) {
+		if s.entryAt(r).DirectFresh(now, ttl) {
 			right = refs[r]
 			break
 		}
@@ -295,11 +495,11 @@ func (s *Set) NeighborsFreshK(x idspace.ID, now, ttl time.Duration, k int, leftS
 // that reuse a scratch buffer on the per-keep-alive hot path.
 func (s *Set) AppendNeighborsFreshK(out []proto.NodeRef, x idspace.ID, now, ttl time.Duration, k int, leftSide bool) []proto.NodeRef {
 	refs := s.Refs()
-	i := sort.Search(len(refs), func(i int) bool { return refs[i].ID >= x })
+	i := s.searchID(refs, x)
 	found := 0
 	if leftSide {
 		for l := i - 1; l >= 0 && found < k; l-- {
-			if e := s.byAddr[refs[l].Addr]; e != nil && e.DirectFresh(now, ttl) {
+			if s.entryAt(l).DirectFresh(now, ttl) {
 				out = append(out, refs[l])
 				found++
 			}
@@ -310,7 +510,7 @@ func (s *Set) AppendNeighborsFreshK(out []proto.NodeRef, x idspace.ID, now, ttl 
 		if refs[r].ID == x {
 			continue
 		}
-		if e := s.byAddr[refs[r].Addr]; e != nil && e.DirectFresh(now, ttl) {
+		if s.entryAt(r).DirectFresh(now, ttl) {
 			out = append(out, refs[r])
 			found++
 		}
@@ -323,7 +523,7 @@ func (s *Set) AppendNeighborsFreshK(out []proto.NodeRef, x idspace.ID, now, ttl 
 // level-0 knowledge a node accumulates per side.
 func (s *Set) SideRank(x, id idspace.ID) int {
 	refs := s.Refs()
-	i := sort.Search(len(refs), func(i int) bool { return refs[i].ID >= x })
+	i := s.searchID(refs, x)
 	rank := 0
 	if id < x {
 		for l := i - 1; l >= 0; l-- {
@@ -352,9 +552,13 @@ func (s *Set) FreshRefs(now, ttl time.Duration) []proto.NodeRef {
 }
 
 // AppendFreshRefs is FreshRefs appending into out (scratch-buffer form).
+// Like every refs-returning query it hands out the cached view (which may
+// lag content-only updates until the next membership change), not the live
+// entry refs — callers advertise from the same snapshot Refs() shows.
 func (s *Set) AppendFreshRefs(out []proto.NodeRef, now, ttl time.Duration) []proto.NodeRef {
-	for _, r := range s.Refs() {
-		if e := s.byAddr[r.Addr]; e != nil && e.DirectFresh(now, ttl) {
+	refs := s.Refs()
+	for i, r := range refs {
+		if s.entryAt(i).DirectFresh(now, ttl) {
 			out = append(out, r)
 		}
 	}
@@ -364,7 +568,7 @@ func (s *Set) AppendFreshRefs(out []proto.NodeRef, now, ttl time.Duration) []pro
 // HasID reports whether any entry has exactly the given ID and returns it.
 func (s *Set) HasID(x idspace.ID) (proto.NodeRef, bool) {
 	refs := s.Refs()
-	i := sort.Search(len(refs), func(i int) bool { return refs[i].ID >= x })
+	i := s.searchID(refs, x)
 	if i < len(refs) && refs[i].ID == x {
 		return refs[i], true
 	}
@@ -376,11 +580,14 @@ func (s *Set) HasID(x idspace.ID) (proto.NodeRef, bool) {
 // at this provider. It implements the "exchange only out-of-date data"
 // delta of §III.d.
 func (s *Set) ChangedSince(since uint32, level uint8, now time.Duration, out []proto.Entry) []proto.Entry {
-	// Plain loop rather than Each: the closure Each would need captures
-	// out, and this runs once per structure per outgoing keep-alive.
-	for _, r := range s.Refs() {
-		e := s.byAddr[r.Addr]
-		if e != nil && e.Version > since {
+	// Materialise the refs cache first: delta composition runs on every
+	// keep-alive, and the cache-refresh side effect (old code iterated
+	// Refs() here) is what bounds how long content-only updates stay
+	// invisible to the positional queries.
+	s.Refs()
+	for _, slot := range s.order {
+		e := &s.slab[slot]
+		if e.Version > since {
 			out = append(out, proto.Entry{
 				Ref: e.Ref, Level: level, Flags: e.Flags, Version: e.Version,
 				AgeDs: proto.AgeFrom(now, e.LastSeen),

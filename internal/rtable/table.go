@@ -42,6 +42,17 @@ type Table struct {
 	// delta composition walks them once per outgoing keep-alive).
 	levels      []uint8
 	levelsDirty bool
+
+	// sweepScratch backs the SweepResult slices handed out by Sweep, so
+	// the per-node sweep tick allocates nothing in steady state. One
+	// sweep's result is valid until the next Sweep on this table.
+	sweepScratch struct {
+		level0, children, nbrChildren, superiors []proto.NodeRef
+		bus                                      []proto.NodeRef // shared backing for all levels
+		busLvls                                  []uint8
+		busEnds                                  []int
+		busMap                                   map[uint8][]proto.NodeRef
+	}
 }
 
 // New returns an empty table.
@@ -216,25 +227,53 @@ func (r SweepResult) Empty() bool {
 		len(r.NbrChildren) == 0 && len(r.Superiors) == 0 && !r.ParentLost
 }
 
-// Sweep expires stale entries in every structure.
+// Sweep expires stale entries in every structure. The slices in the
+// result share the table's scratch buffers and are valid until the next
+// Sweep on this table.
 func (t *Table) Sweep(now, ttl time.Duration) SweepResult {
+	sc := &t.sweepScratch
 	res := SweepResult{}
-	res.Level0 = t.Level0.Sweep(now, ttl)
+	res.Level0 = t.Level0.sweepInto(sc.level0[:0], now, ttl)
+	sc.level0 = res.Level0
+
+	// Bus removals for all levels share one backing array; per-level
+	// sub-slices are cut from it after the loop. Growth inside append
+	// copies the prefix, so earlier spans stay valid in the final array.
+	bus := sc.bus[:0]
+	sc.busLvls, sc.busEnds = sc.busLvls[:0], sc.busEnds[:0]
 	for lvl, s := range t.Bus {
-		if rm := s.Sweep(now, ttl); len(rm) > 0 {
-			if res.Bus == nil {
-				res.Bus = map[uint8][]proto.NodeRef{}
-			}
-			res.Bus[lvl] = rm
+		start := len(bus)
+		bus = s.sweepInto(bus, now, ttl)
+		if len(bus) > start {
+			sc.busLvls = append(sc.busLvls, lvl)
+			sc.busEnds = append(sc.busEnds, len(bus))
 		}
 		if s.Len() == 0 {
 			delete(t.Bus, lvl)
 			t.levelsDirty = true
 		}
 	}
-	res.Children = t.Children.Sweep(now, ttl)
-	res.NbrChildren = t.NbrChildren.Sweep(now, ttl)
-	res.Superiors = t.Superiors.Sweep(now, ttl)
+	sc.bus = bus
+	if len(sc.busLvls) > 0 {
+		if sc.busMap == nil {
+			sc.busMap = map[uint8][]proto.NodeRef{}
+		}
+		clear(sc.busMap)
+		res.Bus = sc.busMap
+		start := 0
+		for i, lvl := range sc.busLvls {
+			end := sc.busEnds[i]
+			res.Bus[lvl] = bus[start:end:end]
+			start = end
+		}
+	}
+
+	res.Children = t.Children.sweepInto(sc.children[:0], now, ttl)
+	sc.children = res.Children
+	res.NbrChildren = t.NbrChildren.sweepInto(sc.nbrChildren[:0], now, ttl)
+	sc.nbrChildren = res.NbrChildren
+	res.Superiors = t.Superiors.sweepInto(sc.superiors[:0], now, ttl)
+	sc.superiors = res.Superiors
 	if t.ParentExpired(now, ttl) {
 		res.ParentLost = true
 		res.Parent = t.parent.Ref
@@ -276,40 +315,45 @@ func (t *Table) FindID(x idspace.ID) (proto.NodeRef, bool) {
 // carries the most routing power). The result is the candidate set C(a)
 // the lookup algorithms select next hops from.
 func (t *Table) Candidates(out []proto.NodeRef) []proto.NodeRef {
-	seen := map[uint64]int{} // addr -> index in out
-	add := func(r proto.NodeRef) {
-		if i, ok := seen[r.Addr]; ok {
+	// Linear-scan dedup from the caller's starting point: the table holds
+	// a few dozen entries at most (§III.e), and a map here costs two
+	// allocations on every routing decision. A plain helper (not a
+	// closure) keeps the hot path allocation-free.
+	base := len(out)
+	out = appendCandidates(out, base, t.Level0.Refs())
+	for _, lvl := range t.busLevels() {
+		if s := t.Bus[lvl]; s != nil {
+			out = appendCandidates(out, base, s.Refs())
+		}
+	}
+	out = appendCandidates(out, base, t.Children.Refs())
+	out = appendCandidates(out, base, t.NbrChildren.Refs())
+	out = appendCandidates(out, base, t.Superiors.Refs())
+	if t.hasParent {
+		out = appendCandidate(out, base, t.parent.Ref)
+	}
+	return out
+}
+
+// appendCandidates merges refs into out[base:], deduplicating by address
+// and keeping the higher MaxLevel per peer.
+func appendCandidates(out []proto.NodeRef, base int, refs []proto.NodeRef) []proto.NodeRef {
+	for _, r := range refs {
+		out = appendCandidate(out, base, r)
+	}
+	return out
+}
+
+func appendCandidate(out []proto.NodeRef, base int, r proto.NodeRef) []proto.NodeRef {
+	for i := base; i < len(out); i++ {
+		if out[i].Addr == r.Addr {
 			if r.MaxLevel > out[i].MaxLevel {
 				out[i] = r
 			}
-			return
-		}
-		seen[r.Addr] = len(out)
-		out = append(out, r)
-	}
-	for _, r := range t.Level0.Refs() {
-		add(r)
-	}
-	for _, lvl := range t.busLevels() {
-		if s := t.Bus[lvl]; s != nil {
-			for _, r := range s.Refs() {
-				add(r)
-			}
+			return out
 		}
 	}
-	for _, r := range t.Children.Refs() {
-		add(r)
-	}
-	for _, r := range t.NbrChildren.Refs() {
-		add(r)
-	}
-	for _, r := range t.Superiors.Refs() {
-		add(r)
-	}
-	if t.hasParent {
-		add(t.parent.Ref)
-	}
-	return out
+	return append(out, r)
 }
 
 // Size returns the total number of entries across all structures (the

@@ -22,12 +22,50 @@ type Violation struct {
 // String implements fmt.Stringer.
 func (v Violation) String() string { return v.Checker + ": " + v.Detail }
 
+// Ctx is the shared state of one invariant-checking pass. Checkers are
+// read-only and run between simulation events, so every checker in a pass
+// sees the same snapshot — which is what lets the pass share one sorted
+// alive-list (an O(N log N) sort that previously ran once per checker per
+// sample) and the per-walk scratch buffers.
+type Ctx struct {
+	C *simrt.Cluster
+
+	aliveSorted []*core.Node
+	ids         []idspace.ID
+	cells       []idspace.Region
+	chain       []uint64
+	walkSeen    map[walkState]bool
+	route       routing.Scratch
+}
+
+// NewCtx builds a checking context for one pass over the cluster.
+func NewCtx(c *simrt.Cluster) *Ctx { return &Ctx{C: c} }
+
+// reset invalidates the snapshot caches for a new pass (the engine reuses
+// one Ctx across passes; buffers keep their capacity).
+func (x *Ctx) reset(c *simrt.Cluster) {
+	x.C = c
+	x.aliveSorted = x.aliveSorted[:0]
+}
+
+// AliveByID returns the live nodes sorted by coordinate, computed once
+// per pass and shared by every checker. Callers must not mutate it.
+func (x *Ctx) AliveByID() []*core.Node {
+	if len(x.aliveSorted) == 0 {
+		x.aliveSorted = append(x.aliveSorted[:0], x.C.AliveNodes()...)
+		sort.Slice(x.aliveSorted, func(i, j int) bool {
+			return x.aliveSorted[i].ID() < x.aliveSorted[j].ID()
+		})
+	}
+	return x.aliveSorted
+}
+
 // Checker examines a live cluster and reports invariant violations. Checks
 // are read-only and run between simulation events, so they see a
 // consistent snapshot of every routing table.
 type Checker struct {
 	Name  string
-	Check func(*simrt.Cluster) []Violation
+	Check func(*Ctx) []Violation
 }
 
 // AllCheckers returns every invariant checker with default settings.
@@ -40,22 +78,14 @@ func AllCheckers() []Checker {
 	}
 }
 
-// aliveByID returns the live nodes sorted by coordinate. AliveNodes hands
-// out the cluster's shared cache, so sort a copy.
-func aliveByID(c *simrt.Cluster) []*core.Node {
-	alive := append([]*core.Node(nil), c.AliveNodes()...)
-	sort.Slice(alive, func(i, j int) bool { return alive[i].ID() < alive[j].ID() })
-	return alive
-}
-
 // RingClosure checks the level-0 chain over the live population: every two
 // ID-adjacent live nodes must be linked (at least one knows the other in
 // its level-0 table). A break means a region of the space is unreachable
 // by ring walking — the fall-back every lookup algorithm ultimately leans
 // on (§III.f).
 func RingClosure() Checker {
-	return Checker{Name: "ring-closure", Check: func(c *simrt.Cluster) []Violation {
-		alive := aliveByID(c)
+	return Checker{Name: "ring-closure", Check: func(x *Ctx) []Violation {
+		alive := x.AliveByID()
 		var out []Violation
 		for i := 0; i+1 < len(alive); i++ {
 			a, b := alive[i], alive[i+1]
@@ -80,8 +110,8 @@ func RingClosure() Checker {
 // has no live responsible node that its neighbours know how to reach.
 // Cells may overlap (partial views claim conservatively large cells).
 func TessellationCoverage() Checker {
-	return Checker{Name: "tessellation-coverage", Check: func(c *simrt.Cluster) []Violation {
-		alive := c.AliveNodes()
+	return Checker{Name: "tessellation-coverage", Check: func(x *Ctx) []Violation {
+		alive := x.C.AliveNodes()
 		var maxLvl uint8
 		for _, n := range alive {
 			if n.MaxLevel() > maxLvl {
@@ -90,12 +120,13 @@ func TessellationCoverage() Checker {
 		}
 		var out []Violation
 		for lvl := uint8(1); lvl <= maxLvl; lvl++ {
-			var cells []idspace.Region
+			cells := x.cells[:0]
 			for _, n := range alive {
 				if n.MaxLevel() >= lvl {
-					cells = append(cells, memberCell(c, n, lvl))
+					cells = append(cells, memberCell(x, n, lvl))
 				}
 			}
+			x.cells = cells
 			if len(cells) == 0 {
 				// A vacated level is legal (the hierarchy shrank); coverage
 				// is only owed by levels that still have members.
@@ -138,16 +169,17 @@ func TessellationCoverage() Checker {
 // memberCell computes n's tessellation cell at level lvl from its bus
 // view restricted to live actual members of the level (§III.a midpoint
 // rule; self is always a member).
-func memberCell(c *simrt.Cluster, n *core.Node, lvl uint8) idspace.Region {
-	ids := []idspace.ID{n.ID()}
+func memberCell(x *Ctx, n *core.Node, lvl uint8) idspace.Region {
+	ids := append(x.ids[:0], n.ID())
 	if s, ok := n.Table().Bus[lvl]; ok {
 		for _, r := range s.Refs() {
-			actual := c.NodeByAddr(r.Addr)
-			if actual != nil && c.Alive(actual) && actual.MaxLevel() >= lvl {
+			actual := x.C.NodeByAddr(r.Addr)
+			if actual != nil && x.C.Alive(actual) && actual.MaxLevel() >= lvl {
 				ids = append(ids, r.ID)
 			}
 		}
 	}
+	x.ids = ids
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	self := sort.Search(len(ids), func(i int) bool { return ids[i] >= n.ID() })
 	return idspace.FullRegion().CellOf(ids, self)
@@ -159,15 +191,15 @@ func memberCell(c *simrt.Cluster, n *core.Node, lvl uint8) idspace.Region {
 // must terminate without cycling (the hierarchy is a forest, never a
 // graph with back edges).
 func ParentChildConsistency() Checker {
-	return Checker{Name: "parent-child", Check: func(c *simrt.Cluster) []Violation {
+	return Checker{Name: "parent-child", Check: func(x *Ctx) []Violation {
 		var out []Violation
-		for _, n := range c.AliveNodes() {
+		for _, n := range x.C.AliveNodes() {
 			p, ok := n.Table().Parent()
 			if !ok {
 				continue
 			}
-			pn := c.NodeByAddr(p.Addr)
-			if pn == nil || !c.Alive(pn) {
+			pn := x.C.NodeByAddr(p.Addr)
+			if pn == nil || !x.C.Alive(pn) {
 				out = append(out, Violation{
 					Checker: "parent-child",
 					Detail:  fmt.Sprintf("%s has dead parent %s", n.ID(), p.ID),
@@ -188,31 +220,48 @@ func ParentChildConsistency() Checker {
 				})
 			}
 			// Walk the parent chain; a chain longer than the height bound
-			// has a cycle (or an impossible tower).
-			seen := map[uint64]bool{n.Addr(): true}
+			// has a cycle (or an impossible tower). The chain is at most
+			// MaxHeight+2 nodes, so a linear scan replaces the per-node
+			// map the old checker allocated.
+			chain := append(x.chain[:0], n.Addr())
 			cur := pn
 			for depth := 0; depth <= int(n.Config().MaxHeight)+1; depth++ {
-				if seen[cur.Addr()] {
+				seen := false
+				for _, a := range chain {
+					if a == cur.Addr() {
+						seen = true
+						break
+					}
+				}
+				if seen {
 					out = append(out, Violation{
 						Checker: "parent-child",
 						Detail:  fmt.Sprintf("parent cycle through %s", cur.ID()),
 					})
 					break
 				}
-				seen[cur.Addr()] = true
+				chain = append(chain, cur.Addr())
 				next, ok := cur.Table().Parent()
 				if !ok {
 					break
 				}
-				nn := c.NodeByAddr(next.Addr)
+				nn := x.C.NodeByAddr(next.Addr)
 				if nn == nil {
 					break
 				}
 				cur = nn
 			}
+			x.chain = chain
 		}
 		return out
 	}}
+}
+
+// walkState is one (node, sender, distance-regime) step of a static
+// forwarding walk; revisiting a state means the walk cycles.
+type walkState struct {
+	node, sender uint64
+	euclidean    bool
 }
 
 // LookupLoopFreedom statically walks the greedy (G) forwarding decision
@@ -222,17 +271,17 @@ func ParentChildConsistency() Checker {
 // static snapshot means the tables cannot resolve a live target. Both are
 // routing-loop pathologies the TTL only papers over.
 func LookupLoopFreedom(samples int) Checker {
-	return Checker{Name: "lookup-loop-freedom", Check: func(c *simrt.Cluster) []Violation {
-		alive := c.AliveNodes()
+	return Checker{Name: "lookup-loop-freedom", Check: func(x *Ctx) []Violation {
+		alive := x.C.AliveNodes()
 		if len(alive) < 2 {
 			return nil
 		}
-		rng := c.Kernel.Stream(0x6c6f6f70) // "loop"
+		rng := x.C.Kernel.Stream(0x6c6f6f70) // "loop"
 		var out []Violation
 		for i := 0; i < samples; i++ {
 			origin := alive[rng.Intn(len(alive))]
 			target := alive[rng.Intn(len(alive))]
-			if v, ok := walkForLoop(c, origin, target.ID()); !ok {
+			if v, ok := walkForLoop(x, origin, target.ID()); !ok {
 				out = append(out, v)
 			}
 		}
@@ -245,18 +294,18 @@ func LookupLoopFreedom(samples int) Checker {
 // cycles or exhausts the TTL; termination (delivery, not-found, or a dead
 // next hop — a liveness matter, judged by the lookup metrics instead)
 // is ok.
-func walkForLoop(c *simrt.Cluster, origin *core.Node, target idspace.ID) (Violation, bool) {
+func walkForLoop(x *Ctx, origin *core.Node, target idspace.ID) (Violation, bool) {
 	req := &proto.LookupRequest{
 		Origin: origin.Ref(),
 		Target: target,
 		TTL:    origin.Config().MaxTTL,
 		Algo:   proto.AlgoG,
 	}
-	type state struct {
-		node, sender uint64
-		euclidean    bool
+	if x.walkSeen == nil {
+		x.walkSeen = make(map[walkState]bool, 64)
 	}
-	seen := map[state]bool{}
+	clear(x.walkSeen)
+	seen := x.walkSeen
 	cur := origin
 	var sender uint64
 	for {
@@ -267,7 +316,7 @@ func walkForLoop(c *simrt.Cluster, origin *core.Node, target idspace.ID) (Violat
 			}, false
 		}
 		params := cur.Config().Routing
-		st := state{cur.Addr(), sender, req.Hops > params.Height}
+		st := walkState{cur.Addr(), sender, req.Hops > params.Height}
 		if seen[st] {
 			return Violation{
 				Checker: "lookup-loop-freedom",
@@ -277,12 +326,12 @@ func walkForLoop(c *simrt.Cluster, origin *core.Node, target idspace.ID) (Violat
 		seen[st] = true
 		parent, has := cur.Table().Parent()
 		fromParent := sender != 0 && has && parent.Addr == sender
-		step := routing.Route(cur.Ref(), cur.Table(), req, fromParent, sender, params)
+		step := routing.RouteWith(&x.route, cur.Ref(), cur.Table(), req, fromParent, sender, params)
 		if step.Action != routing.Forward {
 			return Violation{}, true
 		}
-		next := c.NodeByAddr(step.Next.Addr)
-		if next == nil || !c.Alive(next) {
+		next := x.C.NodeByAddr(step.Next.Addr)
+		if next == nil || !x.C.Alive(next) {
 			return Violation{}, true
 		}
 		fwd := *req

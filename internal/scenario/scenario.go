@@ -105,6 +105,10 @@ type Engine struct {
 	res        Result
 	curPhase   string
 	nextSample time.Duration
+	// ctx is the shared invariant-checking context, reset per pass so all
+	// checkers in one CheckNow share a single sorted alive-list and the
+	// walk scratch buffers.
+	ctx Ctx
 }
 
 // NewEngine binds an engine to a cluster. Scenario randomness (which node
@@ -146,11 +150,13 @@ func Run(c *simrt.Cluster, opts Options, phases ...Phase) *Result {
 }
 
 // CheckNow evaluates every configured checker against the current overlay
-// state and returns the violations.
+// state and returns the violations. All checkers in one pass share a
+// cached sorted alive-list instead of each re-sorting the cluster.
 func (e *Engine) CheckNow() []Violation {
+	e.ctx.reset(e.C)
 	var out []Violation
 	for _, ch := range e.opts.Checkers {
-		out = append(out, ch.Check(e.C)...)
+		out = append(out, ch.Check(&e.ctx)...)
 	}
 	return out
 }

@@ -157,7 +157,7 @@ func TestCheckersDetectDamage(t *testing.T) {
 	if !killedParent {
 		t.Fatal("no parent found to kill")
 	}
-	if v := ParentChildConsistency().Check(c); len(v) == 0 {
+	if v := ParentChildConsistency().Check(NewCtx(c)); len(v) == 0 {
 		t.Fatal("dead parent not detected")
 	}
 }

@@ -46,8 +46,12 @@ type Cluster struct {
 	Net    *netsim.Network
 	Nodes  []*core.Node
 
-	byAddr map[uint64]*core.Node
-	alive  map[uint64]bool
+	// byAddr and alive are indexed by transport address: the cluster's
+	// netsim hands out sequential addresses from 1, and both are read on
+	// the per-event hot path (every send and every timer fire checks
+	// liveness), where an array index beats a map probe. Slot 0 is unused.
+	byAddr []*core.Node
+	alive  []bool
 	// aliveList caches AliveNodes (construction order); nil means stale.
 	// Churn scenarios query liveness per injected event, which was an
 	// O(N) rebuild each time and dominated at N ≥ 5k populations.
@@ -85,8 +89,8 @@ func New(opts Options) *Cluster {
 	c := &Cluster{
 		Kernel:    k,
 		Net:       net,
-		byAddr:    make(map[uint64]*core.Node, opts.N),
-		alive:     make(map[uint64]bool, opts.N),
+		byAddr:    make([]*core.Node, 1, opts.N+1),
+		alive:     make([]bool, 1, opts.N+1),
 		baseCfg:   opts.Config,
 		gen:       gen,
 		spawnRand: k.Stream(0x7370776e), // "spwn"
@@ -123,8 +127,12 @@ func (c *Cluster) attach(cfg core.Config) *core.Node {
 		}
 	})
 	c.Nodes = append(c.Nodes, node)
-	c.byAddr[uint64(addr)] = node
-	c.alive[uint64(addr)] = true
+	// Addresses are sequential; attach order matches slice growth.
+	if uint64(addr) != uint64(len(c.byAddr)) {
+		panic("simrt: non-sequential address from netsim")
+	}
+	c.byAddr = append(c.byAddr, node)
+	c.alive = append(c.alive, true)
 	c.aliveList = nil
 	return node
 }
@@ -175,7 +183,7 @@ func (c *Cluster) Run(d time.Duration) { _ = c.Kernel.RunFor(d) }
 // endpoint stops receiving and its timers stop firing.
 func (c *Cluster) Kill(n *core.Node) {
 	addr := n.Addr()
-	if !c.alive[addr] {
+	if !c.isAlive(addr) {
 		return
 	}
 	c.alive[addr] = false
@@ -189,7 +197,7 @@ func (c *Cluster) Kill(n *core.Node) {
 // node.Join to reintegrate.
 func (c *Cluster) Revive(n *core.Node) {
 	addr := n.Addr()
-	if c.alive[addr] {
+	if c.isAlive(addr) {
 		return
 	}
 	c.alive[addr] = true
@@ -197,8 +205,13 @@ func (c *Cluster) Revive(n *core.Node) {
 	c.Net.Revive(netsim.Addr(addr))
 }
 
+// isAlive reports liveness for a transport address.
+func (c *Cluster) isAlive(addr uint64) bool {
+	return addr < uint64(len(c.alive)) && c.alive[addr]
+}
+
 // Alive reports whether the node is still up.
-func (c *Cluster) Alive(n *core.Node) bool { return c.alive[n.Addr()] }
+func (c *Cluster) Alive(n *core.Node) bool { return c.isAlive(n.Addr()) }
 
 // AliveNodes returns the live nodes in construction order. The slice is
 // cached between membership changes and must not be mutated by callers; it
@@ -207,7 +220,7 @@ func (c *Cluster) AliveNodes() []*core.Node {
 	if c.aliveList == nil {
 		c.aliveList = make([]*core.Node, 0, len(c.Nodes))
 		for _, n := range c.Nodes {
-			if c.alive[n.Addr()] {
+			if c.isAlive(n.Addr()) {
 				c.aliveList = append(c.aliveList, n)
 			}
 		}
@@ -234,7 +247,7 @@ func (c *Cluster) AliveCount() int {
 func (c *Cluster) DeadNodes() []*core.Node {
 	out := make([]*core.Node, 0)
 	for _, n := range c.Nodes {
-		if !c.alive[n.Addr()] {
+		if !c.isAlive(n.Addr()) {
 			out = append(out, n)
 		}
 	}
@@ -248,8 +261,8 @@ func (c *Cluster) DeadNodes() []*core.Node {
 // mid-partition are partitioned correctly too.
 func (c *Cluster) Partition(split idspace.ID) {
 	c.Net.SetLinkFilter(netsim.SplitFilter(split, func(a netsim.Addr) (idspace.ID, bool) {
-		n, ok := c.byAddr[uint64(a)]
-		if !ok {
+		n := c.NodeByAddr(uint64(a))
+		if n == nil {
 			return 0, false
 		}
 		return n.ID(), true
@@ -259,8 +272,13 @@ func (c *Cluster) Partition(split idspace.ID) {
 // Heal removes the partition installed by Partition.
 func (c *Cluster) Heal() { c.Net.SetLinkFilter(nil) }
 
-// NodeByAddr resolves an address to its node.
-func (c *Cluster) NodeByAddr(addr uint64) *core.Node { return c.byAddr[addr] }
+// NodeByAddr resolves an address to its node, or nil.
+func (c *Cluster) NodeByAddr(addr uint64) *core.Node {
+	if addr == 0 || addr >= uint64(len(c.byAddr)) {
+		return nil
+	}
+	return c.byAddr[addr]
+}
 
 // Rand returns a deterministic random stream for workload decisions,
 // distinct from all node streams.
@@ -280,7 +298,7 @@ func (e *simEnv) Rand() *rand.Rand   { return e.rng }
 func (e *simEnv) Send(to uint64, msg proto.Message) {
 	// Dead senders cannot transmit: a killed node's queued timer closures
 	// are cancelled, but guard against stragglers.
-	if !e.cluster.alive[e.addr] {
+	if !e.cluster.isAlive(e.addr) {
 		return
 	}
 	e.cluster.Net.Send(netsim.Addr(e.addr), netsim.Addr(to), msg, proto.WireSize(msg))
@@ -288,7 +306,7 @@ func (e *simEnv) Send(to uint64, msg proto.Message) {
 
 func (e *simEnv) SetTimer(d time.Duration, fn func()) core.Timer {
 	guarded := func() {
-		if e.cluster.alive[e.addr] {
+		if e.cluster.isAlive(e.addr) {
 			fn()
 		}
 	}
@@ -299,7 +317,7 @@ func (e *simEnv) SetPeriodic(d time.Duration, fn func()) core.Timer {
 	// One guard closure for the timer's whole lifetime; the kernel
 	// re-queues the same pooled event every interval.
 	guarded := func() {
-		if e.cluster.alive[e.addr] {
+		if e.cluster.isAlive(e.addr) {
 			fn()
 		}
 	}
