@@ -17,6 +17,7 @@ import (
 	"treep/internal/proto"
 	"treep/internal/routing"
 	"treep/internal/scenario"
+	"treep/internal/simrt"
 )
 
 // benchSweep is the shared scaled-down sweep configuration.
@@ -200,6 +201,56 @@ func BenchmarkScenarioChurn10k(b *testing.B) {
 		b.Skip("N=10000 scenario: skipped in -short mode")
 	}
 	benchScenarioN(b, 10000, churnPhases())
+}
+
+// benchDHTChurn is the canonical storage workload: seed records, then a
+// put/get mix with concurrent churn, then settle — the regime put-time-only
+// replication silently lost data under. The reported metrics are the
+// ledger size, the read-miss percentage, and the end-state violation count
+// (durability checkers included); allocs/op guards the storage hot path.
+func benchDHTChurn(b *testing.B, n int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := simrt.New(simrt.Options{N: n, Seed: 1, Bulk: true})
+		st := scenario.NewStorage(3)
+		st.AttachAll(c)
+		c.StartAll()
+		opts := scenario.Options{
+			Checkers:    append(scenario.AllCheckers(), scenario.StorageCheckers(0.99)...),
+			Storage:     st,
+			FinalGrace:  3 * time.Second,
+			FinalChecks: 4,
+		}
+		res := scenario.Run(c, opts, dhtChurnPhases()...)
+		b.ReportMetric(float64(st.Records()), "records")
+		miss := 0.0
+		if st.Gets > 0 {
+			miss = 100 * float64(st.GetMiss) / float64(st.Gets)
+		}
+		b.ReportMetric(miss, "getmiss%")
+		b.ReportMetric(float64(len(res.Final)), "violations@end")
+	}
+}
+
+// dhtChurnPhases is the canonical put/get-under-churn timeline, mirrored
+// by treep-bench's -storage scale rows so CI's allocation guard and the
+// EXPERIMENTS table track the same workload.
+func dhtChurnPhases() []scenario.Phase {
+	return []scenario.Phase{
+		scenario.Settle{For: 8 * time.Second},
+		scenario.StoreRecords{Count: 300},
+		scenario.StorageWorkload{For: 15 * time.Second, PutRate: 5, GetRate: 10, JoinRate: 2, LeaveRate: 2},
+		scenario.Settle{For: 10 * time.Second},
+	}
+}
+
+func BenchmarkDHTChurn(b *testing.B) {
+	benchDHTChurn(b, 300)
+}
+
+func BenchmarkDHTChurn2k(b *testing.B) {
+	benchDHTChurn(b, 2000)
 }
 
 func BenchmarkScenarioFlashCrowd(b *testing.B) {

@@ -20,11 +20,28 @@ import (
 // point mirrors the fields of treep-bench's ScalePoint that the guard
 // cares about; extra fields in either file are ignored.
 type point struct {
+	// Workload distinguishes scale rows sharing a population ("" is the
+	// canonical churn timeline, "dht" the storage workload).
+	Workload  string `json:"workload"`
 	N         int    `json:"n"`
 	AllocsRun uint64 `json:"allocs_run"`
 }
 
-func load(path string) (map[int]point, error) {
+// key identifies one guarded scale row.
+type key struct {
+	workload string
+	n        int
+}
+
+func (k key) String() string {
+	wl := k.workload
+	if wl == "" {
+		wl = "churn"
+	}
+	return fmt.Sprintf("%s/N=%d", wl, k.n)
+}
+
+func load(path string) (map[key]point, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -33,9 +50,9 @@ func load(path string) (map[int]point, error) {
 	if err := json.Unmarshal(data, &pts); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	out := make(map[int]point, len(pts))
+	out := make(map[key]point, len(pts))
 	for _, p := range pts {
-		out[p.N] = p
+		out[key{p.Workload, p.N}] = p
 	}
 	return out, nil
 }
@@ -59,13 +76,13 @@ func main() {
 
 	failed := false
 	compared := 0
-	for n, b := range base {
-		c, ok := cur[n]
+	for k, b := range base {
+		c, ok := cur[k]
 		if !ok {
-			// A missing population silently unguards that scale point —
-			// treat it as a failure so the CI -scale list and the baseline
-			// cannot drift apart unnoticed.
-			fmt.Fprintf(os.Stderr, "benchguard: N=%d in baseline but missing from current run\n", n)
+			// A missing scale point silently unguards it — treat it as a
+			// failure so the CI -scale invocation and the baseline cannot
+			// drift apart unnoticed.
+			fmt.Fprintf(os.Stderr, "benchguard: %s in baseline but missing from current run\n", k)
 			failed = true
 			continue
 		}
@@ -76,10 +93,21 @@ func main() {
 			status = "REGRESSION"
 			failed = true
 		}
-		fmt.Printf("benchguard: N=%d allocs/run %d -> %d (%+.1f%%) %s\n",
-			n, b.AllocsRun, c.AllocsRun, 100*(ratio-1), status)
+		fmt.Printf("benchguard: %s allocs/run %d -> %d (%+.1f%%) %s\n",
+			k, b.AllocsRun, c.AllocsRun, 100*(ratio-1), status)
 		if ratio < 1-*maxRegress {
-			fmt.Printf("benchguard: N=%d improved beyond tolerance — update %s to lock in the gain\n", n, *baseline)
+			fmt.Printf("benchguard: %s improved beyond tolerance — update %s to lock in the gain\n", k, *baseline)
+		}
+	}
+	// The reverse direction: a current row with no baseline entry is an
+	// unguarded scale point — allocations there could regress arbitrarily
+	// while CI stays green. Fail so adding a population or workload to the
+	// CI -scale invocation forces a baseline regeneration in the same
+	// change.
+	for k := range cur {
+		if _, ok := base[k]; !ok {
+			fmt.Fprintf(os.Stderr, "benchguard: %s in current run but missing from baseline — regenerate %s\n", k, *baseline)
+			failed = true
 		}
 	}
 	if compared == 0 {

@@ -43,9 +43,11 @@ per-phase CSV + JSON records:
 Scale mode (-scale): run the canonical churn scenario at each listed
 population and export the substrate scale table (events/s, allocs/run,
 peak heap) as CSV + JSON — the machine-readable source of the
-EXPERIMENTS.md scale table and CI's allocation-budget guard:
+EXPERIMENTS.md scale table and CI's allocation-budget guard. With
+-storage, each population also plays the DHT put/get-under-churn
+workload and exports it as "dht" rows in the same table:
 
-  treep-bench -scale 500,2000,10000 -lookups 60 -out results/
+  treep-bench -scale 500,2000,10000 -lookups 60 -storage -out results/
 
 -cpuprofile/-memprofile write pprof profiles of any mode.
 
@@ -87,6 +89,7 @@ func main() {
 	scen := flag.String("scenario", "churn", "compare mode: scenario script (churn, flashcrowd, zonefail, partition)")
 	out := flag.String("out", "results", "compare/scale mode: directory for the CSV/JSON records")
 	scale := flag.String("scale", "", "comma-separated populations (e.g. 500,2000,10000): run the canonical churn scenario per N and export the substrate scale table; enables scale mode")
+	storage := flag.Bool("storage", false, "scale mode: additionally run the DHT put/get-under-churn workload per N (workload \"dht\" rows)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Usage = usage
@@ -142,8 +145,11 @@ func main() {
 	if *scale != "" && *compare != "" {
 		fail("-scale and -compare are mutually exclusive")
 	}
+	if *storage && *scale == "" {
+		fail("-storage requires -scale")
+	}
 	if *scale != "" {
-		runScale(*scale, *out, *lookups)
+		runScale(*scale, *out, *lookups, *storage)
 		return
 	}
 	if *compare != "" {

@@ -15,14 +15,18 @@ import (
 	"treep/internal/experiment"
 	"treep/internal/proto"
 	"treep/internal/scenario"
+	"treep/internal/simrt"
 )
 
 // ScalePoint is one row of the machine-generated substrate scale table
-// (EXPERIMENTS.md): the canonical churn scenario at one population, with
-// the three quantities the scale claims are judged on — events/s must
-// stay flat as N grows, allocs/run and peak heap must grow linearly at
-// worst.
+// (EXPERIMENTS.md): one workload at one population, with the three
+// quantities the scale claims are judged on — events/s must stay flat as
+// N grows, allocs/run and peak heap must grow linearly at worst.
 type ScalePoint struct {
+	// Workload identifies the scenario: "" (the canonical churn timeline,
+	// kept empty for baseline compatibility) or "dht" (the
+	// put/get-under-churn storage workload).
+	Workload   string  `json:"workload,omitempty"`
 	N          int     `json:"n"`
 	WallSec    float64 `json:"wall_sec"`
 	Events     uint64  `json:"events"`
@@ -32,9 +36,11 @@ type ScalePoint struct {
 	AllocsRun uint64 `json:"allocs_run"`
 	// PeakHeapBytes is the maximum live heap observed while the scenario
 	// ran (sampled HeapAlloc).
-	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
-	FailPct       float64 `json:"fail_pct"`
-	Violations    float64 `json:"violations_end"`
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// FailPct is the workload's failure metric: failed-lookup percentage
+	// for churn, read-miss percentage for dht.
+	FailPct    float64 `json:"fail_pct"`
+	Violations float64 `json:"violations_end"`
 }
 
 // scaleChurnPhases is the canonical churn timeline used at every scale
@@ -84,9 +90,62 @@ func (w *heapWatcher) Stop() uint64 {
 	return w.peak.Load()
 }
 
-// runScale executes the churn scenario once per population and writes the
-// scale table as CSV + JSON under outDir.
-func runScale(spec, outDir string, lookups int) {
+// dhtChurnPhases mirrors BenchmarkDHTChurn*'s canonical storage timeline:
+// seed records, run a put/get mix with concurrent churn, settle.
+func dhtChurnPhases() []scenario.Phase {
+	return []scenario.Phase{
+		scenario.Settle{For: 8 * time.Second},
+		scenario.StoreRecords{Count: 300},
+		scenario.StorageWorkload{For: 15 * time.Second, PutRate: 5, GetRate: 10, JoinRate: 2, LeaveRate: 2},
+		scenario.Settle{For: 10 * time.Second},
+	}
+}
+
+// runStoragePoint plays the storage workload at one population and
+// returns its scale row (workload "dht").
+func runStoragePoint(n int) ScalePoint {
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	mallocs0 := ms.Mallocs
+	w := watchHeap()
+	start := time.Now()
+
+	c := simrt.New(simrt.Options{N: n, Seed: 1, Bulk: true})
+	st := scenario.NewStorage(3)
+	st.AttachAll(c)
+	c.StartAll()
+	res := scenario.Run(c, scenario.Options{
+		Checkers:    append(scenario.AllCheckers(), scenario.StorageCheckers(0.99)...),
+		Storage:     st,
+		FinalGrace:  3 * time.Second,
+		FinalChecks: 4,
+	}, dhtChurnPhases()...)
+
+	wall := time.Since(start)
+	peak := w.Stop()
+	runtime.ReadMemStats(&ms)
+
+	p := ScalePoint{
+		Workload:      "dht",
+		N:             n,
+		WallSec:       wall.Seconds(),
+		Events:        res.Events,
+		EventsPerS:    float64(res.Events) / wall.Seconds(),
+		AllocsRun:     ms.Mallocs - mallocs0,
+		PeakHeapBytes: peak,
+		Violations:    float64(len(res.Final)),
+	}
+	if st.Gets > 0 {
+		p.FailPct = 100 * float64(st.GetMiss) / float64(st.Gets)
+	}
+	return p
+}
+
+// runScale executes the churn scenario (and, with storage, the dht
+// workload) once per population and writes the scale table as CSV + JSON
+// under outDir.
+func runScale(spec, outDir string, lookups int, storage bool) {
 	var ns []int
 	for _, f := range strings.Split(spec, ",") {
 		f = strings.TrimSpace(f)
@@ -104,8 +163,8 @@ func runScale(spec, outDir string, lookups int) {
 	}
 
 	fmt.Printf("# Substrate scale — churn 15s@2+2, settle 12s, %d lookups/phase, seed 1\n\n", lookups)
-	fmt.Printf("| %7s | %9s | %9s | %11s | %9s | %6s | %10s |\n",
-		"N", "wall", "events/s", "allocs/run", "peak heap", "fail%", "violations")
+	fmt.Printf("| %8s | %7s | %9s | %9s | %11s | %9s | %6s | %10s |\n",
+		"workload", "N", "wall", "events/s", "allocs/run", "peak heap", "fail%", "violations")
 
 	points := make([]ScalePoint, 0, len(ns))
 	var ms runtime.MemStats
@@ -145,8 +204,12 @@ func runScale(spec, outDir string, lookups int) {
 			p.Violations = vi.Y[len(vi.Y)-1]
 		}
 		points = append(points, p)
-		fmt.Printf("| %7d | %8.1fs | %9.0f | %11d | %8.1fM | %6.1f | %10.1f |\n",
-			p.N, p.WallSec, p.EventsPerS, p.AllocsRun, float64(p.PeakHeapBytes)/(1<<20), p.FailPct, p.Violations)
+		printScaleRow(p)
+		if storage {
+			sp := runStoragePoint(n)
+			points = append(points, sp)
+			printScaleRow(sp)
+		}
 	}
 
 	if err := writeScale(outDir, points); err != nil {
@@ -154,6 +217,16 @@ func runScale(spec, outDir string, lookups int) {
 	}
 	fmt.Printf("\nrecords: %s, %s\n",
 		filepath.Join(outDir, "scale-churn.csv"), filepath.Join(outDir, "scale-churn.json"))
+}
+
+// printScaleRow prints one table row (workload "" renders as churn).
+func printScaleRow(p ScalePoint) {
+	wl := p.Workload
+	if wl == "" {
+		wl = "churn"
+	}
+	fmt.Printf("| %8s | %7d | %8.1fs | %9.0f | %11d | %8.1fM | %6.1f | %10.1f |\n",
+		wl, p.N, p.WallSec, p.EventsPerS, p.AllocsRun, float64(p.PeakHeapBytes)/(1<<20), p.FailPct, p.Violations)
 }
 
 // writeScale exports the scale table as CSV + JSON.
@@ -180,9 +253,14 @@ func writeScale(outDir string, points []ScalePoint) error {
 		return err
 	}
 	cw := csv.NewWriter(cf)
-	_ = cw.Write([]string{"n", "wall_sec", "events", "events_per_sec", "allocs_run", "peak_heap_bytes", "fail_pct", "violations_end"})
+	_ = cw.Write([]string{"workload", "n", "wall_sec", "events", "events_per_sec", "allocs_run", "peak_heap_bytes", "fail_pct", "violations_end"})
 	for _, p := range points {
+		wl := p.Workload
+		if wl == "" {
+			wl = "churn"
+		}
 		_ = cw.Write([]string{
+			wl,
 			strconv.Itoa(p.N),
 			strconv.FormatFloat(p.WallSec, 'f', 3, 64),
 			strconv.FormatUint(p.Events, 10),

@@ -55,10 +55,14 @@ func main() {
 	for {
 		select {
 		case <-tick.C:
-			fmt.Printf("[%s] level=%d peers=%d\n",
-				time.Now().Format("15:04:05"), node.Level(), node.PeerCount())
+			fmt.Printf("[%s] level=%d peers=%d records=%d\n",
+				time.Now().Format("15:04:05"), node.Level(), node.PeerCount(), node.StoredRecords())
 		case <-sigs:
-			fmt.Println("shutting down")
+			// Graceful shutdown: Close announces the departure to every
+			// peer before the socket goes away, so the overlay repairs
+			// immediately instead of treating this ^C as a crash and
+			// burning a failure-detection round on it.
+			fmt.Println("announcing departure and shutting down")
 			return
 		}
 	}

@@ -1,9 +1,11 @@
 // DHT key-value store: the paper notes TreeP "can be easily modified to
-// provide DHT functionality" — store and fetch values from any peer, and
-// survive the owner's failure through ring replication.
+// provide DHT functionality" — store and fetch versioned values from any
+// peer, survive owner failures through replication and read-repair, and
+// update concurrently without lost writes via compare-and-swap.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -40,7 +42,25 @@ func main() {
 		fmt.Printf("get %-12q -> %q (want %q)\n", k, v, want)
 	}
 
-	// Failure tolerance: kill a slice of the network and read again.
+	// Records are versioned: conditional writes turn read-modify-write
+	// into compare-and-swap, so a stale writer cannot silently erase a
+	// concurrent update.
+	rec, err := nw.GetRecord(7, []byte("job/42"))
+	if err != nil {
+		log.Fatalf("get record: %v", err)
+	}
+	if _, err := nw.PutIf(7, []byte("job/42"), []byte("done"), rec.Version); err != nil {
+		log.Fatalf("cas: %v", err)
+	}
+	if _, err := nw.PutIf(9, []byte("job/42"), []byte("stale"), rec.Version); !errors.Is(err, treep.ErrConflict) {
+		log.Fatalf("stale cas: want conflict, got %v", err)
+	}
+	fmt.Println("compare-and-swap: fresh base accepted, stale base rejected")
+
+	// Failure tolerance: kill a slice of the network and read again —
+	// replica maintenance re-replicates as owners die, ownership hands
+	// off to surviving closer nodes, and reads heal fresh owners from
+	// replicas, so every record survives.
 	nw.KillRandomFraction(0.15)
 	nw.Run(15 * time.Second)
 	survived := 0

@@ -35,6 +35,9 @@ func TestLookupSelfTarget(t *testing.T) {
 }
 
 func TestLookupImmediateNotFound(t *testing.T) {
+	// An isolated node's own lookups dead-end immediately: claiming
+	// ownership of every coordinate would let writes succeed locally while
+	// the rest of the overlay resolves the key elsewhere.
 	n, _ := testNode(100, 1)
 	var got LookupResult
 	n.Lookup(999, proto.AlgoG, func(r LookupResult) { got = r })
@@ -136,12 +139,17 @@ func TestHandleLookupRequestTTLDrop(t *testing.T) {
 	}
 }
 
-func TestHandleLookupRequestNotFoundReply(t *testing.T) {
+func TestHandleLookupRequestIsolatedDeliversSelf(t *testing.T) {
+	// A node that knows nobody but the sender is its own best owner
+	// estimate (the owner of a coordinate is the nearest node): it answers
+	// Found with itself rather than NotFound, which is what lets a
+	// two-node overlay resolve key owners. The origin judges exact-node
+	// lookups against Best, so a wrong estimate still reads as a miss.
 	n, env := testNode(100, 1)
 	req := &proto.LookupRequest{Origin: mkRef(50, 9, 0), Target: 500, ReqID: 9, TTL: 10, Algo: proto.AlgoG}
 	n.HandleMessage(9, req)
 	replies := msgsOfType[*proto.LookupReply](env.drain())
-	if len(replies) != 1 || replies[0].Status != proto.LookupNotFound {
+	if len(replies) != 1 || replies[0].Status != proto.LookupFound || replies[0].Best.Addr != n.Addr() {
 		t.Fatalf("replies %+v", replies)
 	}
 }

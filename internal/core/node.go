@@ -260,6 +260,85 @@ func (n *Node) Join(bootstrap uint64) {
 	n.send(bootstrap, &proto.JoinRequest{From: n.Ref()})
 }
 
+// Depart is the graceful shutdown: it announces the departure to every
+// peer holding a load-bearing reference to this node — active-connection
+// neighbours, children, the parent — so they repair immediately instead of
+// waiting out a failure-detection round, then stops the node. The
+// announcement is best-effort datagrams; peers that miss it fall back to
+// the TTL path exactly as for a crash.
+func (n *Node) Depart() {
+	ref := n.Ref()
+	msg := proto.Leave{From: ref}
+	// Snapshot the recipient set first: activePeers and Refs share scratch
+	// buffers that must not be re-entered while sending.
+	targets := make([]uint64, 0, 16)
+	add := func(addr uint64) {
+		if addr == 0 || addr == n.Addr() {
+			return
+		}
+		for _, a := range targets {
+			if a == addr {
+				return
+			}
+		}
+		targets = append(targets, addr)
+	}
+	for _, p := range n.activePeers() {
+		add(p.Addr)
+	}
+	for _, c := range n.table.Children.Refs() {
+		add(c.Addr)
+	}
+	if p, ok := n.table.Parent(); ok {
+		add(p.Addr)
+	}
+	for _, a := range targets {
+		n.Stats.LeavesSent++
+		n.send(a, &msg)
+	}
+	n.Stop()
+}
+
+// handleLeave reacts to a peer's graceful departure: the sender is purged
+// from every table on the spot (its information is first-hand and final),
+// and the structures it held together are repaired immediately.
+func (n *Node) handleLeave(from uint64, m *proto.Leave) {
+	wasChild := n.table.Children.Get(from) != nil
+	removed, parentLost := n.table.RemoveEverywhere(from)
+	if ps, ok := n.peers[from]; ok {
+		n.clearRefusal(ps)
+		delete(n.peers, from)
+	}
+	if n.courting == from {
+		n.courting = 0
+		if n.courtTimer != nil {
+			n.courtTimer.Cancel()
+			n.courtTimer = nil
+		}
+	}
+	if !removed && !parentLost {
+		return
+	}
+	n.Stats.LeavesRecv++
+	// Mirror the sweep-time repairs, without waiting for the next sweep:
+	// re-greet the surviving ring neighbours so the gap closes, re-adopt or
+	// elect if the parent left, and start the demotion countdown if a child
+	// did.
+	l, r := n.table.Level0.Neighbors(n.cfg.ID)
+	for _, nb := range [2]proto.NodeRef{l, r} {
+		if !nb.IsZero() {
+			n.sendHello(nb.Addr)
+		}
+	}
+	if parentLost {
+		n.adoptOrElect()
+	}
+	if wasChild {
+		n.maybeStartDemotion()
+	}
+	n.ensureHierarchy()
+}
+
 // HandleMessage dispatches one received datagram. Unknown message types are
 // ignored (wire compatibility).
 func (n *Node) HandleMessage(from uint64, msg proto.Message) {
@@ -279,11 +358,11 @@ func (n *Node) HandleMessage(from uint64, msg proto.Message) {
 		n.table.DowngradeLevels(from, ref.MaxLevel)
 	}
 	// A courted parent proves itself alive with any direct message —
-	// except one that explicitly declines the role (Reparent, Demote),
-	// which its own handler processes.
+	// except one that explicitly declines the role (Reparent, Demote) or
+	// leaves altogether, which its own handler processes.
 	if n.courting == from {
 		switch msg.(type) {
-		case *proto.Reparent, *proto.Demote:
+		case *proto.Reparent, *proto.Demote, *proto.Leave:
 		default:
 			if ref, ok := senderRef(msg); ok && ref.Addr == from {
 				n.confirmCourtship(from, ref)
@@ -324,6 +403,8 @@ func (n *Node) HandleMessage(from uint64, msg proto.Message) {
 		n.handleLookupRequest(from, m)
 	case *proto.LookupReply:
 		n.handleLookupReply(from, m)
+	case *proto.Leave:
+		n.handleLeave(from, m)
 	default:
 		if n.extension != nil {
 			n.extension(from, msg)
@@ -364,6 +445,8 @@ func senderRef(msg proto.Message) (proto.NodeRef, bool) {
 	case *proto.BusLinkAck:
 		return m.From, true
 	case *proto.LookupReply:
+		return m.From, true
+	case *proto.Leave:
 		return m.From, true
 	}
 	return proto.NodeRef{}, false

@@ -28,6 +28,9 @@ type Stats struct {
 	LookupsDelivered uint64
 	LookupsNotFound  uint64
 	LookupsDropped   uint64 // TTL exhaustion observed at this node
+
+	LeavesSent uint64 // graceful-departure announcements sent
+	LeavesRecv uint64 // peers dropped on a received departure
 }
 
 // Add accumulates other into s (for network-wide aggregation).
@@ -53,4 +56,6 @@ func (s *Stats) Add(o Stats) {
 	s.LookupsDelivered += o.LookupsDelivered
 	s.LookupsNotFound += o.LookupsNotFound
 	s.LookupsDropped += o.LookupsDropped
+	s.LeavesSent += o.LeavesSent
+	s.LeavesRecv += o.LeavesRecv
 }

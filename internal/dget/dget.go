@@ -8,9 +8,12 @@
 // DHT stores the matching resource list at the owner node. Discovery is a
 // DHT read; the load balancer picks the least-loaded match.
 //
-// Registry updates are read-modify-write and therefore last-writer-wins
-// under concurrency — acceptable for soft-state discovery data that is
-// re-advertised periodically (grid resources refresh their records).
+// Registry updates are read-modify-write over the DHT's versioned records:
+// each write is a conditional store (dht.PutIf) against the version the
+// writer read, and a conflict re-runs the read-modify-write against the
+// fresh list. Two resources advertising into the same attribute list
+// concurrently therefore both land — the old unconditional write lost
+// whichever update committed first.
 package dget
 
 import (
@@ -54,6 +57,15 @@ func NewDirectory(s *dht.Service) *Directory { return &Directory{dht: s} }
 // ErrNoMatch is returned when discovery finds no resource.
 var ErrNoMatch = errors.New("dget: no matching resource")
 
+// ErrContention is returned when a registry update keeps losing its
+// compare-and-swap beyond the retry budget (pathological write pressure on
+// one attribute).
+var ErrContention = errors.New("dget: registry update contention")
+
+// casRetries bounds how many times one attribute update re-runs its
+// read-modify-write after a version conflict.
+const casRetries = 8
+
 // Advertise registers (or refreshes) the resource under every attribute it
 // carries. cb fires once with the first error or nil after all attribute
 // lists are updated.
@@ -90,37 +102,59 @@ func (d *Directory) Advertise(res Resource, cb func(error)) {
 	}
 }
 
-// updateList reads the attribute's list, upserts res, writes it back.
+// updateList reads the attribute's list (with its version), upserts res,
+// and writes it back conditionally on the version it read. A conflict
+// means another writer committed in between: re-read the fresh list —
+// which now contains that writer's entry — and retry, so concurrent
+// advertisements merge instead of overwriting each other.
 func (d *Directory) updateList(key []byte, res Resource, cb func(error)) {
-	d.dht.Get(key, func(value []byte, err error) {
-		var list []Resource
-		if err == nil {
-			if jerr := json.Unmarshal(value, &list); jerr != nil {
-				list = nil
-			}
-		} else if !errors.Is(err, dht.ErrNotFound) {
-			cb(err)
+	attempts := 0
+	var attempt func()
+	attempt = func() {
+		if attempts > casRetries {
+			cb(ErrContention)
 			return
 		}
-		replaced := false
-		for i := range list {
-			if list[i].Name == res.Name {
-				list[i] = res
-				replaced = true
-				break
+		attempts++
+		d.dht.GetRecord(key, func(rec dht.Record, err error) {
+			base := uint64(dht.AnyVersion)
+			var list []Resource
+			if err == nil {
+				base = rec.Version
+				if jerr := json.Unmarshal(rec.Value, &list); jerr != nil {
+					list = nil
+				}
+			} else if !errors.Is(err, dht.ErrNotFound) {
+				cb(err)
+				return
 			}
-		}
-		if !replaced {
-			list = append(list, res)
-		}
-		sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
-		buf, jerr := json.Marshal(list)
-		if jerr != nil {
-			cb(fmt.Errorf("dget: encode registry: %w", jerr))
-			return
-		}
-		d.dht.Put(key, buf, cb)
-	})
+			replaced := false
+			for i := range list {
+				if list[i].Name == res.Name {
+					list[i] = res
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				list = append(list, res)
+			}
+			sort.Slice(list, func(i, j int) bool { return list[i].Name < list[j].Name })
+			buf, jerr := json.Marshal(list)
+			if jerr != nil {
+				cb(fmt.Errorf("dget: encode registry: %w", jerr))
+				return
+			}
+			d.dht.PutIf(key, buf, base, func(_ uint64, perr error) {
+				if errors.Is(perr, dht.ErrConflict) {
+					attempt()
+					return
+				}
+				cb(perr)
+			})
+		})
+	}
+	attempt()
 }
 
 // Discover returns all resources advertised under attribute k=v.

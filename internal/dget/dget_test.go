@@ -139,6 +139,51 @@ func TestAdvertiseValidation(t *testing.T) {
 	}
 }
 
+// TestConcurrentAdvertiseNoLostUpdate is the regression test for the
+// read-modify-write race the registry used to have: two resources
+// advertising into the same attribute list at the same time both read the
+// old list, and whichever write landed second silently erased the first
+// (last-writer-wins). With versioned records the second write's
+// conditional store conflicts, re-reads the list that now contains the
+// first resource, and merges — both must be discoverable afterwards.
+func TestConcurrentAdvertiseNoLostUpdate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow simulation; skipped with -short")
+	}
+	c, dirs := cluster(t, 100, 7)
+	mk := func(i int) Resource {
+		return Resource{
+			Name:     fmt.Sprintf("racer-%d", i),
+			Attrs:    map[string]string{"pool": "contended"},
+			Capacity: 4,
+			Addr:     c.Nodes[i].Addr(),
+		}
+	}
+	// Launch both advertisements before advancing time: both read the
+	// attribute list before either write commits, which is exactly the
+	// interleaving that lost an update under last-writer-wins.
+	errs := make([]error, 2)
+	fired := 0
+	dirs[10].Advertise(mk(0), func(e error) { errs[0] = e; fired++ })
+	dirs[60].Advertise(mk(1), func(e error) { errs[1] = e; fired++ })
+	c.Run(15 * time.Second)
+	if fired != 2 || errs[0] != nil || errs[1] != nil {
+		t.Fatalf("advertise: fired=%d errs=%v", fired, errs)
+	}
+
+	var got []Resource
+	var derr error
+	done := false
+	dirs[33].Discover("pool", "contended", func(rs []Resource, e error) { got, derr, done = rs, e, true })
+	c.Run(10 * time.Second)
+	if !done || derr != nil {
+		t.Fatalf("discover: done=%v err=%v", done, derr)
+	}
+	if len(got) != 2 {
+		t.Fatalf("lost update: %d/2 resources survived concurrent advertise: %+v", len(got), got)
+	}
+}
+
 func TestSaturatedPoolRejected(t *testing.T) {
 	c, dirs := cluster(t, 80, 6)
 	res := Resource{Name: "full", Attrs: map[string]string{"q": "z"}, Capacity: 2, Load: 2}

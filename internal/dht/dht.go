@@ -1,18 +1,48 @@
 // Package dht realises the paper's claim that TreeP "can be easily
-// modified to provide Distributed Hash Table (DHT) functionality": keys
-// hash into the same 1-D space as nodes, the TreeP lookup resolves the
-// owner (the node nearest the key), and values are stored there with
-// replication on the owner's ring neighbours so that single failures do
-// not lose data.
+// modified to provide Distributed Hash Table (DHT) functionality" as a
+// churn-resilient replicated store. Keys hash into the same 1-D space as
+// nodes, the TreeP lookup resolves the owner (the node nearest the key),
+// and the owner holds the record with copies on its ring neighbours.
+//
+// Records are versioned: the owner assigns a monotonically increasing
+// per-key version on every store, and every copy carries (version, origin)
+// where origin is the writer that caused the version. Replicas merge by
+// that pair — newest version wins, higher origin breaks ties — so any two
+// nodes holding copies of a key converge to the same record no matter the
+// order or duplication of deliveries. Conditional stores (PutIf) are
+// accepted only while the owner's current version matches the writer's
+// base, which turns read-modify-write sequences into compare-and-swap
+// loops instead of lost updates.
+//
+// Durability is active, not put-time-only:
+//
+//   - periodic replica maintenance re-replicates every owned record when
+//     the owner's ring neighbourhood changes (a replica died or a new
+//     neighbour joined), and re-pushes records whose version moved;
+//   - ownership handoff: a node that finds a known peer closer to one of
+//     its keys pushes the record to that peer and, once acknowledged,
+//     drops its copy only if it is no longer within replica distance;
+//   - read-repair: an owner that misses on a Get consults its ring
+//     neighbours before answering, adopts the highest-versioned surviving
+//     copy, and serves it — so a freshly responsible node heals from its
+//     replicas on first touch instead of returning not-found.
+//
+// The request/response plumbing (request ids, deadlines, retries,
+// owner lookup) is the generic service plane of internal/svc; the same
+// Put/Get code path runs over the deterministic simulator and over real
+// UDP sockets.
 package dht
 
 import (
 	"errors"
+	"hash/maphash"
+	"sort"
 	"time"
 
 	"treep/internal/core"
 	"treep/internal/idspace"
 	"treep/internal/proto"
+	"treep/internal/svc"
 )
 
 // Errors returned by Put/Get callbacks.
@@ -23,183 +53,664 @@ var (
 	ErrTimeout = errors.New("dht: request timed out")
 	// ErrNotFound: the owner answered but has no value for the key.
 	ErrNotFound = errors.New("dht: key not found")
+	// ErrConflict: a conditional store's base version no longer matches;
+	// re-read and retry the read-modify-write.
+	ErrConflict = errors.New("dht: version conflict")
 )
 
-// Service layers DHT storage on a TreeP node. Create one per node with
-// Attach; all methods must run on the node's event loop (as with Node).
-type Service struct {
-	node *core.Node
-	// store holds this node's records, keyed by the hashed key.
-	store map[idspace.ID][]byte
-	// Replicate is how many ring neighbours receive copies on Put.
-	Replicate int
-	// RequestTimeout bounds the direct owner exchange after the lookup.
-	RequestTimeout time.Duration
+// AnyVersion is the PutIf base that matches only a key with no record yet.
+const AnyVersion = 0
 
-	nextReq uint64
-	pending map[uint64]*pendingOp
+// Record is one versioned key-value pair as seen by a reader.
+type Record struct {
+	Value   []byte
+	Version uint64
+	Origin  uint64
+}
+
+// record is the stored form, with replica-push bookkeeping.
+type record struct {
+	value   []byte
+	version uint64
+	origin  uint64
+	// pushedSig and pushedVersion remember the ring-neighbourhood signature
+	// and version of the last replica push, so maintenance re-replicates
+	// exactly when neighbours changed or the record did.
+	pushedSig     uint64
+	pushedVersion uint64
+}
+
+// Stats counts DHT events on one node.
+type Stats struct {
+	PutsServed uint64 // store requests served as owner
+	GetsServed uint64 // fetch requests served
+	Stored     uint64 // merges that accepted a new record or version
+	Conflicts  uint64 // conditional stores rejected
+	Replicas   uint64 // replica pushes sent
+	Handoffs   uint64 // ownership handoffs initiated
+	Dropped    uint64 // local copies released after handoff
+	Consults   uint64 // fetch misses that consulted replicas
+	Repairs    uint64 // records adopted from a replica on read-repair
+}
+
+// Service layers the replicated store on a TreeP node. Create one per node
+// with Attach; all methods must run on the node's event loop (as with
+// Node). Callers must not mutate key or value slices they pass in until
+// the callback fires.
+type Service struct {
+	node  *core.Node
+	plane *svc.Plane
+
+	// recs and keys are the same store: the map serves point lookups, the
+	// sorted slice gives maintenance a deterministic iteration order (the
+	// simulator's reproducibility forbids ranging over a map here).
+	recs map[idspace.ID]*record
+	keys []idspace.ID
+
+	// ReplicationFactor is the total number of copies a record aims for:
+	// the owner plus factor-1 ring neighbours. Default 3.
+	ReplicationFactor int
+	// ActiveRepair enables the churn-resilience machinery: periodic
+	// replica maintenance, ownership handoff, and read-repair consults.
+	// Disabling it reverts to put-time-only replication — the seed
+	// implementation's behaviour, kept as the ablation switch behind
+	// EXPERIMENTS.md's durability table.
+	ActiveRepair bool
+	// RequestTimeout bounds each attempt of an owner exchange.
+	RequestTimeout time.Duration
+	// Retries is how many times a timed-out attempt is re-tried (with a
+	// fresh owner lookup each time). Default 2.
+	Retries int
+	// MaintainInterval is the replica-maintenance cadence (default 2s).
+	// Attach arms the timer with it; changing the cadence afterwards goes
+	// through SetMaintainInterval, which re-arms.
+	MaintainInterval time.Duration
+
+	maintTimer core.Timer
+	scratch    []proto.NodeRef
+
+	// memos is a bounded ring of recent store outcomes keyed by
+	// (requester, request id). The service plane retries a store whose
+	// ack was lost by re-sending the same request id; without replaying
+	// the recorded outcome the owner would re-apply the store — bumping
+	// the version again and, worse, answering a conditional store that
+	// already committed with a spurious conflict.
+	memos   [storeMemoSize]storeMemo
+	memoPos int
 
 	// Stats counters.
 	Stats Stats
 }
 
-// Stats counts DHT events on one node.
-type Stats struct {
-	PutsServed uint64
-	GetsServed uint64
-	Stored     uint64
-	Replicas   uint64
+// storeMemoSize bounds the ack-replay window. Retries arrive within one
+// request timeout; 64 in-flight stores per owner is far beyond any real
+// concurrency here.
+const storeMemoSize = 64
+
+type storeMemo struct {
+	from    uint64
+	reqID   uint64
+	status  proto.StoreStatus
+	version uint64
+	origin  uint64
 }
 
-type pendingOp struct {
-	timer core.Timer
-	onPut func(error)
-	onGet func([]byte, error)
-}
+var sigSeed = maphash.MakeSeed()
 
-// Attach creates the service and hooks it into the node's extension slot.
-func Attach(n *core.Node) *Service {
+// Attach creates the service on a fresh service plane and hooks it into
+// the node's extension slot.
+func Attach(n *core.Node) *Service { return AttachPlane(svc.Attach(n)) }
+
+// AttachPlane creates the service on an existing plane (services sharing
+// one node compose by sharing its plane).
+func AttachPlane(p *svc.Plane) *Service {
 	s := &Service{
-		node:           n,
-		store:          map[idspace.ID][]byte{},
-		Replicate:      2,
-		RequestTimeout: 5 * time.Second,
-		pending:        map[uint64]*pendingOp{},
+		node:              p.Node(),
+		plane:             p,
+		recs:              map[idspace.ID]*record{},
+		ReplicationFactor: 3,
+		ActiveRepair:      true,
+		RequestTimeout:    2 * time.Second,
+		Retries:           2,
+		MaintainInterval:  2 * time.Second,
 	}
-	n.SetExtension(s.handle)
+	p.Handle(proto.TDHTStore, s.handleStore)
+	p.Handle(proto.TDHTFetch, s.handleFetch)
+	p.Handle(proto.TDHTReplicate, s.handleReplicate)
+	p.ExpectResponse(proto.TDHTStoreAck)
+	p.ExpectResponse(proto.TDHTFetchReply)
+	p.ExpectResponse(proto.TDHTReplicateAck)
+	s.maintTimer = s.node.SetPeriodic(s.MaintainInterval, s.maintainTick)
 	return s
 }
 
 // Node returns the underlying TreeP node.
 func (s *Service) Node() *core.Node { return s.node }
 
-// Len returns the number of records stored locally.
-func (s *Service) Len() int { return len(s.store) }
+// SetMaintainInterval re-arms the replica-maintenance timer with a new
+// cadence (the timer is armed at Attach, so writing the field alone after
+// that has no effect).
+func (s *Service) SetMaintainInterval(d time.Duration) {
+	s.MaintainInterval = d
+	if s.maintTimer != nil {
+		s.maintTimer.Cancel()
+	}
+	s.maintTimer = s.node.SetPeriodic(d, s.maintainTick)
+}
 
-// Put stores value under key: the TreeP lookup resolves the owner, then
-// the value travels directly to it. cb fires exactly once.
+// Plane returns the service plane the DHT runs on.
+func (s *Service) Plane() *svc.Plane { return s.plane }
+
+// Len returns the number of records stored locally.
+func (s *Service) Len() int { return len(s.keys) }
+
+// Local returns the locally stored record for a raw (unhashed) key, for
+// tests and diagnostics.
+func (s *Service) Local(key []byte) (Record, bool) { return s.LocalHashed(idspace.HashKey(key)) }
+
+// LocalHashed is Local for an already-hashed key.
+func (s *Service) LocalHashed(k idspace.ID) (Record, bool) {
+	if rec, ok := s.recs[k]; ok {
+		return Record{Value: rec.value, Version: rec.version, Origin: rec.origin}, true
+	}
+	return Record{}, false
+}
+
+// callOpts bundles the service's retry policy.
+func (s *Service) callOpts() svc.CallOpts {
+	return svc.CallOpts{Timeout: s.RequestTimeout, Retries: s.Retries}
+}
+
+// Put stores value under key unconditionally: the owner assigns the next
+// version. cb fires exactly once.
 func (s *Service) Put(key []byte, value []byte, cb func(error)) {
+	s.storeVia(key, value, false, 0, func(_ uint64, err error) { cb(err) })
+}
+
+// PutIf stores value under key only while the owner's current version
+// equals base (AnyVersion for "no record yet"): compare-and-swap for
+// read-modify-write writers. On ErrConflict re-read and retry. cb receives
+// the resulting version on success.
+func (s *Service) PutIf(key []byte, value []byte, base uint64, cb func(version uint64, err error)) {
+	s.storeVia(key, value, true, base, cb)
+}
+
+func (s *Service) storeVia(key, value []byte, cond bool, base uint64, cb func(uint64, error)) {
 	k := idspace.HashKey(key)
-	s.node.Lookup(k, proto.AlgoG, func(r core.LookupResult) {
-		if r.Status != core.LookupFound {
-			cb(ErrLookupFailed)
-			return
-		}
-		if r.Best.Addr == s.node.Addr() {
-			s.storeLocal(k, value, s.Replicate)
-			cb(nil)
-			return
-		}
-		s.nextReq++
-		req := s.nextReq
-		op := &pendingOp{onPut: cb}
-		s.pending[req] = op
-		op.timer = s.node.SetTimer(s.RequestTimeout, func() {
-			if _, ok := s.pending[req]; !ok {
+	req := &proto.DHTStore{Key: k, Value: value, Base: base, Cond: cond}
+	s.plane.CallKey(k, proto.AlgoG, req, s.callOpts(),
+		func(_ proto.NodeRef, resp proto.SvcResponse, err error) {
+			if err != nil {
+				cb(0, mapErr(err))
 				return
 			}
-			delete(s.pending, req)
-			cb(ErrTimeout)
+			ack, ok := resp.(*proto.DHTStoreAck)
+			if !ok {
+				cb(0, ErrTimeout)
+				return
+			}
+			if ack.Status == proto.StoreConflict {
+				cb(ack.Version, ErrConflict)
+				return
+			}
+			cb(ack.Version, nil)
 		})
-		s.node.Send(r.Best.Addr, &proto.DHTPut{
-			From: s.node.Ref(), ReqID: req, Key: k,
-			Value: value, Replicate: uint8(s.Replicate),
-		})
-	})
 }
 
 // Get fetches the value for key. cb fires exactly once with the value or
 // an error.
 func (s *Service) Get(key []byte, cb func([]byte, error)) {
+	s.GetRecord(key, func(rec Record, err error) { cb(rec.Value, err) })
+}
+
+// GetRecord fetches the record for key with its version, for writers that
+// intend a PutIf against what they read.
+func (s *Service) GetRecord(key []byte, cb func(Record, error)) {
 	k := idspace.HashKey(key)
-	s.node.Lookup(k, proto.AlgoG, func(r core.LookupResult) {
-		if r.Status != core.LookupFound {
-			cb(nil, ErrLookupFailed)
-			return
-		}
-		if r.Best.Addr == s.node.Addr() {
-			if v, ok := s.store[k]; ok {
-				cb(v, nil)
-			} else {
-				cb(nil, ErrNotFound)
-			}
-			return
-		}
-		s.nextReq++
-		req := s.nextReq
-		op := &pendingOp{onGet: cb}
-		s.pending[req] = op
-		op.timer = s.node.SetTimer(s.RequestTimeout, func() {
-			if _, ok := s.pending[req]; !ok {
+	req := &proto.DHTFetch{Key: k}
+	s.plane.CallKey(k, proto.AlgoG, req, s.callOpts(),
+		func(_ proto.NodeRef, resp proto.SvcResponse, err error) {
+			if err != nil {
+				cb(Record{}, mapErr(err))
 				return
 			}
-			delete(s.pending, req)
-			cb(nil, ErrTimeout)
+			rep, ok := resp.(*proto.DHTFetchReply)
+			if !ok || !rep.Found {
+				cb(Record{}, ErrNotFound)
+				return
+			}
+			// Copy out: the reply message may be pooled and is recycled when
+			// this delivery ends.
+			cb(Record{
+				Value:   append([]byte(nil), rep.Value...),
+				Version: rep.Version,
+				Origin:  rep.Origin,
+			}, nil)
 		})
-		s.node.Send(r.Best.Addr, &proto.DHTGet{From: s.node.Ref(), ReqID: req, Key: k})
+}
+
+// mapErr translates service-plane errors into the DHT's error set.
+func mapErr(err error) error {
+	switch {
+	case errors.Is(err, svc.ErrLookupFailed):
+		return ErrLookupFailed
+	case errors.Is(err, svc.ErrTimeout):
+		return ErrTimeout
+	default:
+		return err
+	}
+}
+
+// --- local store ------------------------------------------------------------
+
+// merge applies an incoming copy by the (version, origin) order and
+// reports whether it won. Values are always copied in.
+func (s *Service) merge(k idspace.ID, value []byte, version, origin uint64) bool {
+	cur, ok := s.recs[k]
+	if ok && (version < cur.version || (version == cur.version && origin <= cur.origin)) {
+		return false
+	}
+	if !ok {
+		cur = &record{}
+		s.recs[k] = cur
+		i := sort.Search(len(s.keys), func(i int) bool { return s.keys[i] >= k })
+		s.keys = append(s.keys, 0)
+		copy(s.keys[i+1:], s.keys[i:])
+		s.keys[i] = k
+	}
+	cur.value = append(cur.value[:0], value...)
+	cur.version, cur.origin = version, origin
+	s.Stats.Stored++
+	return true
+}
+
+// drop releases the local copy of k.
+func (s *Service) drop(k idspace.ID) {
+	if _, ok := s.recs[k]; !ok {
+		return
+	}
+	delete(s.recs, k)
+	i := sort.Search(len(s.keys), func(i int) bool { return s.keys[i] >= k })
+	if i < len(s.keys) && s.keys[i] == k {
+		s.keys = append(s.keys[:i], s.keys[i+1:]...)
+	}
+	s.Stats.Dropped++
+}
+
+// --- handlers ---------------------------------------------------------------
+
+// handleStore is the owner's store path: version assignment, CAS check,
+// immediate replica fan-out, ack. A store for a key this node does not
+// hold first consults the replicas of whoever owned it before — otherwise
+// a freshly responsible owner would restart versions at 1 and its writes
+// would lose every merge against the surviving higher-versioned copies
+// (and conditional stores would pass a base check they should fail).
+func (s *Service) handleStore(from uint64, req proto.SvcRequest, respond func(proto.SvcResponse)) {
+	m := req.(*proto.DHTStore)
+	s.Stats.PutsServed++
+	// A retried store (ack lost in flight) replays the recorded outcome
+	// instead of re-applying: stores are not idempotent (the owner assigns
+	// version current+1 each time), and a committed conditional store
+	// re-checked against the bumped version would answer conflict.
+	for i := range s.memos {
+		mm := &s.memos[i]
+		if mm.reqID == m.ReqID && mm.from == from && mm.reqID != 0 {
+			ack := proto.AcquireDHTStoreAck()
+			ack.Status, ack.Version, ack.Origin = mm.status, mm.version, mm.origin
+			respond(ack)
+			return
+		}
+	}
+	if _, ok := s.recs[m.Key]; ok || !s.ActiveRepair {
+		// Synchronous path: merge copies the value into the record's own
+		// buffer within this frame, so m.Value passes through uncopied.
+		s.finishStore(m.Key, m.Value, m.Base, m.Cond, from, m.ReqID, respond)
+		return
+	}
+	// Copy everything out of m before going async: the request message is
+	// owned by the sender and this frame only.
+	key, base, cond, reqID := m.Key, m.Base, m.Cond, m.ReqID
+	value := append([]byte(nil), m.Value...)
+	s.consult(key, func(found bool, rec Record) {
+		if found {
+			s.Stats.Repairs++
+			s.merge(key, rec.Value, rec.Version, rec.Origin)
+		}
+		s.finishStore(key, value, base, cond, from, reqID, respond)
 	})
 }
 
-// storeLocal stores a record and pushes copies to ring neighbours.
-func (s *Service) storeLocal(k idspace.ID, value []byte, replicate int) {
-	s.store[k] = value
-	s.Stats.Stored++
-	if replicate <= 0 {
+// finishStore applies a store against the now-settled current version and
+// records the outcome for ack replay.
+func (s *Service) finishStore(key idspace.ID, value []byte, base uint64, cond bool, from, reqID uint64,
+	respond func(proto.SvcResponse)) {
+	var curVersion, curOrigin uint64
+	if cur, ok := s.recs[key]; ok {
+		curVersion, curOrigin = cur.version, cur.origin
+	}
+	ack := proto.AcquireDHTStoreAck()
+	if cond && base != curVersion {
+		s.Stats.Conflicts++
+		ack.Status, ack.Version, ack.Origin = proto.StoreConflict, curVersion, curOrigin
+	} else {
+		version := curVersion + 1
+		s.merge(key, value, version, from)
+		if rec, ok := s.recs[key]; ok {
+			s.pushReplicas(key, rec)
+			rec.pushedSig, rec.pushedVersion = s.ringSig(), rec.version
+		}
+		ack.Status, ack.Version, ack.Origin = proto.StoreOK, version, from
+	}
+	s.memos[s.memoPos] = storeMemo{from: from, reqID: reqID,
+		status: ack.Status, version: ack.Version, origin: ack.Origin}
+	s.memoPos = (s.memoPos + 1) % storeMemoSize
+	respond(ack)
+}
+
+// handleFetch serves reads. A miss on a non-local fetch consults the ring
+// neighbours — the replica set of whoever owned the key before us — and
+// adopts the best surviving copy before answering (read-repair).
+func (s *Service) handleFetch(from uint64, req proto.SvcRequest, respond func(proto.SvcResponse)) {
+	m := req.(*proto.DHTFetch)
+	s.Stats.GetsServed++
+	if rec, ok := s.recs[m.Key]; ok {
+		respond(s.fetchReply(rec))
 		return
 	}
-	l, r := s.node.Table().Level0.Neighbors(s.node.ID())
-	sent := 0
-	for _, nb := range []proto.NodeRef{l, r} {
-		if nb.IsZero() || sent >= replicate {
-			continue
+	if m.Local || !s.ActiveRepair {
+		rep := proto.AcquireDHTFetchReply()
+		rep.Found = false
+		respond(rep)
+		return
+	}
+	key := m.Key
+	s.consult(key, func(found bool, rec Record) {
+		if !found {
+			rep := proto.AcquireDHTFetchReply()
+			rep.Found = false
+			respond(rep)
+			return
 		}
-		s.node.Send(nb.Addr, &proto.DHTPut{
-			From: s.node.Ref(), ReqID: 0, Key: k, Value: value, Replicate: 0,
-		})
-		s.Stats.Replicas++
-		sent++
+		s.Stats.Repairs++
+		s.merge(key, rec.Value, rec.Version, rec.Origin)
+		if cur, ok := s.recs[key]; ok {
+			respond(s.fetchReply(cur))
+			return
+		}
+		rep := proto.AcquireDHTFetchReply()
+		rep.Found = false
+		respond(rep)
+	})
+}
+
+// consult queries the ring neighbours for a key this node believes it owns
+// but does not hold and reports the newest surviving copy. The sub-fetches
+// are Local so a confused neighbourhood cannot recurse. Sub-call deadlines
+// are half the request timeout so the answer (including a dead neighbour's
+// silence) fits inside the client's own attempt window.
+func (s *Service) consult(key idspace.ID, cb func(bool, Record)) {
+	targets := s.replicaTargets(key)
+	if len(targets) == 0 {
+		cb(false, Record{})
+		return
+	}
+	s.Stats.Consults++
+	remaining := len(targets)
+	best := Record{}
+	found := false
+	for _, tgt := range targets {
+		sub := &proto.DHTFetch{Key: key, Local: true}
+		s.plane.Call(tgt.Addr, sub, svc.CallOpts{Timeout: s.RequestTimeout / 2},
+			func(resp proto.SvcResponse, err error) {
+				remaining--
+				if err == nil {
+					if rep, ok := resp.(*proto.DHTFetchReply); ok && rep.Found {
+						if !found || rep.Version > best.Version ||
+							(rep.Version == best.Version && rep.Origin > best.Origin) {
+							// Copy: the reply is recycled after this delivery.
+							best.Value = append(best.Value[:0], rep.Value...)
+							best.Version, best.Origin = rep.Version, rep.Origin
+							found = true
+						}
+					}
+				}
+				if remaining == 0 {
+					cb(found, best)
+				}
+			})
 	}
 }
 
-// handle is the extension hook for DHT messages.
-func (s *Service) handle(from uint64, msg proto.Message) bool {
-	switch m := msg.(type) {
-	case *proto.DHTPut:
-		s.Stats.PutsServed++
-		s.storeLocal(m.Key, m.Value, int(m.Replicate))
-		if m.ReqID != 0 {
-			s.node.Send(from, &proto.DHTPutAck{From: s.node.Ref(), ReqID: m.ReqID, Stored: true})
-		}
-		return true
-	case *proto.DHTPutAck:
-		if op, ok := s.pending[m.ReqID]; ok && op.onPut != nil {
-			delete(s.pending, m.ReqID)
-			if op.timer != nil {
-				op.timer.Cancel()
-			}
-			op.onPut(nil)
-		}
-		return true
-	case *proto.DHTGet:
-		s.Stats.GetsServed++
-		v, ok := s.store[m.Key]
-		s.node.Send(from, &proto.DHTGetReply{
-			From: s.node.Ref(), ReqID: m.ReqID, Found: ok, Value: v,
-		})
-		return true
-	case *proto.DHTGetReply:
-		if op, ok := s.pending[m.ReqID]; ok && op.onGet != nil {
-			delete(s.pending, m.ReqID)
-			if op.timer != nil {
-				op.timer.Cancel()
-			}
-			if m.Found {
-				op.onGet(m.Value, nil)
-			} else {
-				op.onGet(nil, ErrNotFound)
-			}
-		}
-		return true
+// fetchReply builds a pooled found-reply carrying a copy of the record.
+func (s *Service) fetchReply(rec *record) *proto.DHTFetchReply {
+	rep := proto.AcquireDHTFetchReply()
+	rep.Found = true
+	rep.Value = append(rep.Value[:0], rec.value...)
+	rep.Version, rep.Origin = rec.version, rec.origin
+	return rep
+}
+
+// handleReplicate merges a pushed copy; ReqID zero is fire-and-forget.
+func (s *Service) handleReplicate(from uint64, req proto.SvcRequest, respond func(proto.SvcResponse)) {
+	m := req.(*proto.DHTReplicate)
+	stored := s.merge(m.Key, m.Value, m.Version, m.Origin)
+	if m.ReqID == 0 {
+		respond(nil)
+		return
 	}
-	return false
+	ack := proto.AcquireDHTReplicateAck()
+	ack.Stored = stored
+	respond(ack)
+}
+
+// --- replica maintenance ----------------------------------------------------
+
+// maintainTick walks the local records (deterministic key order): records
+// this node still owns are re-pushed to the current replica set when the
+// neighbourhood or the version changed since the last push; records a
+// known closer node should own are handed off.
+func (s *Service) maintainTick() {
+	if !s.ActiveRepair || len(s.keys) == 0 {
+		return
+	}
+	sig := s.ringSig()
+	for _, k := range s.keys {
+		rec, ok := s.recs[k]
+		if !ok {
+			continue
+		}
+		if best, betterOwner := s.closerOwner(k); betterOwner {
+			s.handoff(k, rec, best)
+			continue
+		}
+		if rec.pushedSig == sig && rec.pushedVersion == rec.version {
+			continue
+		}
+		s.pushReplicas(k, rec)
+		rec.pushedSig, rec.pushedVersion = sig, rec.version
+	}
+}
+
+// pushReplicas sends fire-and-forget copies of rec to the key's current
+// replica targets. Each push gets its own message and value copy: in the
+// simulator payloads travel by reference, and the record may be rewritten
+// while the datagram is in flight.
+func (s *Service) pushReplicas(k idspace.ID, rec *record) {
+	for _, tgt := range s.replicaTargets(k) {
+		m := &proto.DHTReplicate{
+			From:    s.node.Ref(),
+			Key:     k,
+			Value:   append([]byte(nil), rec.value...),
+			Version: rec.version,
+			Origin:  rec.origin,
+		}
+		s.Stats.Replicas++
+		s.node.Send(tgt.Addr, m)
+	}
+}
+
+// handoff pushes rec to a closer node (the believed new owner) and, once
+// acknowledged, drops the local copy if this node is outside the replica
+// set — so records migrate toward joiners instead of being lost when the
+// old owner eventually departs.
+func (s *Service) handoff(k idspace.ID, rec *record, owner proto.NodeRef) {
+	s.Stats.Handoffs++
+	pushedVersion := rec.version
+	m := &proto.DHTReplicate{
+		Key:     k,
+		Value:   append([]byte(nil), rec.value...),
+		Version: rec.version,
+		Origin:  rec.origin,
+	}
+	s.plane.Call(owner.Addr, m, svc.CallOpts{Timeout: s.RequestTimeout, Retries: 1},
+		func(resp proto.SvcResponse, err error) {
+			if err != nil {
+				return // keep the copy; next tick retries
+			}
+			cur, ok := s.recs[k]
+			if !ok || cur.version != pushedVersion {
+				return // rewritten while in flight; next tick reconsiders
+			}
+			if s.withinReplicaSet(k) {
+				return
+			}
+			s.drop(k)
+		})
+}
+
+// ReplicaTargets returns up to ReplicationFactor-1 fresh ring contacts
+// nearest to k: the replica set this node would push to as owner, and the
+// consult set it would query on a miss. The slice is a shared scratch
+// buffer; callers must not retain it across another call into the service.
+// Exposed for the scenario engine's durability checker, which mirrors the
+// Get path statically.
+func (s *Service) ReplicaTargets(k idspace.ID) []proto.NodeRef { return s.replicaTargets(k) }
+
+func (s *Service) replicaTargets(k idspace.ID) []proto.NodeRef {
+	want := s.ReplicationFactor - 1
+	if want <= 0 {
+		return nil
+	}
+	l0 := s.node.Table().Level0
+	now, ttl := s.node.Now(), s.node.Config().EntryTTL
+	// Collect up to `want` fresh contacts from each side, then keep the
+	// `want` nearest by distance. The ID space is a line, not a ring: a
+	// key near an extreme has fewer (or no) contacts on one side, and
+	// taking a fixed count per side would under-replicate it — the far
+	// side must make up the difference.
+	out := l0.AppendNeighborsFreshK(s.scratch[:0], k, now, ttl, want, true)
+	out = l0.AppendNeighborsFreshK(out, k, now, ttl, want, false)
+	self := s.node.Addr()
+	n := 0
+	for _, r := range out {
+		if r.Addr != self {
+			out[n] = r
+			n++
+		}
+	}
+	out = out[:n]
+	// Insertion sort by (distance, ID, Addr): at most 2·want tiny entries.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && replicaCloser(out[j], out[j-1], k); j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	if len(out) > want {
+		out = out[:want]
+	}
+	s.scratch = out
+	return out
+}
+
+// replicaCloser orders replica candidates by distance to k with a
+// deterministic (ID, Addr) tiebreak.
+func replicaCloser(a, b proto.NodeRef, k idspace.ID) bool {
+	da, db := idspace.Dist(a.ID, k), idspace.Dist(b.ID, k)
+	if da != db {
+		return da < db
+	}
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	return a.Addr < b.Addr
+}
+
+// closerOwner reports whether a known *fresh* level-0 contact is strictly
+// closer to k than this node (with the deterministic ID tiebreak), i.e.
+// whether the key has a better owner to hand off to. Staleness matters:
+// handing off to a dead-but-unexpired neighbour burns the call's retries
+// for nothing.
+func (s *Service) closerOwner(k idspace.ID) (proto.NodeRef, bool) {
+	l0 := s.node.Table().Level0
+	now, ttl := s.node.Now(), s.node.Config().EntryTTL
+	dSelf := idspace.Dist(s.node.ID(), k)
+	selfID := s.node.ID()
+	var best proto.NodeRef
+	var bestD uint64
+	found := false
+	for _, r := range l0.Refs() {
+		if r.Addr == s.node.Addr() {
+			continue
+		}
+		e := l0.Get(r.Addr)
+		if e == nil || !e.DirectFresh(now, ttl) {
+			continue
+		}
+		d := idspace.Dist(r.ID, k)
+		if d > dSelf || (d == dSelf && r.ID >= selfID) {
+			continue
+		}
+		if !found || d < bestD || (d == bestD && r.ID < best.ID) {
+			best, bestD, found = r, d, true
+		}
+	}
+	return best, found
+}
+
+// withinReplicaSet reports whether this node is among the
+// ReplicationFactor nearest *fresh* holders of k (itself plus level-0
+// contacts), i.e. still responsible for keeping a copy. Only direct-fresh
+// contacts count: a dead-but-unexpired neighbour must not displace a live
+// replica, or churn concentrates every copy on one node (the survivors
+// each see the corpses as "closer" and drop) and a single further failure
+// loses the record.
+func (s *Service) withinReplicaSet(k idspace.ID) bool {
+	l0 := s.node.Table().Level0
+	now, ttl := s.node.Now(), s.node.Config().EntryTTL
+	dSelf := idspace.Dist(s.node.ID(), k)
+	selfID := s.node.ID()
+	closer := 0
+	for _, r := range l0.Refs() {
+		if r.Addr == s.node.Addr() {
+			continue
+		}
+		e := l0.Get(r.Addr)
+		if e == nil || !e.DirectFresh(now, ttl) {
+			continue
+		}
+		d := idspace.Dist(r.ID, k)
+		if d < dSelf || (d == dSelf && r.ID < selfID) {
+			closer++
+			if closer >= s.ReplicationFactor {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ringSig hashes the current replica neighbourhood of this node's own
+// coordinate; a changed signature means a replica died or a new neighbour
+// joined, and every owned record needs a re-push.
+func (s *Service) ringSig() uint64 {
+	var h maphash.Hash
+	h.SetSeed(sigSeed)
+	for _, r := range s.replicaTargets(s.node.ID()) {
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(r.Addr >> (8 * i))
+		}
+		_, _ = h.Write(b[:])
+	}
+	return h.Sum64()
 }

@@ -106,16 +106,22 @@ func newMessage(t MsgType) Message {
 		return &LookupRequest{}
 	case TLookupReply:
 		return &LookupReply{}
-	case TDHTPut:
-		return &DHTPut{}
-	case TDHTPutAck:
-		return &DHTPutAck{}
-	case TDHTGet:
-		return &DHTGet{}
-	case TDHTGetReply:
-		return &DHTGetReply{}
+	case TDHTStore:
+		return &DHTStore{}
+	case TDHTStoreAck:
+		return &DHTStoreAck{}
+	case TDHTFetch:
+		return &DHTFetch{}
+	case TDHTFetchReply:
+		return &DHTFetchReply{}
+	case TDHTReplicate:
+		return &DHTReplicate{}
+	case TDHTReplicateAck:
+		return &DHTReplicateAck{}
 	case TReparent:
 		return &Reparent{}
+	case TLeave:
+		return &Leave{}
 	}
 	return nil
 }
@@ -519,72 +525,140 @@ func (m *LookupReply) decodeBody(r *reader) {
 }
 
 // Type implements Message.
-func (*DHTPut) Type() MsgType { return TDHTPut }
+func (*DHTStore) Type() MsgType { return TDHTStore }
 
 // EncodedSize implements Message.
-func (m *DHTPut) EncodedSize() int { return nodeRefSize + 8 + 8 + 2 + len(m.Value) + 1 }
+func (m *DHTStore) EncodedSize() int { return nodeRefSize + 8 + 8 + 2 + len(m.Value) + 8 + 1 }
 
-func (m *DHTPut) encodeBody(w *writer) {
+func (m *DHTStore) encodeBody(w *writer) {
 	w.ref(m.From)
 	w.u64(m.ReqID)
 	w.u64(uint64(m.Key))
 	w.bytes(m.Value)
-	w.u8(m.Replicate)
+	w.u64(m.Base)
+	w.boolean(m.Cond)
 }
 
-func (m *DHTPut) decodeBody(r *reader) {
+func (m *DHTStore) decodeBody(r *reader) {
 	m.From = r.ref()
 	m.ReqID = r.u64()
 	m.Key = idspace.ID(r.u64())
 	m.Value = r.bytesField()
-	m.Replicate = r.u8()
+	m.Base = r.u64()
+	m.Cond = r.boolean()
 }
 
 // Type implements Message.
-func (*DHTPutAck) Type() MsgType { return TDHTPutAck }
+func (*DHTStoreAck) Type() MsgType { return TDHTStoreAck }
 
 // EncodedSize implements Message.
-func (*DHTPutAck) EncodedSize() int { return nodeRefSize + 8 + 1 }
+func (*DHTStoreAck) EncodedSize() int { return nodeRefSize + 8 + 1 + 8 + 8 }
 
-func (m *DHTPutAck) encodeBody(w *writer) { w.ref(m.From); w.u64(m.ReqID); w.boolean(m.Stored) }
-func (m *DHTPutAck) decodeBody(r *reader) {
+func (m *DHTStoreAck) encodeBody(w *writer) {
+	w.ref(m.From)
+	w.u64(m.ReqID)
+	w.u8(uint8(m.Status))
+	w.u64(m.Version)
+	w.u64(m.Origin)
+}
+
+func (m *DHTStoreAck) decodeBody(r *reader) {
+	m.From = r.ref()
+	m.ReqID = r.u64()
+	m.Status = StoreStatus(r.u8())
+	m.Version = r.u64()
+	m.Origin = r.u64()
+}
+
+// Type implements Message.
+func (*DHTFetch) Type() MsgType { return TDHTFetch }
+
+// EncodedSize implements Message.
+func (*DHTFetch) EncodedSize() int { return nodeRefSize + 8 + 8 + 1 }
+
+func (m *DHTFetch) encodeBody(w *writer) {
+	w.ref(m.From)
+	w.u64(m.ReqID)
+	w.u64(uint64(m.Key))
+	w.boolean(m.Local)
+}
+
+func (m *DHTFetch) decodeBody(r *reader) {
+	m.From = r.ref()
+	m.ReqID = r.u64()
+	m.Key = idspace.ID(r.u64())
+	m.Local = r.boolean()
+}
+
+// Type implements Message.
+func (*DHTFetchReply) Type() MsgType { return TDHTFetchReply }
+
+// EncodedSize implements Message.
+func (m *DHTFetchReply) EncodedSize() int { return nodeRefSize + 8 + 1 + 2 + len(m.Value) + 8 + 8 }
+
+func (m *DHTFetchReply) encodeBody(w *writer) {
+	w.ref(m.From)
+	w.u64(m.ReqID)
+	w.boolean(m.Found)
+	w.bytes(m.Value)
+	w.u64(m.Version)
+	w.u64(m.Origin)
+}
+
+func (m *DHTFetchReply) decodeBody(r *reader) {
+	m.From = r.ref()
+	m.ReqID = r.u64()
+	m.Found = r.boolean()
+	m.Value = r.bytesField()
+	m.Version = r.u64()
+	m.Origin = r.u64()
+}
+
+// Type implements Message.
+func (*DHTReplicate) Type() MsgType { return TDHTReplicate }
+
+// EncodedSize implements Message.
+func (m *DHTReplicate) EncodedSize() int { return nodeRefSize + 8 + 8 + 2 + len(m.Value) + 8 + 8 }
+
+func (m *DHTReplicate) encodeBody(w *writer) {
+	w.ref(m.From)
+	w.u64(m.ReqID)
+	w.u64(uint64(m.Key))
+	w.bytes(m.Value)
+	w.u64(m.Version)
+	w.u64(m.Origin)
+}
+
+func (m *DHTReplicate) decodeBody(r *reader) {
+	m.From = r.ref()
+	m.ReqID = r.u64()
+	m.Key = idspace.ID(r.u64())
+	m.Value = r.bytesField()
+	m.Version = r.u64()
+	m.Origin = r.u64()
+}
+
+// Type implements Message.
+func (*DHTReplicateAck) Type() MsgType { return TDHTReplicateAck }
+
+// EncodedSize implements Message.
+func (*DHTReplicateAck) EncodedSize() int { return nodeRefSize + 8 + 1 }
+
+func (m *DHTReplicateAck) encodeBody(w *writer) { w.ref(m.From); w.u64(m.ReqID); w.boolean(m.Stored) }
+func (m *DHTReplicateAck) decodeBody(r *reader) {
 	m.From = r.ref()
 	m.ReqID = r.u64()
 	m.Stored = r.boolean()
 }
 
 // Type implements Message.
-func (*DHTGet) Type() MsgType { return TDHTGet }
+func (*Leave) Type() MsgType { return TLeave }
 
 // EncodedSize implements Message.
-func (*DHTGet) EncodedSize() int { return nodeRefSize + 8 + 8 }
+func (*Leave) EncodedSize() int { return nodeRefSize }
 
-func (m *DHTGet) encodeBody(w *writer) { w.ref(m.From); w.u64(m.ReqID); w.u64(uint64(m.Key)) }
-func (m *DHTGet) decodeBody(r *reader) {
-	m.From = r.ref()
-	m.ReqID = r.u64()
-	m.Key = idspace.ID(r.u64())
-}
-
-// Type implements Message.
-func (*DHTGetReply) Type() MsgType { return TDHTGetReply }
-
-// EncodedSize implements Message.
-func (m *DHTGetReply) EncodedSize() int { return nodeRefSize + 8 + 1 + 2 + len(m.Value) }
-
-func (m *DHTGetReply) encodeBody(w *writer) {
-	w.ref(m.From)
-	w.u64(m.ReqID)
-	w.boolean(m.Found)
-	w.bytes(m.Value)
-}
-
-func (m *DHTGetReply) decodeBody(r *reader) {
-	m.From = r.ref()
-	m.ReqID = r.u64()
-	m.Found = r.boolean()
-	m.Value = r.bytesField()
-}
+func (m *Leave) encodeBody(w *writer) { w.ref(m.From) }
+func (m *Leave) decodeBody(r *reader) { m.From = r.ref() }
 
 // Type implements Message.
 func (*Reparent) Type() MsgType { return TReparent }

@@ -73,11 +73,34 @@ func sampleMessages(rng *rand.Rand) []Message {
 			Alternates: sampleRefs(rng, rng.Intn(4))},
 		&LookupReply{From: sampleRef(rng), ReqID: rng.Uint64(), Status: LookupStatus(rng.Intn(2)),
 			Best: sampleRef(rng), Hops: uint8(rng.Intn(256))},
-		&DHTPut{From: sampleRef(rng), ReqID: rng.Uint64(), Key: idspace.ID(rng.Uint64()), Value: val, Replicate: 2},
-		&DHTPutAck{From: sampleRef(rng), ReqID: rng.Uint64(), Stored: rng.Intn(2) == 0},
-		&DHTGet{From: sampleRef(rng), ReqID: rng.Uint64(), Key: idspace.ID(rng.Uint64())},
-		&DHTGetReply{From: sampleRef(rng), ReqID: rng.Uint64(), Found: rng.Intn(2) == 0, Value: val},
+		&DHTStore{From: sampleRef(rng), ReqID: rng.Uint64(), Key: idspace.ID(rng.Uint64()), Value: val,
+			Base: rng.Uint64(), Cond: rng.Intn(2) == 0},
+		&DHTStoreAck{From: sampleRef(rng), ReqID: rng.Uint64(), Status: StoreStatus(rng.Intn(2)),
+			Version: rng.Uint64(), Origin: rng.Uint64()},
+		&DHTFetch{From: sampleRef(rng), ReqID: rng.Uint64(), Key: idspace.ID(rng.Uint64()), Local: rng.Intn(2) == 0},
+		&DHTFetchReply{From: sampleRef(rng), ReqID: rng.Uint64(), Found: rng.Intn(2) == 0, Value: val,
+			Version: rng.Uint64(), Origin: rng.Uint64()},
+		&DHTReplicate{From: sampleRef(rng), ReqID: rng.Uint64(), Key: idspace.ID(rng.Uint64()), Value: val,
+			Version: rng.Uint64(), Origin: rng.Uint64()},
+		&DHTReplicateAck{From: sampleRef(rng), ReqID: rng.Uint64(), Stored: rng.Intn(2) == 0},
 		&Reparent{From: sampleRef(rng), NewParent: sampleRef(rng), AgeDs: uint16(rng.Intn(65536))},
+		&Leave{From: sampleRef(rng)},
+	}
+}
+
+// TestSampleMessagesCoverEveryType guards the sample set (and with it the
+// fuzz corpus, which seeds from it) against drifting from the MsgType
+// enumeration when message types are added.
+func TestSampleMessagesCoverEveryType(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	seen := map[MsgType]bool{}
+	for _, m := range sampleMessages(rng) {
+		seen[m.Type()] = true
+	}
+	for ty := TInvalid + 1; ty < tMaxMsgType; ty++ {
+		if !seen[ty] {
+			t.Errorf("no sample message for type %v", ty)
+		}
 	}
 }
 

@@ -37,36 +37,42 @@ const (
 	TBusLinkAck
 	TLookupRequest
 	TLookupReply
-	TDHTPut
-	TDHTPutAck
-	TDHTGet
-	TDHTGetReply
+	TDHTStore
+	TDHTStoreAck
+	TDHTFetch
+	TDHTFetchReply
 	TReparent
+	TLeave
+	TDHTReplicate
+	TDHTReplicateAck
 	tMaxMsgType // sentinel, keep last
 )
 
 var msgTypeNames = [...]string{
-	TInvalid:       "invalid",
-	THello:         "hello",
-	TPing:          "ping",
-	TPong:          "pong",
-	TJoinRequest:   "join-request",
-	TJoinRedirect:  "join-redirect",
-	TJoinAccept:    "join-accept",
-	TElectionCall:  "election-call",
-	TParentClaim:   "parent-claim",
-	TChildReport:   "child-report",
-	TPromoteGrant:  "promote-grant",
-	TDemote:        "demote",
-	TBusLinkReq:    "bus-link-req",
-	TBusLinkAck:    "bus-link-ack",
-	TLookupRequest: "lookup-request",
-	TLookupReply:   "lookup-reply",
-	TDHTPut:        "dht-put",
-	TDHTPutAck:     "dht-put-ack",
-	TDHTGet:        "dht-get",
-	TDHTGetReply:   "dht-get-reply",
-	TReparent:      "reparent",
+	TInvalid:         "invalid",
+	THello:           "hello",
+	TPing:            "ping",
+	TPong:            "pong",
+	TJoinRequest:     "join-request",
+	TJoinRedirect:    "join-redirect",
+	TJoinAccept:      "join-accept",
+	TElectionCall:    "election-call",
+	TParentClaim:     "parent-claim",
+	TChildReport:     "child-report",
+	TPromoteGrant:    "promote-grant",
+	TDemote:          "demote",
+	TBusLinkReq:      "bus-link-req",
+	TBusLinkAck:      "bus-link-ack",
+	TLookupRequest:   "lookup-request",
+	TLookupReply:     "lookup-reply",
+	TDHTStore:        "dht-store",
+	TDHTStoreAck:     "dht-store-ack",
+	TDHTFetch:        "dht-fetch",
+	TDHTFetchReply:   "dht-fetch-reply",
+	TReparent:        "reparent",
+	TLeave:           "leave",
+	TDHTReplicate:    "dht-replicate",
+	TDHTReplicateAck: "dht-replicate-ack",
 }
 
 // String implements fmt.Stringer.
@@ -345,37 +351,92 @@ type LookupReply struct {
 	Hops   uint8
 }
 
-// DHTPut stores a value at the receiver (the key's owner, found via
-// lookup). Replicate asks the receiver to copy the record to that many bus
-// neighbours.
-type DHTPut struct {
-	From      NodeRef
-	ReqID     uint64
-	Key       idspace.ID
-	Value     []byte
-	Replicate uint8
+// StoreStatus is the outcome of a DHTStore at the owner.
+type StoreStatus uint8
+
+// Store outcomes.
+const (
+	// StoreOK: the record was accepted; the ack carries the new version.
+	StoreOK StoreStatus = iota
+	// StoreConflict: a conditional store's base version no longer matches;
+	// the ack carries the owner's current version so the writer can retry
+	// its read-modify-write.
+	StoreConflict
+)
+
+// DHTStore asks the receiver (the key's owner, found via lookup) to accept
+// a new version of the record. The owner assigns the version: an
+// unconditional store becomes current-version+1; a conditional store
+// (Cond=true) is accepted only while the owner's current version equals
+// Base, which gives read-modify-write writers compare-and-swap semantics
+// instead of lost updates.
+type DHTStore struct {
+	From  NodeRef
+	ReqID uint64
+	Key   idspace.ID
+	Value []byte
+	Base  uint64
+	Cond  bool
 }
 
-// DHTPutAck confirms a store.
-type DHTPutAck struct {
+// DHTStoreAck answers a DHTStore with the outcome and the record's
+// resulting (or, on conflict, current) version and origin.
+type DHTStoreAck struct {
+	From    NodeRef
+	ReqID   uint64
+	Status  StoreStatus
+	Version uint64
+	Origin  uint64
+}
+
+// DHTFetch fetches the record for Key from the receiver. Local asks for
+// the receiver's own store only; an owner serving a non-local fetch that
+// misses may consult its replica neighbours (with Local sub-fetches)
+// before answering, repairing itself from a surviving replica.
+type DHTFetch struct {
+	From  NodeRef
+	ReqID uint64
+	Key   idspace.ID
+	Local bool
+}
+
+// DHTFetchReply returns the record (or Found=false) with its version.
+type DHTFetchReply struct {
+	From    NodeRef
+	ReqID   uint64
+	Found   bool
+	Value   []byte
+	Version uint64
+	Origin  uint64
+}
+
+// DHTReplicate pushes a fully-versioned record copy to the receiver, which
+// merges it by (version, origin) — newest wins, origin breaks ties — and
+// never re-versions it. Replica maintenance and ownership handoff ride on
+// this message; ReqID zero means fire-and-forget, non-zero requests a
+// DHTReplicateAck (the handoff path frees the sender's copy on ack).
+type DHTReplicate struct {
+	From    NodeRef
+	ReqID   uint64
+	Key     idspace.ID
+	Value   []byte
+	Version uint64
+	Origin  uint64
+}
+
+// DHTReplicateAck confirms a replica push.
+type DHTReplicateAck struct {
 	From   NodeRef
 	ReqID  uint64
 	Stored bool
 }
 
-// DHTGet fetches the value for Key from the receiver.
-type DHTGet struct {
-	From  NodeRef
-	ReqID uint64
-	Key   idspace.ID
-}
-
-// DHTGetReply returns the value (or Found=false).
-type DHTGetReply struct {
-	From  NodeRef
-	ReqID uint64
-	Found bool
-	Value []byte
+// Leave announces a graceful departure: the receiver drops the sender from
+// every table immediately instead of waiting out the entry TTL. Without it
+// every clean shutdown is indistinguishable from a crash and costs the
+// overlay a full failure-detection round.
+type Leave struct {
+	From NodeRef
 }
 
 // Reparent tells a child that responsibility for it moved to NewParent
@@ -408,9 +469,81 @@ var (
 	_ Message = (*BusLinkAck)(nil)
 	_ Message = (*LookupRequest)(nil)
 	_ Message = (*LookupReply)(nil)
-	_ Message = (*DHTPut)(nil)
-	_ Message = (*DHTPutAck)(nil)
-	_ Message = (*DHTGet)(nil)
-	_ Message = (*DHTGetReply)(nil)
+	_ Message = (*DHTStore)(nil)
+	_ Message = (*DHTStoreAck)(nil)
+	_ Message = (*DHTFetch)(nil)
+	_ Message = (*DHTFetchReply)(nil)
+	_ Message = (*DHTReplicate)(nil)
+	_ Message = (*DHTReplicateAck)(nil)
 	_ Message = (*Reparent)(nil)
+	_ Message = (*Leave)(nil)
+)
+
+// --- service plane interfaces ----------------------------------------------
+
+// SvcRequest is a message the generic service plane (internal/svc) can
+// dispatch as a request: it carries a request id for response matching and
+// a From ref the plane stamps at send time.
+type SvcRequest interface {
+	Message
+	// SvcID returns the request id.
+	SvcID() uint64
+	// SetSvc stamps the request id and sender identity before transmission.
+	SetSvc(id uint64, from NodeRef)
+}
+
+// SvcResponse is a message that answers a SvcRequest: the plane matches it
+// to the pending call by id and stamps the responder identity on send.
+type SvcResponse interface {
+	Message
+	// SvcID returns the id of the request this message answers.
+	SvcID() uint64
+	// SetSvc stamps the answered id and responder identity.
+	SetSvc(id uint64, from NodeRef)
+}
+
+// SvcID implements SvcRequest.
+func (m *DHTStore) SvcID() uint64 { return m.ReqID }
+
+// SetSvc implements SvcRequest.
+func (m *DHTStore) SetSvc(id uint64, from NodeRef) { m.ReqID, m.From = id, from }
+
+// SvcID implements SvcResponse.
+func (m *DHTStoreAck) SvcID() uint64 { return m.ReqID }
+
+// SetSvc implements SvcResponse.
+func (m *DHTStoreAck) SetSvc(id uint64, from NodeRef) { m.ReqID, m.From = id, from }
+
+// SvcID implements SvcRequest.
+func (m *DHTFetch) SvcID() uint64 { return m.ReqID }
+
+// SetSvc implements SvcRequest.
+func (m *DHTFetch) SetSvc(id uint64, from NodeRef) { m.ReqID, m.From = id, from }
+
+// SvcID implements SvcResponse.
+func (m *DHTFetchReply) SvcID() uint64 { return m.ReqID }
+
+// SetSvc implements SvcResponse.
+func (m *DHTFetchReply) SetSvc(id uint64, from NodeRef) { m.ReqID, m.From = id, from }
+
+// SvcID implements SvcRequest.
+func (m *DHTReplicate) SvcID() uint64 { return m.ReqID }
+
+// SetSvc implements SvcRequest.
+func (m *DHTReplicate) SetSvc(id uint64, from NodeRef) { m.ReqID, m.From = id, from }
+
+// SvcID implements SvcResponse.
+func (m *DHTReplicateAck) SvcID() uint64 { return m.ReqID }
+
+// SetSvc implements SvcResponse.
+func (m *DHTReplicateAck) SetSvc(id uint64, from NodeRef) { m.ReqID, m.From = id, from }
+
+// Compile-time service-plane interface checks.
+var (
+	_ SvcRequest  = (*DHTStore)(nil)
+	_ SvcResponse = (*DHTStoreAck)(nil)
+	_ SvcRequest  = (*DHTFetch)(nil)
+	_ SvcResponse = (*DHTFetchReply)(nil)
+	_ SvcRequest  = (*DHTReplicate)(nil)
+	_ SvcResponse = (*DHTReplicateAck)(nil)
 )

@@ -23,6 +23,9 @@ var (
 	helloPool       = sync.Pool{New: func() interface{} { return new(Hello) }}
 	busLinkReqPool  = sync.Pool{New: func() interface{} { return new(BusLinkReq) }}
 	busLinkAckPool  = sync.Pool{New: func() interface{} { return new(BusLinkAck) }}
+	dhtStoreAckPool = sync.Pool{New: func() interface{} { return new(DHTStoreAck) }}
+	dhtFetchRepPool = sync.Pool{New: func() interface{} { return new(DHTFetchReply) }}
+	dhtReplAckPool  = sync.Pool{New: func() interface{} { return new(DHTReplicateAck) }}
 )
 
 // entrySeedCap pre-sizes a pooled message's entry buffer: typical updates
@@ -97,3 +100,56 @@ func AcquireBusLinkAck() *BusLinkAck {
 
 // Recycle implements Recyclable.
 func (a *BusLinkAck) Recycle() { busLinkAckPool.Put(a) }
+
+// valueSeedCap pre-sizes a pooled DHT message's value buffer; typical
+// records are small key-value payloads, and keeping the capacity across
+// pool cycles makes the steady-state reply path allocation-free.
+//
+// Only the DHT *response* types are pooled. The request types (DHTStore,
+// DHTFetch, DHTReplicate) deliberately do not implement Recyclable: the
+// service plane retries requests by re-sending the same message value, and
+// the simulator recycles every Recyclable payload when its datagram ends —
+// a pooled request would be recycled out from under its own retry closure.
+// Responses are sent exactly once by the plane and never retained, so they
+// pool safely.
+const valueSeedCap = 256
+
+func seedValue(v []byte) []byte {
+	if cap(v) < valueSeedCap {
+		return make([]byte, 0, valueSeedCap)
+	}
+	return v[:0]
+}
+
+// AcquireDHTStoreAck returns a pooled DHTStoreAck.
+func AcquireDHTStoreAck() *DHTStoreAck {
+	m := dhtStoreAckPool.Get().(*DHTStoreAck)
+	*m = DHTStoreAck{}
+	return m
+}
+
+// Recycle implements Recyclable.
+func (m *DHTStoreAck) Recycle() { dhtStoreAckPool.Put(m) }
+
+// AcquireDHTFetchReply returns a pooled DHTFetchReply. Value keeps its
+// previous capacity with zero length, so reply composition appends without
+// reallocating; receivers must copy, never retain, the slice.
+func AcquireDHTFetchReply() *DHTFetchReply {
+	m := dhtFetchRepPool.Get().(*DHTFetchReply)
+	v := seedValue(m.Value)
+	*m = DHTFetchReply{Value: v}
+	return m
+}
+
+// Recycle implements Recyclable.
+func (m *DHTFetchReply) Recycle() { dhtFetchRepPool.Put(m) }
+
+// AcquireDHTReplicateAck returns a pooled DHTReplicateAck.
+func AcquireDHTReplicateAck() *DHTReplicateAck {
+	m := dhtReplAckPool.Get().(*DHTReplicateAck)
+	*m = DHTReplicateAck{}
+	return m
+}
+
+// Recycle implements Recyclable.
+func (m *DHTReplicateAck) Recycle() { dhtReplAckPool.Put(m) }

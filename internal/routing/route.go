@@ -137,7 +137,23 @@ func RouteWith(sc *Scratch, self proto.NodeRef, tbl *rtable.Table, req *proto.Lo
 	sortByDistanceTo(cands, x)
 
 	if len(cands) == 0 {
-		return finishNGSA(req, p, Step{Action: NotFound})
+		// No candidates. For a locally originated request (sender 0) that
+		// means the table is empty: the node is isolated — never joined or
+		// fully cut off — and claiming ownership would let writes succeed
+		// locally while the rest of the overlay resolves the key elsewhere
+		// (acknowledged-but-stranded records). Dead-end instead, so the
+		// caller sees the misconfiguration. A remote request whose only
+		// table entry is the sender is different: at minimum a two-node
+		// overlay, where the owner-resolution rule applies — nothing known
+		// is closer, so self is the best owner estimate (without this a
+		// two-node DHT cannot store at the remote node). Exact-node
+		// lookups are judged by the origin against Best, so a wrong
+		// estimate still counts as a miss. NGSA falls back to a carried
+		// alternate before either answer.
+		if sender == 0 {
+			return finishNGSA(req, p, Step{Action: NotFound})
+		}
+		return finishNGSA(req, p, Step{Action: Deliver, Found: self})
 	}
 
 	// A request delegated by the own parent searches level 0 only

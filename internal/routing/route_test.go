@@ -122,11 +122,26 @@ func TestEscalateToParentWhenNoSuperiors(t *testing.T) {
 	}
 }
 
-func TestNotFoundOnEmptyTable(t *testing.T) {
+func TestEmptyTableLocalOriginDeadEnds(t *testing.T) {
+	// An isolated node resolving its own request must not claim ownership
+	// — acknowledging writes nobody else can find strands them silently.
 	self := refAt(100, 0)
 	step := Route(self, rtable.New(), lookupReq(999, proto.AlgoG), false, 0, params())
 	if step.Action != NotFound {
-		t.Fatalf("action %v", step.Action)
+		t.Fatalf("step %+v", step)
+	}
+}
+
+func TestSenderOnlyTableDeliversSelf(t *testing.T) {
+	// A remote request whose only table entry is the sender means a (at
+	// least) two-node overlay: the receiver is the best owner estimate it
+	// knows of, and must deliver itself rather than dead-end — otherwise a
+	// two-node DHT cannot store at the remote node.
+	self := refAt(100, 0)
+	nbr := refAt(150, 0)
+	step := Route(self, buildTable(nbr), lookupReq(999, proto.AlgoG), false, nbr.Addr, params())
+	if step.Action != Deliver || step.Found.Addr != self.Addr {
+		t.Fatalf("step %+v", step)
 	}
 }
 
@@ -161,7 +176,7 @@ func TestNGPicksFirstImproving(t *testing.T) {
 	if stepG.Action != Forward || stepG.Next.Addr != better.Addr {
 		t.Fatalf("G step %+v", stepG)
 	}
-	// With an empty table G truly dead-ends.
+	// With an empty table a locally originated G truly dead-ends.
 	if s := Route(self, rtable.New(), lookupReq(target, proto.AlgoG), false, 0, params()); s.Action != NotFound {
 		t.Fatalf("empty-table G step %+v", s)
 	}
@@ -200,7 +215,7 @@ func TestNGSAFallsBackToAlternate(t *testing.T) {
 	if len(step.Alternates) != 0 {
 		t.Fatalf("alternate not consumed: %v", step.Alternates)
 	}
-	// NG in the same position gives up.
+	// NG in the same position gives up without touching the alternates.
 	reqNG := lookupReq(6000, proto.AlgoNG)
 	reqNG.Alternates = []proto.NodeRef{alt}
 	if s := Route(self, rtable.New(), reqNG, false, 0, params()); s.Action != NotFound {

@@ -29,6 +29,9 @@ func (v Violation) String() string { return v.Checker + ": " + v.Detail }
 // sample) and the per-walk scratch buffers.
 type Ctx struct {
 	C *simrt.Cluster
+	// Storage is the scenario's storage context (nil without one); the
+	// durability checkers read its ledger and services.
+	Storage *Storage
 
 	aliveSorted []*core.Node
 	ids         []idspace.ID
@@ -43,8 +46,9 @@ func NewCtx(c *simrt.Cluster) *Ctx { return &Ctx{C: c} }
 
 // reset invalidates the snapshot caches for a new pass (the engine reuses
 // one Ctx across passes; buffers keep their capacity).
-func (x *Ctx) reset(c *simrt.Cluster) {
+func (x *Ctx) reset(c *simrt.Cluster, st *Storage) {
 	x.C = c
+	x.Storage = st
 	x.aliveSorted = x.aliveSorted[:0]
 }
 

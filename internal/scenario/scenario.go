@@ -62,6 +62,11 @@ type Options struct {
 	// relies on exact phase-boundary timing).
 	FinalGrace  time.Duration
 	FinalChecks int
+	// Storage enables the DHT workload phases (StoreRecords,
+	// StorageWorkload) and the durability checkers: it carries the
+	// per-node services and the ledger of written records. Nodes the
+	// scenario spawns are attached to it automatically.
+	Storage *Storage
 }
 
 // Sample is one mid-run invariant evaluation.
@@ -153,7 +158,7 @@ func Run(c *simrt.Cluster, opts Options, phases ...Phase) *Result {
 // state and returns the violations. All checkers in one pass share a
 // cached sorted alive-list instead of each re-sorting the cluster.
 func (e *Engine) CheckNow() []Violation {
-	e.ctx.reset(e.C)
+	e.ctx.reset(e.C, e.opts.Storage)
 	var out []Violation
 	for _, ch := range e.opts.Checkers {
 		out = append(out, ch.Check(&e.ctx)...)
@@ -189,10 +194,17 @@ func (e *Engine) takeSample() {
 	})
 }
 
-// join spawns one node and bootstraps it through a live peer.
+// join spawns one node and bootstraps it through a live peer; with storage
+// enabled the joiner gets its DHT service immediately, so it participates
+// in replication (and can be handed ownership) from its first tick.
 func (e *Engine) join() {
-	if e.C.SpawnJoin() != nil {
-		e.res.Joins++
+	n := e.C.SpawnJoin()
+	if n == nil {
+		return
+	}
+	e.res.Joins++
+	if e.opts.Storage != nil {
+		e.opts.Storage.Attach(n)
 	}
 }
 

@@ -1,0 +1,383 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"treep/internal/core"
+	"treep/internal/dht"
+	"treep/internal/idspace"
+	"treep/internal/simrt"
+)
+
+// Storage makes DHT records a first-class scenario workload: it binds a
+// dht.Service to every cluster node (including nodes churned in
+// mid-scenario), keeps a ledger of every record the scenario wrote, and
+// backs the durability checkers that judge whether the overlay kept its
+// data through the timeline.
+type Storage struct {
+	// Factor is the replication factor configured on attached services.
+	Factor int
+	// PutTimeOnly disables active repair (replica maintenance, handoff,
+	// read-repair) on every service this context attaches — the seed
+	// implementation's put-time-only replication, for the durability
+	// ablation in EXPERIMENTS.md.
+	PutTimeOnly bool
+
+	services map[uint64]*dht.Service
+
+	// The ledger: every key the scenario successfully wrote, with the raw
+	// key bytes for re-reading. keys stays sorted for deterministic
+	// iteration.
+	keys []idspace.ID
+	raw  map[idspace.ID][]byte
+
+	// Workload counters (read by benchmarks and tests).
+	Puts, PutFails uint64
+	Gets, GetMiss  uint64
+}
+
+// NewStorage creates a storage context with the given replication factor
+// (0 means the dht default).
+func NewStorage(factor int) *Storage {
+	return &Storage{
+		Factor:   factor,
+		services: map[uint64]*dht.Service{},
+		raw:      map[idspace.ID][]byte{},
+	}
+}
+
+// AttachAll creates and binds a DHT service on every current cluster node.
+// Call once before the scenario when the cluster has no services yet; use
+// Bind when the caller already attached its own.
+func (st *Storage) AttachAll(c *simrt.Cluster) {
+	for _, nd := range c.Nodes {
+		st.Attach(nd)
+	}
+}
+
+// Attach creates and binds a DHT service on one node (the engine calls
+// this for nodes spawned mid-scenario).
+func (st *Storage) Attach(n *core.Node) {
+	if _, ok := st.services[n.Addr()]; ok {
+		return
+	}
+	s := dht.Attach(n)
+	if st.Factor > 0 {
+		s.ReplicationFactor = st.Factor
+	}
+	if st.PutTimeOnly {
+		s.ActiveRepair = false
+	}
+	st.services[n.Addr()] = s
+}
+
+// Bind registers an existing service (a caller that attached DHT services
+// itself — the public SimNetwork does — shares them with the scenario).
+func (st *Storage) Bind(s *dht.Service) {
+	st.services[s.Node().Addr()] = s
+	if st.Factor > 0 {
+		s.ReplicationFactor = st.Factor
+	}
+	if st.PutTimeOnly {
+		s.ActiveRepair = false
+	}
+}
+
+// Service returns the bound service for a node address (nil if none).
+func (st *Storage) Service(addr uint64) *dht.Service { return st.services[addr] }
+
+// Records returns the number of ledgered records.
+func (st *Storage) Records() int { return len(st.keys) }
+
+// ledger records a successful write.
+func (st *Storage) ledger(rawKey []byte) {
+	k := idspace.HashKey(rawKey)
+	if _, ok := st.raw[k]; ok {
+		return
+	}
+	i := sort.Search(len(st.keys), func(i int) bool { return st.keys[i] >= k })
+	st.keys = append(st.keys, 0)
+	copy(st.keys[i+1:], st.keys[i:])
+	st.keys[i] = k
+	st.raw[k] = append([]byte(nil), rawKey...)
+}
+
+// serviceOf picks the storage client bound to a live node, preferring the
+// engine's deterministic random stream.
+func (st *Storage) serviceOf(e *Engine) *dht.Service {
+	alive := e.C.AliveNodes()
+	for tries := 0; tries < 8 && len(alive) > 0; tries++ {
+		nd := alive[e.rng.Intn(len(alive))]
+		if s := st.services[nd.Addr()]; s != nil {
+			return s
+		}
+	}
+	return nil
+}
+
+// --- phases -----------------------------------------------------------------
+
+// StoreRecords seeds Count records through random live writers and ledgers
+// every acknowledged write; the durability checkers judge the ledger at
+// sample time. Writes are issued in small concurrent waves and the phase
+// drives the clock until each wave acknowledges.
+type StoreRecords struct {
+	Count int
+	// Prefix namespaces the keys (default "rec"), so multiple store phases
+	// in one timeline write distinct key sets.
+	Prefix string
+}
+
+// Name implements Phase.
+func (StoreRecords) Name() string { return "store-records" }
+
+// Run implements Phase.
+func (p StoreRecords) Run(e *Engine) {
+	st := e.opts.Storage
+	if st == nil || p.Count <= 0 {
+		return
+	}
+	prefix := p.Prefix
+	if prefix == "" {
+		prefix = "rec"
+	}
+	const wave = 32
+	for base := 0; base < p.Count; base += wave {
+		end := base + wave
+		if end > p.Count {
+			end = p.Count
+		}
+		pending := 0
+		for i := base; i < end; i++ {
+			s := st.serviceOf(e)
+			if s == nil {
+				st.PutFails++
+				continue
+			}
+			key := []byte(fmt.Sprintf("%s-%06d", prefix, i))
+			value := []byte(fmt.Sprintf("v-%s-%06d", prefix, i))
+			pending++
+			st.Puts++
+			s.Put(key, value, func(err error) {
+				pending--
+				if err != nil {
+					st.PutFails++
+					return
+				}
+				st.ledger(key)
+			})
+		}
+		deadline := e.C.Kernel.Now() + 30*time.Second
+		for pending > 0 && e.C.Kernel.Now() < deadline {
+			e.advance(100 * time.Millisecond)
+		}
+	}
+}
+
+// StorageWorkload drives a continuous put/get mix — optionally with
+// concurrent membership churn, the regime the one-shot replication of the
+// old DHT silently lost data under. Reads draw from the ledger and count
+// misses; writes go to fresh keys and extend the ledger.
+type StorageWorkload struct {
+	// For is the phase duration.
+	For time.Duration
+	// PutRate and GetRate are Poisson intensities in ops per virtual
+	// second. Either may be zero.
+	PutRate, GetRate float64
+	// JoinRate and LeaveRate inject churn concurrently with the workload
+	// (zero for a quiet overlay).
+	JoinRate, LeaveRate float64
+	// Prefix namespaces workload keys (default "wl").
+	Prefix string
+}
+
+// Name implements Phase.
+func (StorageWorkload) Name() string { return "storage-workload" }
+
+// Run implements Phase.
+func (w StorageWorkload) Run(e *Engine) {
+	st := e.opts.Storage
+	if st == nil {
+		// No storage context: degrade to plain churn so timelines stay
+		// comparable.
+		Churn{For: w.For, JoinRate: w.JoinRate, LeaveRate: w.LeaveRate}.Run(e)
+		return
+	}
+	prefix := w.Prefix
+	if prefix == "" {
+		prefix = "wl"
+	}
+	now := e.C.Kernel.Now()
+	end := now + w.For
+	next := [4]time.Duration{maxDuration, maxDuration, maxDuration, maxDuration}
+	rates := [4]float64{w.PutRate, w.GetRate, w.JoinRate, w.LeaveRate}
+	for i, r := range rates {
+		if d := e.expDelay(r); d < maxDuration {
+			next[i] = now + d
+		}
+	}
+	seq := 0
+	for {
+		which, at := -1, end
+		for i, t := range next {
+			if t < at {
+				which, at = i, t
+			}
+		}
+		if which < 0 {
+			e.advanceUntil(end)
+			return
+		}
+		e.advanceUntil(at)
+		switch which {
+		case 0: // put
+			if s := st.serviceOf(e); s != nil {
+				key := []byte(fmt.Sprintf("%s-%06d", prefix, seq))
+				value := []byte(fmt.Sprintf("v-%s-%06d", prefix, seq))
+				seq++
+				st.Puts++
+				s.Put(key, value, func(err error) {
+					if err != nil {
+						st.PutFails++
+						return
+					}
+					st.ledger(key)
+				})
+			}
+		case 1: // get
+			if len(st.keys) > 0 {
+				if s := st.serviceOf(e); s != nil {
+					k := st.keys[e.rng.Intn(len(st.keys))]
+					st.Gets++
+					s.Get(st.raw[k], func(_ []byte, err error) {
+						if err != nil {
+							st.GetMiss++
+						}
+					})
+				}
+			}
+		case 2:
+			e.join()
+		case 3:
+			e.leave()
+		}
+		next[which] = at + e.expDelay(rates[which])
+	}
+}
+
+// --- durability checkers ----------------------------------------------------
+
+// StorageCheckers returns the storage invariants; append them to
+// AllCheckers when the scenario carries a Storage context.
+func StorageCheckers(minReadable float64) []Checker {
+	return []Checker{StorageNoLoss(), StorageDurability(minReadable)}
+}
+
+// StorageNoLoss flags every ledgered record with no live holder at all:
+// such a record is unrecoverable — durability, not availability, was lost.
+func StorageNoLoss() Checker {
+	return Checker{Name: "storage-no-loss", Check: func(x *Ctx) []Violation {
+		st := x.Storage
+		if st == nil {
+			return nil
+		}
+		var out []Violation
+		for _, k := range st.keys {
+			if !anyLiveHolder(x, st, k) {
+				out = append(out, Violation{
+					Checker: "storage-no-loss",
+					Detail:  fmt.Sprintf("record %v has no live holder", k),
+				})
+			}
+		}
+		return out
+	}}
+}
+
+// StorageDurability checks that at least minReadable of the ledgered
+// records are *readable*: the static mirror of the Get path — the live
+// node nearest the key holds the record, or one of its consult targets
+// does (read-repair would heal and serve it). One aggregate violation is
+// reported when the fraction falls below the threshold.
+func StorageDurability(minReadable float64) Checker {
+	return Checker{Name: "storage-durability", Check: func(x *Ctx) []Violation {
+		st := x.Storage
+		if st == nil || len(st.keys) == 0 {
+			return nil
+		}
+		readable := 0
+		for _, k := range st.keys {
+			if recordReadable(x, st, k) {
+				readable++
+			}
+		}
+		frac := float64(readable) / float64(len(st.keys))
+		if frac >= minReadable {
+			return nil
+		}
+		return []Violation{{
+			Checker: "storage-durability",
+			Detail: fmt.Sprintf("%d/%d records readable (%.2f%% < %.2f%%)",
+				readable, len(st.keys), 100*frac, 100*minReadable),
+		}}
+	}}
+}
+
+// anyLiveHolder reports whether any live node's service holds k.
+func anyLiveHolder(x *Ctx, st *Storage, k idspace.ID) bool {
+	for _, n := range x.C.AliveNodes() {
+		s := st.services[n.Addr()]
+		if s == nil {
+			continue
+		}
+		if _, ok := s.LocalHashed(k); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// recordReadable statically mirrors a Get: resolve the true owner (nearest
+// live node to k — lookup correctness is the loop-freedom checker's job),
+// then accept if the owner holds the record or any node in its consult set
+// does.
+func recordReadable(x *Ctx, st *Storage, k idspace.ID) bool {
+	alive := x.AliveByID()
+	if len(alive) == 0 {
+		return false
+	}
+	var owner *core.Node
+	var bestD uint64
+	for _, n := range alive {
+		if d := idspace.Dist(n.ID(), k); owner == nil || d < bestD {
+			owner, bestD = n, d
+		}
+	}
+	os := st.services[owner.Addr()]
+	if os == nil {
+		return false
+	}
+	if _, ok := os.LocalHashed(k); ok {
+		return true
+	}
+	if !os.ActiveRepair {
+		// Put-time-only services never consult replicas on a miss.
+		return false
+	}
+	for _, tgt := range os.ReplicaTargets(k) {
+		ts := st.services[tgt.Addr]
+		if ts == nil {
+			continue
+		}
+		nd := x.C.NodeByAddr(tgt.Addr)
+		if nd == nil || !x.C.Alive(nd) {
+			continue
+		}
+		if _, ok := ts.LocalHashed(k); ok {
+			return true
+		}
+	}
+	return false
+}

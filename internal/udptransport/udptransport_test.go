@@ -1,11 +1,13 @@
 package udptransport
 
 import (
+	"errors"
 	"net"
 	"testing"
 	"time"
 
 	"treep/internal/core"
+	"treep/internal/dht"
 	"treep/internal/idspace"
 	"treep/internal/proto"
 )
@@ -140,6 +142,136 @@ func TestHierarchyEmergesOverUDP(t *testing.T) {
 		time.Sleep(200 * time.Millisecond)
 	}
 	t.Fatal("no hierarchy emerged over UDP within the deadline")
+}
+
+// TestDHTPutGetOverUDP is the end-to-end proof that DHT storage is not a
+// simulation artifact: the identical Put/Get code path (service plane,
+// versioned records, replication) runs here over real UDP sockets and the
+// binary codec, across a multi-node cluster.
+func TestDHTPutGetOverUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time UDP cluster; skipped with -short")
+	}
+	trs := startNodes(t, 10)
+	svcs := make([]*dht.Service, len(trs))
+	for i, tr := range trs {
+		i := i
+		if err := tr.Do(func(n *core.Node) { svcs[i] = dht.Attach(n) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let the overlay converge in real time.
+	time.Sleep(2 * time.Second)
+
+	// Store through node 2, with several keys so multiple owners serve.
+	keys := []string{"alpha", "bravo", "charlie", "delta"}
+	for _, k := range keys {
+		errCh := make(chan error, 1)
+		if err := trs[2].Do(func(*core.Node) {
+			svcs[2].Put([]byte(k), []byte("value-"+k), func(e error) { errCh <- e })
+		}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("put %q over UDP: %v", k, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("put %q never acknowledged over UDP", k)
+		}
+	}
+
+	// Read back through an unrelated node.
+	for _, k := range keys {
+		type out struct {
+			rec dht.Record
+			err error
+		}
+		ch := make(chan out, 1)
+		if err := trs[7].Do(func(*core.Node) {
+			svcs[7].GetRecord([]byte(k), func(r dht.Record, e error) { ch <- out{r, e} })
+		}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case o := <-ch:
+			if o.err != nil || string(o.rec.Value) != "value-"+k {
+				t.Fatalf("get %q over UDP: %q %v", k, o.rec.Value, o.err)
+			}
+			if o.rec.Version == 0 {
+				t.Fatalf("get %q: version 0 on a stored record", k)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("get %q never resolved over UDP", k)
+		}
+	}
+
+	// Conditional store semantics hold over the wire too.
+	ch := make(chan error, 1)
+	if err := trs[4].Do(func(*core.Node) {
+		svcs[4].PutIf([]byte("alpha"), []byte("stale"), dht.AnyVersion,
+			func(_ uint64, e error) { ch <- e })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-ch:
+		if !errors.Is(err, dht.ErrConflict) {
+			t.Fatalf("stale CAS over UDP: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("CAS never resolved over UDP")
+	}
+
+	// Replication happened across sockets: the records live on more nodes
+	// than just their owners.
+	time.Sleep(1 * time.Second)
+	holders := 0
+	for i, tr := range trs {
+		i := i
+		var n int
+		_ = tr.Do(func(*core.Node) { n = svcs[i].Len() })
+		holders += n
+	}
+	if holders < len(keys)*2 {
+		t.Fatalf("only %d copies of %d records across the UDP cluster", holders, len(keys))
+	}
+}
+
+// TestGracefulLeaveOverUDP checks the departure announcement: a peer that
+// closes cleanly disappears from its direct peers' tables immediately, not
+// after a failure-detection TTL. A pair guarantees the survivor is a
+// direct peer (third parties learn of a departure by hearsay expiry, which
+// is the TTL path by design).
+func TestGracefulLeaveOverUDP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time UDP cluster; skipped with -short")
+	}
+	trs := startNodes(t, 2)
+	survivor, leaver := trs[0], trs[1]
+	leaverAddr := leaver.OverlayAddr()
+	deadline := time.Now().Add(5 * time.Second)
+	known := false
+	for time.Now().Before(deadline) && !known {
+		_ = survivor.Do(func(n *core.Node) { known = n.Table().Level0.Get(leaverAddr) != nil })
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !known {
+		t.Fatal("pair never connected")
+	}
+
+	if err := leaver.Do(func(n *core.Node) { n.Depart() }); err != nil {
+		t.Fatal(err)
+	}
+	// Well under the 800ms EntryTTL configured by startNodes: removal must
+	// come from the announcement, not expiry.
+	time.Sleep(300 * time.Millisecond)
+	var still bool
+	_ = survivor.Do(func(n *core.Node) { still = n.Table().Level0.Get(leaverAddr) != nil })
+	if still {
+		t.Fatal("survivor still lists the departed peer 300ms after Leave")
+	}
 }
 
 func TestCloseIsIdempotentAndDoFailsAfterClose(t *testing.T) {

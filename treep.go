@@ -90,12 +90,29 @@ type SimOptions struct {
 	Height uint8
 }
 
+// Record is a versioned DHT record: readers that intend a conditional
+// write (PutIf) carry its Version as their base.
+type Record = dht.Record
+
+// AnyVersion is the PutIf base matching only a key with no record yet.
+const AnyVersion = dht.AnyVersion
+
+// Storage errors.
+var (
+	// ErrConflict: a PutIf base version no longer matches; re-read and
+	// retry the read-modify-write.
+	ErrConflict = dht.ErrConflict
+	// ErrNotFound: the key's owner has no record for it.
+	ErrNotFound = dht.ErrNotFound
+)
+
 // SimNetwork is a deterministic in-process TreeP deployment. All methods
 // are synchronous: they advance the simulation's virtual clock as needed.
 // SimNetwork is not safe for concurrent use.
 type SimNetwork struct {
 	cluster  *simrt.Cluster
 	services []*dht.Service
+	storage  *scenario.Storage
 }
 
 // NewSimNetwork builds a steady-state network of o.N peers, attaches a DHT
@@ -115,9 +132,11 @@ func NewSimNetwork(o SimOptions) (*SimNetwork, error) {
 		cfg.MaxHeight = o.Height
 	}
 	c := simrt.New(simrt.Options{N: o.N, Seed: o.Seed, Config: cfg, Bulk: true})
-	nw := &SimNetwork{cluster: c}
+	nw := &SimNetwork{cluster: c, storage: scenario.NewStorage(0)}
 	for _, nd := range c.Nodes {
-		nw.services = append(nw.services, dht.Attach(nd))
+		s := dht.Attach(nd)
+		nw.services = append(nw.services, s)
+		nw.storage.Bind(s)
 	}
 	c.StartAll()
 	c.Run(8 * time.Second)
@@ -230,6 +249,43 @@ func (nw *SimNetwork) Get(origin int, key []byte) ([]byte, error) {
 	return val, err
 }
 
+// GetRecord fetches a key with its version through peer origin's DHT
+// service, for read-modify-write sequences ending in PutIf.
+func (nw *SimNetwork) GetRecord(origin int, key []byte) (Record, error) {
+	nd := nw.cluster.Nodes[origin]
+	if !nw.cluster.Alive(nd) {
+		return Record{}, ErrDead
+	}
+	var rec Record
+	var err error
+	done := false
+	nw.services[origin].GetRecord(key, func(r Record, e error) { rec, err, done = r, e, true })
+	nw.drive(&done)
+	if !done {
+		return Record{}, dht.ErrTimeout
+	}
+	return rec, err
+}
+
+// PutIf stores key conditionally on the owner's version matching base
+// (compare-and-swap; AnyVersion for "no record yet"). On ErrConflict,
+// re-read with GetRecord and retry. Returns the new version on success.
+func (nw *SimNetwork) PutIf(origin int, key, value []byte, base uint64) (uint64, error) {
+	nd := nw.cluster.Nodes[origin]
+	if !nw.cluster.Alive(nd) {
+		return 0, ErrDead
+	}
+	var version uint64
+	var err error
+	done := false
+	nw.services[origin].PutIf(key, value, base, func(v uint64, e error) { version, err, done = v, e, true })
+	nw.drive(&done)
+	if !done {
+		return 0, dht.ErrTimeout
+	}
+	return version, err
+}
+
 // Directory returns a discovery/load-balancing client bound to peer i.
 func (nw *SimNetwork) Directory(i int) *Directory {
 	return &Directory{nw: nw, dir: dget.NewDirectory(nw.services[i])}
@@ -315,6 +371,14 @@ type PartitionHealPhase = scenario.PartitionHeal
 // bootstrap.
 type RevivalWavePhase = scenario.RevivalWave
 
+// StoreRecordsPhase seeds DHT records through random live writers; the
+// scenario's durability checkers judge them at every sample.
+type StoreRecordsPhase = scenario.StoreRecords
+
+// StorageWorkloadPhase drives a continuous put/get mix, optionally with
+// concurrent membership churn.
+type StorageWorkloadPhase = scenario.StorageWorkload
+
 // ScenarioResult reports a scenario run: event counts, mid-run invariant
 // samples, and the final invariant evaluation.
 type ScenarioResult = scenario.Result
@@ -329,28 +393,40 @@ func ZoneFraction(lo, hi float64) idspace.Region { return scenario.ZoneFraction(
 
 // RunScenario plays a scripted workload timeline against the network:
 // live churn with dynamic joins, flash crowds, correlated zone failures,
-// partitions, revival waves. Runtime invariant checkers sample the
-// overlay every two virtual seconds and once more at the end; the result
-// carries every violation found. Peers joined by the scenario are full
-// protocol nodes and are attached to the DHT service layer when the
-// scenario completes.
+// partitions, revival waves, storage seeding and put/get workloads.
+// Runtime invariant checkers — including the storage durability checkers
+// when the timeline wrote records — sample the overlay every two virtual
+// seconds and once more at the end; the result carries every violation
+// found. Peers joined by the scenario are full protocol nodes with their
+// own DHT services from the moment they join.
 func (nw *SimNetwork) RunScenario(phases ...ScenarioPhase) *ScenarioResult {
-	res := scenario.Run(nw.cluster, scenario.Options{
-		Checkers:    scenario.AllCheckers(),
-		SampleEvery: 2 * time.Second,
-	}, phases...)
+	res := scenario.Run(nw.cluster, nw.scenarioOptions(), phases...)
 	for i := len(nw.services); i < len(nw.cluster.Nodes); i++ {
-		nw.services = append(nw.services, dht.Attach(nw.cluster.Nodes[i]))
+		nd := nw.cluster.Nodes[i]
+		s := nw.storage.Service(nd.Addr())
+		if s == nil {
+			s = dht.Attach(nd)
+			nw.storage.Bind(s)
+		}
+		nw.services = append(nw.services, s)
 	}
 	return res
 }
 
-// CheckInvariants evaluates every runtime invariant checker against the
-// overlay's current state and returns the violations (nil when healthy).
+// scenarioOptions is the standard checker + storage configuration.
+func (nw *SimNetwork) scenarioOptions() scenario.Options {
+	return scenario.Options{
+		Checkers:    append(scenario.AllCheckers(), scenario.StorageCheckers(0.99)...),
+		SampleEvery: 2 * time.Second,
+		Storage:     nw.storage,
+	}
+}
+
+// CheckInvariants evaluates every runtime invariant checker (storage
+// durability included) against the overlay's current state and returns
+// the violations (nil when healthy).
 func (nw *SimNetwork) CheckInvariants() []InvariantViolation {
-	return scenario.NewEngine(nw.cluster, scenario.Options{
-		Checkers: scenario.AllCheckers(),
-	}).CheckNow()
+	return scenario.NewEngine(nw.cluster, nw.scenarioOptions()).CheckNow()
 }
 
 // UDPOptions configures a real TreeP node on a UDP socket.
@@ -363,9 +439,12 @@ type UDPOptions struct {
 	Seed int64
 }
 
-// UDPNode is a TreeP peer on a real socket.
+// UDPNode is a TreeP peer on a real socket, with the full storage stack:
+// the same DHT service (and service plane under it) that the simulator
+// runs, over the binary codec and wall-clock timers.
 type UDPNode struct {
-	tr *udptransport.Transport
+	tr  *udptransport.Transport
+	dht *dht.Service
 }
 
 // StartUDPNode binds the socket and starts the node's maintenance.
@@ -388,11 +467,16 @@ func StartUDPNode(o UDPOptions) (*UDPNode, error) {
 			return nil, err
 		}
 	}
+	u := &UDPNode{tr: tr}
+	if err := tr.Do(func(n *core.Node) { u.dht = dht.Attach(n) }); err != nil {
+		tr.Close()
+		return nil, err
+	}
 	if err := tr.Start(); err != nil {
 		tr.Close()
 		return nil, err
 	}
-	return &UDPNode{tr: tr}, nil
+	return u, nil
 }
 
 // Addr returns the node's packed overlay address (give it to peers as
@@ -441,5 +525,86 @@ func (u *UDPNode) PeerCount() int {
 	return c
 }
 
-// Close shuts the node down.
-func (u *UDPNode) Close() { u.tr.Close() }
+// StoredRecords returns the number of DHT records this node holds.
+func (u *UDPNode) StoredRecords() int {
+	var c int
+	_ = u.tr.Do(func(n *core.Node) { c = u.dht.Len() })
+	return c
+}
+
+// udpOpTimeout generously bounds one blocking storage operation (its own
+// lookup + request retries all happen inside it).
+const udpOpTimeout = 15 * time.Second
+
+// Put stores a key/value pair through this node over the real network,
+// blocking until the owner acknowledges (or the retries are exhausted).
+func (u *UDPNode) Put(key, value []byte) error {
+	errCh := make(chan error, 1)
+	if err := u.tr.Do(func(*core.Node) {
+		u.dht.Put(key, value, func(e error) { errCh <- e })
+	}); err != nil {
+		return err
+	}
+	select {
+	case err := <-errCh:
+		return err
+	case <-time.After(udpOpTimeout):
+		return dht.ErrTimeout
+	}
+}
+
+// Get fetches a key over the real network.
+func (u *UDPNode) Get(key []byte) ([]byte, error) {
+	rec, err := u.GetRecord(key)
+	return rec.Value, err
+}
+
+// GetRecord fetches a key with its version over the real network.
+func (u *UDPNode) GetRecord(key []byte) (Record, error) {
+	type out struct {
+		rec Record
+		err error
+	}
+	ch := make(chan out, 1)
+	if err := u.tr.Do(func(*core.Node) {
+		u.dht.GetRecord(key, func(r Record, e error) { ch <- out{r, e} })
+	}); err != nil {
+		return Record{}, err
+	}
+	select {
+	case o := <-ch:
+		return o.rec, o.err
+	case <-time.After(udpOpTimeout):
+		return Record{}, dht.ErrTimeout
+	}
+}
+
+// PutIf stores key conditionally on base (compare-and-swap; see
+// SimNetwork.PutIf) over the real network.
+func (u *UDPNode) PutIf(key, value []byte, base uint64) (uint64, error) {
+	type out struct {
+		version uint64
+		err     error
+	}
+	ch := make(chan out, 1)
+	if err := u.tr.Do(func(*core.Node) {
+		u.dht.PutIf(key, value, base, func(v uint64, e error) { ch <- out{v, e} })
+	}); err != nil {
+		return 0, err
+	}
+	select {
+	case o := <-ch:
+		return o.version, o.err
+	case <-time.After(udpOpTimeout):
+		return 0, dht.ErrTimeout
+	}
+}
+
+// Close gracefully shuts the node down: it announces the departure to its
+// peers (so the overlay repairs immediately instead of detecting a
+// failure) and then closes the socket. Peers that miss the best-effort
+// announcement fall back to the usual failure detection.
+func (u *UDPNode) Close() {
+	_ = u.tr.Do(func(n *core.Node) { n.Depart() })
+	u.tr.Close()
+}
