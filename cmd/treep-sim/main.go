@@ -9,7 +9,7 @@
 //	                              runtime invariant checking
 //
 // Scenarios (see internal/scenario): churn, flashcrowd, zonefail,
-// partition, revival.
+// partition, bridge, revival.
 package main
 
 import (
@@ -30,7 +30,7 @@ func main() {
 	variable := flag.Bool("variable-nc", false, "capacity-driven max children instead of nc=4")
 	settle := flag.Duration("settle", 10*time.Second, "repair window after the kill or scenario")
 
-	scen := flag.String("scenario", "", "scripted scenario: churn, flashcrowd, zonefail, partition, revival")
+	scen := flag.String("scenario", "", "scripted scenario: churn, flashcrowd, zonefail, partition, bridge, revival")
 	duration := flag.Duration("duration", 20*time.Second, "churn phase length")
 	joinRate := flag.Float64("join-rate", 2, "churn joins per virtual second")
 	leaveRate := flag.Float64("leave-rate", 2, "churn leaves per virtual second")
@@ -154,6 +154,10 @@ func buildScenario(name string, p scenarioParams) ([]treep.ScenarioPhase, error)
 		return []treep.ScenarioPhase{
 			treep.PartitionHealPhase{Hold: p.hold, Heal: p.settle},
 		}, nil
+	case "bridge":
+		return []treep.ScenarioPhase{
+			treep.IslandsMergePhase{Hold: p.hold, Merge: p.settle},
+		}, nil
 	case "revival":
 		return []treep.ScenarioPhase{
 			treep.ZoneFailurePhase{Zone: treep.ZoneFraction(p.zoneLo, p.zoneHi), Settle: p.settle / 2},
@@ -161,7 +165,7 @@ func buildScenario(name string, p scenarioParams) ([]treep.ScenarioPhase, error)
 			treep.SettlePhase{For: p.settle},
 		}, nil
 	}
-	return nil, fmt.Errorf("unknown scenario %q (want churn, flashcrowd, zonefail, partition, or revival)", name)
+	return nil, fmt.Errorf("unknown scenario %q (want churn, flashcrowd, zonefail, partition, bridge, or revival)", name)
 }
 
 func maxInt(a, b int) int {

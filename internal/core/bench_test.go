@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"runtime/debug"
 	"testing"
 	"time"
 
@@ -93,6 +94,20 @@ func BenchmarkProtocolKeepalive(b *testing.B) {
 // pooled Pong reply) and running an outbound keep-alive tick must not
 // allocate once buffers are warm.
 func TestProtocolSteadyStateAllocs(t *testing.T) {
+	// Pooled paths cannot be alloc-free under the race detector: race-mode
+	// sync.Pool deliberately drops a quarter of all Puts on the floor
+	// (sync/pool.go), so every few operations a Get misses and refills.
+	// That is an instrumentation artifact, not a leak — skip rather than
+	// flake.
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts at random under -race; pooled paths cannot be alloc-free")
+	}
+	// Disable the collector for the duration of the test. AllocsPerRun
+	// counts mallocs, and a GC cycle mid-run empties the message pools'
+	// victim caches (sync.Pool retains objects for only one cycle), so a
+	// badly timed collection makes a genuinely pooled path report
+	// refill allocations.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	_, target, from, ping := benchCluster(512)
 	// Warm every scratch buffer and pool.
 	for i := 0; i < 16; i++ {

@@ -33,6 +33,11 @@ type Config struct {
 	EntryTTL time.Duration
 	// SweepInterval is how often the expiry sweep runs.
 	SweepInterval time.Duration
+	// ProbeInterval paces the ring self-healing probes (repair.go): each
+	// occupied side verifies its nearest neighbour's adjacency this often,
+	// and a side that stays empty past EntryTTL retries its void probe at
+	// the same cadence.
+	ProbeInterval time.Duration
 	// ChildReport is the child→parent heartbeat interval.
 	ChildReport time.Duration
 	// ElectionMin/Max bound the capability countdown of §III.b.
@@ -70,6 +75,7 @@ func Defaults() Config {
 		KeepAlive:        2 * time.Second,
 		EntryTTL:         6 * time.Second,
 		SweepInterval:    time.Second,
+		ProbeInterval:    5 * time.Second,
 		ChildReport:      2 * time.Second,
 		ElectionMin:      200 * time.Millisecond,
 		ElectionMax:      2 * time.Second,
@@ -98,6 +104,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SweepInterval == 0 {
 		c.SweepInterval = d.SweepInterval
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = d.ProbeInterval
 	}
 	if c.ChildReport == 0 {
 		c.ChildReport = d.ChildReport

@@ -334,12 +334,21 @@ func (n *Node) maybeSplit() {
 		return
 	}
 	// Strongest child wins promotion (§III.a: promotion criteria are the
-	// node characteristics).
+	// node characteristics). Only children heard from directly within the
+	// TTL qualify: promoting a child that stopped reporting upserts it
+	// below as a direct-fresh bus member with a current timestamp, and if
+	// it is actually dead that single false entry re-advertises through
+	// the delta gossip and resurrects the dead node across the whole
+	// neighbourhood — every lookup routed at its coordinate black-holes
+	// until the false entry ages out again.
 	var best proto.NodeRef
 	var bestScore uint16
 	found := false
 	for _, r := range n.table.Children.Refs() {
 		if r.MaxLevel+1 > n.maxLevel || r.MaxLevel+1 > n.cfg.MaxHeight {
+			continue
+		}
+		if e := n.table.Children.Get(r.Addr); e == nil || !e.DirectFresh(now, n.cfg.EntryTTL) {
 			continue
 		}
 		if !found || r.Score > bestScore || (r.Score == bestScore && r.ID < best.ID) {
@@ -561,13 +570,25 @@ func (n *Node) handleBusLinkReq(from uint64, m *proto.BusLinkReq) {
 	if lvl == 0 || lvl > n.cfg.MaxHeight {
 		return
 	}
-	n.table.BusLevel(lvl).Upsert(m.From, proto.FNeighbor, n.env.Now(), n.table.NextVersion(), rtable.Direct)
-	// Answer with the members flanking the requester in our view.
+	now := n.env.Now()
+	s := n.table.BusLevel(lvl)
+	s.Upsert(m.From, proto.FNeighbor, now, n.table.NextVersion(), rtable.Direct)
+	// Answer with the members flanking the requester in our view — but
+	// only members with fresh direct contact. The ack receiver files these
+	// as current knowledge, so handing out a member we merely heard about
+	// re-mints freshness for it; if that member is dead, every bus-link
+	// exchange re-seeds it into the neighbourhood's tables and the delta
+	// gossip keeps it alive forever (routing trusts every entry).
 	members := n.busMembersWithSelf(lvl)
 	var left, right proto.NodeRef
 	for _, mref := range members {
 		if mref.Addr == m.From.Addr {
 			continue
+		}
+		if mref.Addr != n.Addr() {
+			if e := s.Get(mref.Addr); e == nil || !e.DirectFresh(now, n.cfg.EntryTTL) {
+				continue
+			}
 		}
 		if mref.ID <= m.From.ID {
 			left = mref

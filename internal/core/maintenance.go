@@ -75,6 +75,7 @@ func (n *Node) pushUpdates() {
 // lost members.
 func (n *Node) sweepTick() {
 	now := n.env.Now()
+	freshDegree := n.farewellCheck(now)
 	res := n.table.Sweep(now, n.cfg.EntryTTL)
 	for addr, ps := range n.peers {
 		if ps.hasClaim && now-ps.claimAt >= n.cfg.EntryTTL {
@@ -98,7 +99,16 @@ func (n *Node) sweepTick() {
 	if n.table.Level0.Len() == 0 {
 		// Every contact is gone: only an anchor can bring us back.
 		n.contactAnchor()
+	} else if freshDegree < ringDegreeFloor {
+		// A handful of fresh contacts is how a stranded segment looks
+		// from the inside: its members keep each other alive while the
+		// rest of the overlay has forgotten them, so the empty-table
+		// rejoin above never fires (repair.go, anchorHello).
+		n.anchorHello(now)
 	}
+	// Ring self-healing runs every sweep regardless of what expired: the
+	// gaps it closes are the ones no expiry ever reports (repair.go).
+	n.probeTick()
 	if res.Empty() {
 		n.ensureHierarchy()
 		return
@@ -196,7 +206,25 @@ func (n *Node) sendChildReport(to uint64) {
 }
 
 // contactAnchor greets a random anchor; isolated nodes rejoin through it.
+// A fully dark node (empty level-0 table) additionally retries through its
+// recent-peers ring: under sustained churn every static anchor can be
+// dead, and without a dynamic fallback such a node loops join requests at
+// dead addresses forever while the rest of the overlay, having expired
+// it, closes the ring over its head.
 func (n *Node) contactAnchor() {
+	dark := n.table.Level0.Len() == 0
+	if dark {
+		if p := n.nextRecentPeer(); p != 0 {
+			n.send(p, &proto.JoinRequest{From: n.Ref()})
+		}
+		// The recent ring can consist entirely of peers that died in the
+		// same wave (a dying neighbourhood talks mostly to itself near
+		// the end); the bootstrap cache reaches back over the node's
+		// whole lifetime and across the whole ID space.
+		if p := n.nextBootPeer(); p != 0 {
+			n.send(p, &proto.JoinRequest{From: n.Ref()})
+		}
+	}
 	if len(n.cfg.Anchors) == 0 {
 		return
 	}
@@ -204,12 +232,35 @@ func (n *Node) contactAnchor() {
 	if a == n.Addr() {
 		return
 	}
-	if n.table.Level0.Len() == 0 {
+	if dark {
 		// Fully dark: full re-join.
 		n.send(a, &proto.JoinRequest{From: n.Ref()})
 		return
 	}
 	n.sendHello(a)
+}
+
+// nextRecentPeer rotates through the recent-peers ring, skipping empty
+// slots and this node's own address; zero means the ring is empty.
+func (n *Node) nextRecentPeer() uint64 {
+	for i := 0; i < recentPeerSlots; i++ {
+		n.recentScan = (n.recentScan + 1) % recentPeerSlots
+		if p := n.recentPeers[n.recentScan]; p != 0 && p != n.Addr() {
+			return p
+		}
+	}
+	return 0
+}
+
+// nextBootPeer rotates through the bootstrap cache the same way.
+func (n *Node) nextBootPeer() uint64 {
+	for i := 0; i < bootCacheSlots; i++ {
+		n.bootScan = (n.bootScan + 1) % bootCacheSlots
+		if p := n.bootCache[n.bootScan]; p != 0 && p != n.Addr() {
+			return p
+		}
+	}
+	return 0
 }
 
 // ensureHierarchy re-checks the standing conditions that drive hierarchy
@@ -226,7 +277,7 @@ func (n *Node) ensureHierarchy() {
 
 func (n *Node) handleHello(from uint64, m *proto.Hello) {
 	known := n.table.Level0.Get(from) != nil
-	n.table.Level0.Upsert(m.From, proto.FNeighbor, n.env.Now(), n.table.NextVersion(), rtable.Direct)
+	n.ringUpsert(m.From)
 	n.noteRef(m.From, true)
 	if !known {
 		// Mutual introduction: "When two nodes communicate for the first
@@ -236,7 +287,7 @@ func (n *Node) handleHello(from uint64, m *proto.Hello) {
 }
 
 func (n *Node) handlePing(from uint64, m *proto.Ping) {
-	n.table.Level0.Upsert(m.From, proto.FNeighbor, n.env.Now(), n.table.NextVersion(), rtable.Direct)
+	n.ringUpsert(m.From)
 	n.noteRef(m.From, true)
 	n.applyEntries(from, m.From, m.Entries)
 	n.Stats.PongsSent++
@@ -247,7 +298,7 @@ func (n *Node) handlePing(from uint64, m *proto.Ping) {
 }
 
 func (n *Node) handlePong(from uint64, m *proto.Pong) {
-	n.table.Level0.Upsert(m.From, proto.FNeighbor, n.env.Now(), n.table.NextVersion(), rtable.Direct)
+	n.ringUpsert(m.From)
 	n.noteRef(m.From, true)
 	n.applyEntries(from, m.From, m.Entries)
 }
@@ -278,7 +329,9 @@ func (n *Node) handleJoinRequest(from uint64, m *proto.JoinRequest) {
 	if best, _, ok := n.bestKnownMember(m.From.MaxLevel+1, m.From.ID); ok {
 		parent = best
 	}
-	n.table.Level0.Upsert(m.From, proto.FNeighbor, n.env.Now(), n.table.NextVersion(), rtable.Direct)
+	// ringUpsert, not a plain upsert: a joiner arriving over a bridge link
+	// from a foreign ring must fire the zip introductions here too.
+	n.ringUpsert(m.From)
 	n.send(from, &proto.JoinAccept{From: n.Ref(), Left: left, Right: right, Parent: parent})
 	n.pushUpdates()
 }
@@ -293,7 +346,7 @@ func (n *Node) handleJoinRedirect(from uint64, m *proto.JoinRedirect) {
 
 func (n *Node) handleJoinAccept(from uint64, m *proto.JoinAccept) {
 	now := n.env.Now()
-	n.table.Level0.Upsert(m.From, proto.FNeighbor, now, n.table.NextVersion(), rtable.Direct)
+	n.ringUpsert(m.From)
 	for _, nb := range []proto.NodeRef{m.Left, m.Right} {
 		if nb.IsZero() || nb.Addr == n.Addr() {
 			continue

@@ -37,6 +37,13 @@ type Node struct {
 	peers   map[uint64]*peerState
 	curAddr uint64
 	curPeer *peerState
+	// curNew marks the in-flight message's sender as NOT direct-fresh in
+	// Level0 before this message arrived. It must be computed up front in
+	// HandleMessage: the Touch below advances LastDirect, so by the time a
+	// handler runs, the entry always looks fresh. ringUpsert reads it to
+	// detect genuinely new ring contacts — the trigger for the merge-zip
+	// introductions (repair.go).
+	curNew bool
 	// refusals counts peers with a live refusal, so the candidate search
 	// skips per-candidate lookups entirely in the common all-clear state.
 	refusals int
@@ -87,6 +94,75 @@ type Node struct {
 	// extension receives messages the core protocol does not handle
 	// (DHT, discovery); it reports whether it consumed the message.
 	extension func(from uint64, msg proto.Message) bool
+
+	// Ring self-healing state (repair.go): per-side probe pacing and
+	// empty-slot age tracking. Index 0 is the left side (IDs below ours).
+	lastProbe       [2]time.Duration
+	sideEmptySince  [2]time.Duration
+	lastAnchorHello time.Duration
+
+	// firstPing defers the first-contact greeting ping (ringUpsert) to
+	// the end of the in-flight HandleMessage: sent inline it would ship
+	// the routing delta before the handler composes its reply, leaving
+	// the reply — the exchange the peer is actually waiting on — empty.
+	firstPing uint64
+
+	// ringHook fires when the node gains a new direct level-0 contact
+	// (see SetRingChangeHook).
+	ringHook func()
+
+	// recentPeers rings the addresses this node most recently heard from
+	// for the first time (or again after an expiry). It is the first
+	// rejoin fallback: the static anchors can all die under sustained
+	// churn, and a node whose table has fully drained would otherwise
+	// retry dead rendezvous addresses forever (maintenance.go,
+	// contactAnchor). recentScan rotates the fallback target.
+	recentPeers [recentPeerSlots]uint64
+	recentIdx   int
+	recentScan  int
+
+	// bootCache is the second, longer-memory rejoin fallback. The recent
+	// ring is recency-biased: a node at the centre of a dying
+	// neighbourhood spends its last healthy minutes talking only to peers
+	// that are about to die with it, so by the time its table drains the
+	// whole ring can point at corpses (and so can every static anchor).
+	// The cache instead keeps one slot per address-hash bucket, touched
+	// on every first contact over the node's lifetime — hierarchy and bus
+	// traffic cross the entire ID space, so the buckets hold a spread of
+	// addresses uniform over history, of which a decent fraction
+	// survives any churn wave. Hash-slotting rather than reservoir
+	// sampling keeps the choice deterministic and free of RNG draws.
+	bootCache [bootCacheSlots]uint64
+	bootScan  int
+}
+
+// recentPeerSlots sizes the recent-peers ring. Sixteen distinct senders
+// span well past one churn wave, so at least one slot points at a
+// survivor with overwhelming probability.
+const recentPeerSlots = 16
+
+// bootCacheSlots sizes the bootstrap cache. Thirty-two buckets over a
+// lifetime of first contacts keeps several live addresses through even a
+// churn wave that replaces half the overlay.
+const bootCacheSlots = 32
+
+// bootSlot buckets an address (Fibonacci hash, top bits).
+func bootSlot(addr uint64) int {
+	return int(addr * 0x9E3779B97F4A7C15 >> 59)
+}
+
+// SetRingChangeHook registers a callback fired whenever the node gains a
+// new direct level-0 contact — a repaired gap, a merged partition, a
+// fresh neighbour. Layered services use it to reconcile state that
+// depends on ring adjacency: the DHT re-runs ownership handoff and
+// replica placement immediately instead of waiting out its maintenance
+// interval. One hook per node; services compose by chaining.
+func (n *Node) SetRingChangeHook(fn func()) { n.ringHook = fn }
+
+func (n *Node) ringChanged() {
+	if n.ringHook != nil {
+		n.ringHook()
+	}
 }
 
 // SetExtension installs a handler for non-core messages (layered services
@@ -305,6 +381,17 @@ func (n *Node) Depart() {
 func (n *Node) handleLeave(from uint64, m *proto.Leave) {
 	wasChild := n.table.Children.Get(from) != nil
 	removed, parentLost := n.table.RemoveEverywhere(from)
+	// Forget it as a rejoin fallback too: a departed node may keep
+	// answering datagrams while its process drains, and one JoinRequest
+	// from the dark-table path would re-file it as a live peer.
+	for i := range n.recentPeers {
+		if n.recentPeers[i] == from {
+			n.recentPeers[i] = 0
+		}
+	}
+	if n.bootCache[bootSlot(from)] == from {
+		n.bootCache[bootSlot(from)] = 0
+	}
 	if ps, ok := n.peers[from]; ok {
 		n.clearRefusal(ps)
 		delete(n.peers, from)
@@ -346,7 +433,24 @@ func (n *Node) HandleMessage(from uint64, msg proto.Message) {
 	// One peer-state lookup per inbound message; everything downstream
 	// (claim checks, delta cursor) reads the cached pointer.
 	n.curAddr, n.curPeer = from, n.peerFor(from)
-	defer func() { n.curAddr, n.curPeer = 0, nil }()
+	defer func() {
+		n.curAddr, n.curPeer, n.curNew = 0, nil, false
+		if p := n.firstPing; p != 0 {
+			n.firstPing = 0
+			n.sendPing(p)
+		}
+	}()
+	// Record whether the sender was a fresh direct ring contact BEFORE the
+	// Touch below refreshes its timestamps; handlers cannot recover this
+	// afterwards, and ringUpsert keys the merge-zip trigger on it.
+	if e := n.table.Level0.Get(from); e == nil || !e.DirectFresh(n.env.Now(), n.cfg.EntryTTL) {
+		n.curNew = true
+		if last := (n.recentIdx + recentPeerSlots - 1) % recentPeerSlots; n.recentPeers[last] != from {
+			n.recentPeers[n.recentIdx] = from
+			n.recentIdx = (n.recentIdx + 1) % recentPeerSlots
+		}
+		n.bootCache[bootSlot(from)] = from
+	}
 	// Any authenticated-by-arrival communication refreshes the sender's
 	// timestamps (§III.c).
 	n.table.Touch(from, n.env.Now())
@@ -405,6 +509,12 @@ func (n *Node) HandleMessage(from uint64, msg proto.Message) {
 		n.handleLookupReply(from, m)
 	case *proto.Leave:
 		n.handleLeave(from, m)
+	case *proto.RingProbe:
+		n.handleRingProbe(from, m)
+	case *proto.RingProbeAck:
+		n.handleRingProbeAck(from, m)
+	case *proto.MergeIntro:
+		n.handleMergeIntro(from, m)
 	default:
 		if n.extension != nil {
 			n.extension(from, msg)
@@ -447,6 +557,12 @@ func senderRef(msg proto.Message) (proto.NodeRef, bool) {
 	case *proto.LookupReply:
 		return m.From, true
 	case *proto.Leave:
+		return m.From, true
+	case *proto.RingProbe:
+		return m.From, true
+	case *proto.RingProbeAck:
+		return m.From, true
+	case *proto.MergeIntro:
 		return m.From, true
 	}
 	return proto.NodeRef{}, false

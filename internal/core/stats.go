@@ -31,6 +31,12 @@ type Stats struct {
 
 	LeavesSent uint64 // graceful-departure announcements sent
 	LeavesRecv uint64 // peers dropped on a received departure
+
+	ProbesSent      uint64 // ring repair probes originated (verification + void)
+	ProbesForwarded uint64 // probes relayed toward the void
+	ProbeEdges      uint64 // probes answered as the far edge of a gap
+	MergeIntrosSent uint64 // ring-zip introductions originated
+	MergeGreets     uint64 // introductions acted on with a greeting
 }
 
 // Add accumulates other into s (for network-wide aggregation).
@@ -58,4 +64,9 @@ func (s *Stats) Add(o Stats) {
 	s.LookupsDropped += o.LookupsDropped
 	s.LeavesSent += o.LeavesSent
 	s.LeavesRecv += o.LeavesRecv
+	s.ProbesSent += o.ProbesSent
+	s.ProbesForwarded += o.ProbesForwarded
+	s.ProbeEdges += o.ProbeEdges
+	s.MergeIntrosSent += o.MergeIntrosSent
+	s.MergeGreets += o.MergeGreets
 }

@@ -129,6 +129,10 @@ type Service struct {
 	maintTimer core.Timer
 	scratch    []proto.NodeRef
 
+	// nudgePending debounces ring-change nudges: a merge zip reports a
+	// burst of new contacts, and one maintenance pass covers them all.
+	nudgePending bool
+
 	// memos is a bounded ring of recent store outcomes keyed by
 	// (requester, request id). The service plane retries a store whose
 	// ack was lost by re-sending the same request id; without replaying
@@ -181,8 +185,28 @@ func AttachPlane(p *svc.Plane) *Service {
 	p.ExpectResponse(proto.TDHTFetchReply)
 	p.ExpectResponse(proto.TDHTReplicateAck)
 	s.maintTimer = s.node.SetPeriodic(s.MaintainInterval, s.maintainTick)
+	s.node.SetRingChangeHook(s.ringNudge)
 	return s
 }
+
+// ringNudge reacts to a ring-adjacency change reported by the core — a
+// repaired gap, a merged partition. One near-immediate maintenance pass
+// re-runs ownership handoff and replica placement, so keys whose owner
+// changed in a merge reconcile in milliseconds instead of waiting out
+// MaintainInterval. The periodic tick remains the backstop.
+func (s *Service) ringNudge() {
+	if s.nudgePending {
+		return
+	}
+	s.nudgePending = true
+	s.node.SetTimer(ringNudgeDelay, func() {
+		s.nudgePending = false
+		s.maintainTick()
+	})
+}
+
+// ringNudgeDelay lets one zip burst settle before reconciling.
+const ringNudgeDelay = 250 * time.Millisecond
 
 // Node returns the underlying TreeP node.
 func (s *Service) Node() *core.Node { return s.node }

@@ -122,6 +122,12 @@ func newMessage(t MsgType) Message {
 		return &Reparent{}
 	case TLeave:
 		return &Leave{}
+	case TRingProbe:
+		return &RingProbe{}
+	case TRingProbeAck:
+		return &RingProbeAck{}
+	case TMergeIntro:
+		return &MergeIntro{}
 	}
 	return nil
 }
@@ -668,3 +674,43 @@ func (*Reparent) EncodedSize() int { return 2*nodeRefSize + 2 }
 
 func (m *Reparent) encodeBody(w *writer) { w.ref(m.From); w.ref(m.NewParent); w.u16(m.AgeDs) }
 func (m *Reparent) decodeBody(r *reader) { m.From = r.ref(); m.NewParent = r.ref(); m.AgeDs = r.u16() }
+
+// Type implements Message.
+func (*RingProbe) Type() MsgType { return TRingProbe }
+
+// EncodedSize implements Message.
+func (*RingProbe) EncodedSize() int { return 2*nodeRefSize + 1 + 1 + 2 }
+
+func (m *RingProbe) encodeBody(w *writer) {
+	w.ref(m.From)
+	w.ref(m.Origin)
+	w.boolean(m.Left)
+	w.u8(m.TTL)
+	w.u16(m.AgeDs)
+}
+
+func (m *RingProbe) decodeBody(r *reader) {
+	m.From = r.ref()
+	m.Origin = r.ref()
+	m.Left = r.boolean()
+	m.TTL = r.u8()
+	m.AgeDs = r.u16()
+}
+
+// Type implements Message.
+func (*RingProbeAck) Type() MsgType { return TRingProbeAck }
+
+// EncodedSize implements Message.
+func (*RingProbeAck) EncodedSize() int { return nodeRefSize + 1 + 1 }
+
+func (m *RingProbeAck) encodeBody(w *writer) { w.ref(m.From); w.boolean(m.Left); w.u8(m.Hops) }
+func (m *RingProbeAck) decodeBody(r *reader) { m.From = r.ref(); m.Left = r.boolean(); m.Hops = r.u8() }
+
+// Type implements Message.
+func (*MergeIntro) Type() MsgType { return TMergeIntro }
+
+// EncodedSize implements Message.
+func (*MergeIntro) EncodedSize() int { return 2*nodeRefSize + 2 }
+
+func (m *MergeIntro) encodeBody(w *writer) { w.ref(m.From); w.ref(m.Peer); w.u16(m.AgeDs) }
+func (m *MergeIntro) decodeBody(r *reader) { m.From = r.ref(); m.Peer = r.ref(); m.AgeDs = r.u16() }

@@ -85,6 +85,10 @@ func sampleMessages(rng *rand.Rand) []Message {
 		&DHTReplicateAck{From: sampleRef(rng), ReqID: rng.Uint64(), Stored: rng.Intn(2) == 0},
 		&Reparent{From: sampleRef(rng), NewParent: sampleRef(rng), AgeDs: uint16(rng.Intn(65536))},
 		&Leave{From: sampleRef(rng)},
+		&RingProbe{From: sampleRef(rng), Origin: sampleRef(rng), Left: rng.Intn(2) == 0,
+			TTL: uint8(rng.Intn(256)), AgeDs: uint16(rng.Intn(65536))},
+		&RingProbeAck{From: sampleRef(rng), Left: rng.Intn(2) == 0, Hops: uint8(rng.Intn(256))},
+		&MergeIntro{From: sampleRef(rng), Peer: sampleRef(rng), AgeDs: uint16(rng.Intn(65536))},
 	}
 }
 

@@ -45,6 +45,9 @@ const (
 	TLeave
 	TDHTReplicate
 	TDHTReplicateAck
+	TRingProbe
+	TRingProbeAck
+	TMergeIntro
 	tMaxMsgType // sentinel, keep last
 )
 
@@ -73,6 +76,9 @@ var msgTypeNames = [...]string{
 	TLeave:           "leave",
 	TDHTReplicate:    "dht-replicate",
 	TDHTReplicateAck: "dht-replicate-ack",
+	TRingProbe:       "ring-probe",
+	TRingProbeAck:    "ring-probe-ack",
+	TMergeIntro:      "merge-intro",
 }
 
 // String implements fmt.Stringer.
@@ -439,6 +445,54 @@ type Leave struct {
 	From NodeRef
 }
 
+// RingProbe ring-walks toward a suspected gap beside Origin. The origin
+// sends it to its best known contact on the probed side; each receiver
+// that knows a node strictly between the origin and itself forwards the
+// probe there (the interval shrinks every hop, so the walk terminates),
+// and the receiver with nothing in between is the far edge of the gap —
+// it answers the origin with a RingProbeAck and a greeting, closing the
+// ring. From is the current forwarder; Origin survives across hops.
+type RingProbe struct {
+	From   NodeRef
+	Origin NodeRef
+	// Left is the probed side from the origin's perspective: true means
+	// the probe seeks the nearest node with an ID below Origin.ID.
+	Left bool
+	TTL  uint8
+	// AgeDs is how stale the forwarder's knowledge of Origin already is
+	// (deciseconds). Beyond the first hop Origin is hearsay; the age
+	// accumulates so a dead origin cannot be re-minted fresh by its own
+	// probe echoing through the overlay.
+	AgeDs uint16
+}
+
+// RingProbeAck is the far edge's answer to the probing origin: "I am your
+// nearest surviving neighbour on that side". It is a direct message, so
+// its arrival alone gives the origin a fresh link to the edge.
+type RingProbeAck struct {
+	From NodeRef
+	// Left echoes the probed side.
+	Left bool
+	// Hops is how many forwards the probe took (repair-latency telemetry).
+	Hops uint8
+}
+
+// MergeIntro introduces two nodes that are probably ID-adjacent but
+// unaware of each other: when a node gains a brand-new direct ring
+// contact on one side while already holding a different fresh neighbour
+// there, the two may belong to rings that formed independently — it sends
+// each a MergeIntro naming the other. Receivers greet the named peer
+// unless it is already a fresh direct contact, so the cascade zips two
+// interleaved rings together and halts exactly where the rings are
+// already merged.
+type MergeIntro struct {
+	From NodeRef
+	Peer NodeRef
+	// AgeDs is how stale the sender's knowledge of Peer is (deciseconds);
+	// introductions are hearsay and must not re-mint freshness.
+	AgeDs uint16
+}
+
 // Reparent tells a child that responsibility for it moved to NewParent
 // (after a B+tree-style split promoted a sibling, or because the sender is
 // demoting and hands its tessellation to a bus neighbour).
@@ -477,6 +531,9 @@ var (
 	_ Message = (*DHTReplicateAck)(nil)
 	_ Message = (*Reparent)(nil)
 	_ Message = (*Leave)(nil)
+	_ Message = (*RingProbe)(nil)
+	_ Message = (*RingProbeAck)(nil)
+	_ Message = (*MergeIntro)(nil)
 )
 
 // --- service plane interfaces ----------------------------------------------

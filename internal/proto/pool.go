@@ -23,6 +23,9 @@ var (
 	helloPool       = sync.Pool{New: func() interface{} { return new(Hello) }}
 	busLinkReqPool  = sync.Pool{New: func() interface{} { return new(BusLinkReq) }}
 	busLinkAckPool  = sync.Pool{New: func() interface{} { return new(BusLinkAck) }}
+	ringProbePool   = sync.Pool{New: func() interface{} { return new(RingProbe) }}
+	ringProbeAckPl  = sync.Pool{New: func() interface{} { return new(RingProbeAck) }}
+	mergeIntroPool  = sync.Pool{New: func() interface{} { return new(MergeIntro) }}
 	dhtStoreAckPool = sync.Pool{New: func() interface{} { return new(DHTStoreAck) }}
 	dhtFetchRepPool = sync.Pool{New: func() interface{} { return new(DHTFetchReply) }}
 	dhtReplAckPool  = sync.Pool{New: func() interface{} { return new(DHTReplicateAck) }}
@@ -100,6 +103,39 @@ func AcquireBusLinkAck() *BusLinkAck {
 
 // Recycle implements Recyclable.
 func (a *BusLinkAck) Recycle() { busLinkAckPool.Put(a) }
+
+// AcquireRingProbe returns a pooled RingProbe. Probes are periodic
+// repair traffic (one per occupied ring side per probe interval), so they
+// pool like the keep-alives: sent to exactly one destination, consumed by
+// value in the handler, never retained.
+func AcquireRingProbe() *RingProbe {
+	p := ringProbePool.Get().(*RingProbe)
+	*p = RingProbe{}
+	return p
+}
+
+// Recycle implements Recyclable.
+func (p *RingProbe) Recycle() { ringProbePool.Put(p) }
+
+// AcquireRingProbeAck returns a pooled RingProbeAck.
+func AcquireRingProbeAck() *RingProbeAck {
+	a := ringProbeAckPl.Get().(*RingProbeAck)
+	*a = RingProbeAck{}
+	return a
+}
+
+// Recycle implements Recyclable.
+func (a *RingProbeAck) Recycle() { ringProbeAckPl.Put(a) }
+
+// AcquireMergeIntro returns a pooled MergeIntro.
+func AcquireMergeIntro() *MergeIntro {
+	m := mergeIntroPool.Get().(*MergeIntro)
+	*m = MergeIntro{}
+	return m
+}
+
+// Recycle implements Recyclable.
+func (m *MergeIntro) Recycle() { mergeIntroPool.Put(m) }
 
 // valueSeedCap pre-sizes a pooled DHT message's value buffer; typical
 // records are small key-value payloads, and keeping the capacity across

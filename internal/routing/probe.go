@@ -1,0 +1,63 @@
+package routing
+
+import (
+	"treep/internal/idspace"
+	"treep/internal/proto"
+	"treep/internal/rtable"
+)
+
+// ProbeStep decides one hop of a ring repair probe at the node that just
+// received it. A probe walks from its origin toward a suspected void on
+// one side of the origin's coordinate (Left means the side with IDs below
+// Origin.ID): each receiver hands it to the peer it knows nearest the
+// origin inside the unexplored gap, so the gap shrinks strictly at every
+// hop and the walk terminates. The roles it can assign:
+//
+//   - forward: a known peer sits strictly between this node and the
+//     origin on the probed side — pass the probe to the one nearest the
+//     origin (next, false).
+//   - far edge: this node sits on the probed side and knows nobody
+//     between itself and the origin — it IS the missing neighbour the
+//     origin cannot see. Returns (zero, true); the caller introduces
+//     itself to the origin.
+//   - drop: this node sits on the wrong side of the origin and knows
+//     nobody on the probed side at all. It cannot be the far edge (the
+//     void is not next to it), so the probe dies. Returns (zero, false).
+//
+// A probe below ID 0 or above MaxID is degenerate — the space is a line,
+// not a ring (§III.a), so an edge node's empty outer side is legitimate —
+// and callers never launch one; ProbeStep drops it defensively.
+func ProbeStep(tbl *rtable.Table, self, origin proto.NodeRef, left bool) (next proto.NodeRef, edge bool) {
+	if origin.Addr == self.Addr {
+		return proto.NodeRef{}, false
+	}
+	var lo, hi idspace.ID
+	onSide := false
+	if left {
+		if origin.ID == 0 {
+			return proto.NodeRef{}, false
+		}
+		lo, hi = 0, origin.ID-1
+		if self.ID < origin.ID {
+			onSide = true
+			lo = self.ID + 1 // unexplored gap only: (self, origin)
+		}
+	} else {
+		if origin.ID == idspace.MaxID {
+			return proto.NodeRef{}, false
+		}
+		lo, hi = origin.ID+1, idspace.MaxID
+		if self.ID > origin.ID {
+			onSide = true
+			hi = self.ID - 1
+		}
+	}
+	if lo > hi {
+		// On-side with an empty gap: self is adjacent to the origin.
+		return proto.NodeRef{}, onSide
+	}
+	if cand, ok := tbl.NearestInRange(lo, hi, origin.ID, origin.Addr); ok {
+		return cand, false
+	}
+	return proto.NodeRef{}, onSide
+}

@@ -1,0 +1,84 @@
+package routing
+
+import (
+	"testing"
+	"time"
+
+	"treep/internal/idspace"
+	"treep/internal/proto"
+	"treep/internal/rtable"
+)
+
+func probeTable(ids ...uint64) *rtable.Table {
+	tb := rtable.New()
+	for _, id := range ids {
+		r := proto.NodeRef{ID: idspace.ID(id), Addr: id}
+		tb.Level0.Upsert(r, proto.FNeighbor, time.Second, tb.NextVersion(), rtable.Direct)
+	}
+	return tb
+}
+
+func nref(id uint64) proto.NodeRef { return proto.NodeRef{ID: idspace.ID(id), Addr: id} }
+
+func TestProbeStepForwardsTowardVoid(t *testing.T) {
+	// Left probe from origin 1000 arrives at 400, which knows 700 and 200.
+	// 700 sits inside the gap (400, 1000) nearest the origin: forward there.
+	tb := probeTable(700, 200)
+	next, edge := ProbeStep(tb, nref(400), nref(1000), true)
+	if edge || next.Addr != 700 {
+		t.Fatalf("want forward to 700, got next=%v edge=%v", next, edge)
+	}
+	// Right probe mirror: origin 1000, receiver 1600 knows 1300.
+	tb = probeTable(1300, 1800)
+	next, edge = ProbeStep(tb, nref(1600), nref(1000), false)
+	if edge || next.Addr != 1300 {
+		t.Fatalf("want forward to 1300, got next=%v edge=%v", next, edge)
+	}
+}
+
+func TestProbeStepDeclaresFarEdge(t *testing.T) {
+	// Receiver 400 on the probed side knows nobody in (400, 1000): it is
+	// the origin's missing left neighbour.
+	tb := probeTable(200, 1500)
+	next, edge := ProbeStep(tb, nref(400), nref(1000), true)
+	if !edge || !next.IsZero() {
+		t.Fatalf("want far edge, got next=%v edge=%v", next, edge)
+	}
+	// The gap shrinks strictly: entries at or below self don't count.
+	tb = probeTable(400, 399)
+	if _, edge := ProbeStep(tb, nref(400), nref(1000), true); !edge {
+		t.Fatal("entries outside the gap must not mask the far edge")
+	}
+}
+
+func TestProbeStepOffSideDropsWithoutCandidate(t *testing.T) {
+	// Receiver 1200 sits right of origin 1000 but holds a left probe. It
+	// may redirect into the left half-space if it knows someone there...
+	tb := probeTable(600)
+	next, edge := ProbeStep(tb, nref(1200), nref(1000), true)
+	if edge || next.Addr != 600 {
+		t.Fatalf("off-side redirect should target 600, got next=%v edge=%v", next, edge)
+	}
+	// ...but with no left-side knowledge it must drop, never claim the
+	// edge: the void is not adjacent to it.
+	tb = probeTable(1500)
+	next, edge = ProbeStep(tb, nref(1200), nref(1000), true)
+	if edge || !next.IsZero() {
+		t.Fatalf("off-side dead end must drop, got next=%v edge=%v", next, edge)
+	}
+}
+
+func TestProbeStepDegenerateAndSelf(t *testing.T) {
+	tb := probeTable(500)
+	// The space is a line: no probe extends below 0 or above MaxID.
+	if next, edge := ProbeStep(tb, nref(300), proto.NodeRef{ID: 0, Addr: 7}, true); edge || !next.IsZero() {
+		t.Fatal("left probe below origin 0 must drop")
+	}
+	if next, edge := ProbeStep(tb, nref(300), proto.NodeRef{ID: idspace.MaxID, Addr: 7}, false); edge || !next.IsZero() {
+		t.Fatal("right probe above MaxID must drop")
+	}
+	// A probe that loops back to its origin dies.
+	if next, edge := ProbeStep(tb, nref(300), nref(300), true); edge || !next.IsZero() {
+		t.Fatal("probe arriving at its own origin must drop")
+	}
+}

@@ -356,6 +356,62 @@ func appendCandidate(out []proto.NodeRef, base int, r proto.NodeRef) []proto.Nod
 	return append(out, r)
 }
 
+// NearestInRange returns the known peer with ID in [lo, hi] nearest to
+// toward, excluding the given address, across every structure in the
+// table. Ring repair probes use it to pick the next hop toward a void:
+// the interval is the unexplored gap, toward is its near edge, and the
+// hierarchy/bus entries let a probe cross stretches where level-0
+// knowledge has died out. Ties break on (distance, ID, address) so every
+// replica of the same table picks the same hop. lo > hi means an empty
+// interval. Allocation-free: it runs on the periodic sweep path.
+func (t *Table) NearestInRange(lo, hi, toward idspace.ID, exclude uint64) (proto.NodeRef, bool) {
+	var sc nearScan
+	sc.lo, sc.hi, sc.toward, sc.exclude = lo, hi, toward, exclude
+	if lo > hi {
+		return proto.NodeRef{}, false
+	}
+	sc.refs(t.Level0.Refs())
+	for _, lvl := range t.busLevels() {
+		if s := t.Bus[lvl]; s != nil {
+			sc.refs(s.Refs())
+		}
+	}
+	sc.refs(t.Children.Refs())
+	sc.refs(t.NbrChildren.Refs())
+	sc.refs(t.Superiors.Refs())
+	if t.hasParent {
+		sc.consider(t.parent.Ref)
+	}
+	return sc.best, sc.found
+}
+
+// nearScan accumulates the NearestInRange winner. A plain struct with
+// methods (not closures over locals) keeps the scan allocation-free.
+type nearScan struct {
+	lo, hi, toward idspace.ID
+	exclude        uint64
+	best           proto.NodeRef
+	bestDist       uint64
+	found          bool
+}
+
+func (sc *nearScan) refs(refs []proto.NodeRef) {
+	for _, r := range refs {
+		sc.consider(r)
+	}
+}
+
+func (sc *nearScan) consider(r proto.NodeRef) {
+	if r.Addr == sc.exclude || r.ID < sc.lo || r.ID > sc.hi {
+		return
+	}
+	d := idspace.Dist(r.ID, sc.toward)
+	if !sc.found || d < sc.bestDist ||
+		(d == sc.bestDist && (r.ID < sc.best.ID || (r.ID == sc.best.ID && r.Addr < sc.best.Addr))) {
+		sc.best, sc.bestDist, sc.found = r, d, true
+	}
+}
+
 // Size returns the total number of entries across all structures (the
 // quantity §III.e bounds analytically), counting the parent slot.
 func (t *Table) Size() int {

@@ -76,6 +76,7 @@ type Checker struct {
 func AllCheckers() []Checker {
 	return []Checker{
 		RingClosure(),
+		RingWalk(),
 		TessellationCoverage(),
 		ParentChildConsistency(),
 		LookupLoopFreedom(32),
@@ -102,6 +103,57 @@ func RingClosure() Checker {
 		}
 		return out
 	}}
+}
+
+// RingWalk checks that the level-0 successor chain traverses the whole
+// live population: starting from the lowest-ID live node, each step moves
+// to the nearest live contact strictly to the walker's right in its own
+// level-0 table, and the walk must visit every live node. RingClosure is
+// a pairwise oracle — it tolerates a population that is closed pair by
+// pair yet globally fractured into interleaved sub-rings, which is
+// exactly what two merged islands look like mid-zip. The walk is the
+// end-to-end statement that ONE ring emerged.
+func RingWalk() Checker {
+	return Checker{Name: "ring-walk", Check: func(x *Ctx) []Violation {
+		alive := x.AliveByID()
+		if len(alive) < 2 {
+			return nil
+		}
+		cur := alive[0]
+		visited := 1
+		for steps := 1; steps < len(alive); steps++ {
+			next := nextAliveRight(x, cur)
+			if next == nil {
+				break
+			}
+			cur = next
+			visited++
+		}
+		if visited != len(alive) {
+			return []Violation{{
+				Checker: "ring-walk",
+				Detail: fmt.Sprintf("successor walk visited %d of %d live nodes (stuck after %s)",
+					visited, len(alive), cur.ID()),
+			}}
+		}
+		return nil
+	}}
+}
+
+// nextAliveRight resolves the walker's nearest live level-0 contact
+// strictly to its right, or nil. Refs() is ID-sorted, so the first live
+// hit is the nearest; skipping a live node here means the walker does not
+// know its true successor and the walk undercounts — the violation.
+func nextAliveRight(x *Ctx, cur *core.Node) *core.Node {
+	for _, r := range cur.Table().Level0.Refs() {
+		if r.ID <= cur.ID() {
+			continue
+		}
+		if n := x.C.NodeByAddr(r.Addr); n != nil && x.C.Alive(n) {
+			return n
+		}
+	}
+	return nil
 }
 
 // TessellationCoverage checks that, at every occupied hierarchy level, the

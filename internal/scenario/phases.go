@@ -3,6 +3,7 @@ package scenario
 import (
 	"time"
 
+	"treep/internal/core"
 	"treep/internal/idspace"
 )
 
@@ -185,4 +186,52 @@ func (w RevivalWave) Run(e *Engine) {
 			e.advance(step)
 		}
 	}
+}
+
+// IslandsMerge fragments the overlay into two fully interleaved islands
+// and then re-merges them through exactly ONE bridge link. The link
+// filter splits nodes by address parity, so each island's ring spans the
+// whole ID space with the other island's members woven between its own —
+// the worst case for a merge protocol. During Hold every cross-island
+// entry expires and each island converges into its own closed ring
+// (self-healing probes drive that internal repair). Heal then restores
+// connectivity but creates no links by itself: two converged rings are
+// mutually invisible, and repair probes provably cannot cross (no node
+// on a probe's walk knows any member of the other ring inside the void
+// it probes). The single bridge — one node of one island joining through
+// one node of the other — is all the merge protocol gets; the zip
+// introductions and first-contact exchanges must rebuild one ring,
+// hierarchy, and DHT keyspace from it.
+type IslandsMerge struct {
+	// Hold is the isolation window; it must exceed the entry TTL so the
+	// islands truly separate.
+	Hold time.Duration
+	// Merge is the settle window after the bridge join.
+	Merge time.Duration
+}
+
+// Name implements Phase.
+func (IslandsMerge) Name() string { return "islands-merge" }
+
+// Run implements Phase.
+func (p IslandsMerge) Run(e *Engine) {
+	side := func(n *core.Node) bool { return n.Addr()%2 == 0 }
+	e.C.PartitionBy(side)
+	e.advance(p.Hold)
+	e.C.Heal()
+	// One bridge: the lowest-ID live node of each island, deterministic
+	// across runs.
+	var a, b *core.Node
+	for _, n := range e.C.AliveNodes() {
+		switch {
+		case side(n) && (a == nil || n.ID() < a.ID()):
+			a = n
+		case !side(n) && (b == nil || n.ID() < b.ID()):
+			b = n
+		}
+	}
+	if a != nil && b != nil {
+		a.Join(b.Addr())
+	}
+	e.advance(p.Merge)
 }

@@ -269,7 +269,23 @@ func (c *Cluster) Partition(split idspace.ID) {
 	}))
 }
 
-// Heal removes the partition installed by Partition.
+// PartitionBy installs a link filter that drops datagrams between nodes
+// on different sides of an arbitrary predicate — Partition is the
+// coordinate special case. A parity split by address fragments the
+// overlay into two fully interleaved islands, the worst case for any
+// merge protocol. Addresses that resolve to no node pass unconditionally,
+// mirroring SplitFilter. Heal removes it.
+func (c *Cluster) PartitionBy(side func(n *core.Node) bool) {
+	c.Net.SetLinkFilter(func(from, to netsim.Addr) bool {
+		a, b := c.NodeByAddr(uint64(from)), c.NodeByAddr(uint64(to))
+		if a == nil || b == nil {
+			return true
+		}
+		return side(a) == side(b)
+	})
+}
+
+// Heal removes the partition installed by Partition or PartitionBy.
 func (c *Cluster) Heal() { c.Net.SetLinkFilter(nil) }
 
 // NodeByAddr resolves an address to its node, or nil.

@@ -367,6 +367,12 @@ type ZoneFailurePhase = scenario.ZoneFailure
 // partition, then heals it.
 type PartitionHealPhase = scenario.PartitionHeal
 
+// IslandsMergePhase fragments the overlay into two interleaved islands
+// (split by address parity), lets each converge into its own ring, then
+// re-merges them through exactly one bridge link — the worst case for
+// the partition-merge protocol.
+type IslandsMergePhase = scenario.IslandsMerge
+
 // RevivalWavePhase brings killed peers back; each rejoins through a live
 // bootstrap.
 type RevivalWavePhase = scenario.RevivalWave
