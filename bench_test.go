@@ -150,6 +150,13 @@ func benchScenario(b *testing.B, phases []scenario.Phase) {
 // simulated population grows (EXPERIMENTS.md scale table).
 func benchScenarioN(b *testing.B, n int, phases []scenario.Phase) {
 	b.Helper()
+	benchScenarioSharded(b, n, 0, phases)
+}
+
+// benchScenarioSharded is benchScenarioN on an explicit engine
+// configuration (shards 0 = classic kernel, ≥1 = sharded kernel).
+func benchScenarioSharded(b *testing.B, n, shards int, phases []scenario.Phase) {
+	b.Helper()
 	b.ReportAllocs()
 	var events uint64
 	for i := 0; i < b.N; i++ {
@@ -158,6 +165,7 @@ func benchScenarioN(b *testing.B, n int, phases []scenario.Phase) {
 			Seeds:           []int64{1},
 			Phases:          phases,
 			LookupsPerPhase: 60,
+			Shards:          shards,
 		})
 		last := len(res.Trials[0].Steps) - 1
 		fail := res.FailRateByPhase(proto.AlgoG)
@@ -187,6 +195,15 @@ func churnPhases() []scenario.Phase {
 
 func BenchmarkScenarioChurn2k(b *testing.B) {
 	benchScenarioN(b, 2000, churnPhases())
+}
+
+// BenchmarkScenarioChurnSharded2k runs the canonical churn timeline on
+// the sharded kernel (4 shards) — the CI smoke point for the parallel
+// engine. Events/s against BenchmarkScenarioChurn2k is the speedup on
+// the runner; allocs/op guards the exchange path staying allocation-free
+// at steady state.
+func BenchmarkScenarioChurnSharded2k(b *testing.B) {
+	benchScenarioSharded(b, 2000, 4, churnPhases())
 }
 
 func BenchmarkScenarioChurn5k(b *testing.B) {

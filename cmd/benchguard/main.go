@@ -1,13 +1,20 @@
-// benchguard gates CI on allocation regressions: it compares a fresh
-// scale-table JSON (treep-bench -scale) against the checked-in baseline
-// and exits non-zero when allocs/run regressed beyond the tolerance.
+// benchguard gates CI on substrate performance regressions: it compares
+// a fresh scale-table JSON (treep-bench -scale) against the checked-in
+// baseline and exits non-zero when allocs/run regressed beyond the
+// tolerance, or when a sharded row's parallel speedup fell below the
+// configured floor.
 //
 // Allocations per run are the machine-independent cost metric of the
 // deterministic simulation — wall-clock on shared CI runners swings 2×,
 // but the allocation count of a seeded scenario is stable to a fraction
-// of a percent, so a 15% jump is a real regression, not noise.
+// of a percent, so a 15% jump is a real regression, not noise. The
+// speedup floor is the one wall-clock assertion: it only fires when the
+// current run's recorded GOMAXPROCS actually covers the shard count, so
+// a single-core runner cannot fail (or vacuously pass) a parallelism
+// claim it cannot measure.
 //
-//	benchguard -baseline ci/bench-baseline.json -current results/scale-churn.json
+//	benchguard -baseline ci/bench-baseline.json -current results/scale-churn.json \
+//	    -min-speedup 2.5 -speedup-n 10000 -speedup-shards 4
 package main
 
 import (
@@ -22,21 +29,35 @@ import (
 type point struct {
 	// Workload distinguishes scale rows sharing a population ("" is the
 	// canonical churn timeline, "dht" the storage workload).
-	Workload  string `json:"workload"`
-	N         int    `json:"n"`
-	AllocsRun uint64 `json:"allocs_run"`
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	// Shards is the engine configuration (0 = classic kernel).
+	Shards int `json:"shards"`
+	// MaxProcs is GOMAXPROCS recorded when the row was measured; the
+	// speedup floor only applies when it covers Shards.
+	MaxProcs  int     `json:"maxprocs"`
+	AllocsRun uint64  `json:"allocs_run"`
+	Speedup   float64 `json:"speedup"`
+	// Truncated rows hit the -budget wall-clock cap: their counters cover
+	// an unknown prefix of the timeline, so they are skipped in both
+	// directions rather than compared.
+	Truncated bool `json:"truncated"`
 }
 
 // key identifies one guarded scale row.
 type key struct {
 	workload string
 	n        int
+	shards   int
 }
 
 func (k key) String() string {
 	wl := k.workload
 	if wl == "" {
 		wl = "churn"
+	}
+	if k.shards > 0 {
+		return fmt.Sprintf("%s/N=%d/shards=%d", wl, k.n, k.shards)
 	}
 	return fmt.Sprintf("%s/N=%d", wl, k.n)
 }
@@ -52,7 +73,13 @@ func load(path string) (map[key]point, error) {
 	}
 	out := make(map[key]point, len(pts))
 	for _, p := range pts {
-		out[key{p.Workload, p.N}] = p
+		if p.Truncated {
+			// A truncated row measured an arbitrary wall-clock prefix;
+			// comparing its counters would flag noise, and using it as a
+			// baseline would unguard the real run.
+			continue
+		}
+		out[key{p.Workload, p.N, p.Shards}] = p
 	}
 	return out, nil
 }
@@ -61,6 +88,9 @@ func main() {
 	baseline := flag.String("baseline", "ci/bench-baseline.json", "checked-in baseline scale table")
 	current := flag.String("current", "results/scale-churn.json", "freshly generated scale table")
 	maxRegress := flag.Float64("max-regress", 0.15, "allowed fractional allocs/run growth before failing")
+	minSpeedup := flag.Float64("min-speedup", 0, "minimum parallel speedup the guarded sharded row must reach (0 disables)")
+	speedupN := flag.Int("speedup-n", 10000, "population of the speedup-guarded churn row")
+	speedupShards := flag.Int("speedup-shards", 4, "shard count of the speedup-guarded churn row")
 	flag.Parse()
 
 	base, err := load(*baseline)
@@ -81,8 +111,10 @@ func main() {
 		if !ok {
 			// A missing scale point silently unguards it — treat it as a
 			// failure so the CI -scale invocation and the baseline cannot
-			// drift apart unnoticed.
-			fmt.Fprintf(os.Stderr, "benchguard: %s in baseline but missing from current run\n", k)
+			// drift apart unnoticed. (A row truncated by -budget in the
+			// current run counts as missing: the budget must be set high
+			// enough for the guarded rows to finish.)
+			fmt.Fprintf(os.Stderr, "benchguard: %s in baseline but missing (or truncated) in current run\n", k)
 			failed = true
 			continue
 		}
@@ -114,9 +146,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchguard: no comparable populations between baseline and current")
 		os.Exit(1)
 	}
+
+	if *minSpeedup > 0 {
+		k := key{"", *speedupN, *speedupShards}
+		switch c, ok := cur[k]; {
+		case !ok:
+			fmt.Fprintf(os.Stderr, "benchguard: speedup floor set but %s missing from current run\n", k)
+			failed = true
+		case c.MaxProcs < c.Shards:
+			// The floor is a parallelism claim; a runner without the cores
+			// can neither validate nor refute it. Report, don't fail.
+			fmt.Printf("benchguard: %s speedup %.2fx unchecked (GOMAXPROCS=%d < %d shards)\n",
+				k, c.Speedup, c.MaxProcs, c.Shards)
+		case c.Speedup < *minSpeedup:
+			fmt.Fprintf(os.Stderr, "benchguard: %s speedup %.2fx below floor %.2fx (GOMAXPROCS=%d) REGRESSION\n",
+				k, c.Speedup, *minSpeedup, c.MaxProcs)
+			failed = true
+		default:
+			fmt.Printf("benchguard: %s speedup %.2fx ≥ floor %.2fx ok\n", k, c.Speedup, *minSpeedup)
+		}
+	}
+
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchguard: allocs/run regressed more than %.0f%%\n", *maxRegress*100)
+		fmt.Fprintln(os.Stderr, "benchguard: performance budget violated")
 		os.Exit(1)
 	}
-	fmt.Println("benchguard: allocation budget holds")
+	fmt.Println("benchguard: performance budget holds")
 }

@@ -41,15 +41,21 @@ per-phase CSV + JSON records:
   treep-bench -compare chord,flood -scenario churn -n 2000 -out results/
 
 Scale mode (-scale): run the canonical churn scenario at each listed
-population and export the substrate scale table (events/s, allocs/run,
-peak heap) as CSV + JSON — the machine-readable source of the
-EXPERIMENTS.md scale table and CI's allocation-budget guard. With
+population (k/M suffixes accepted: 100k, 1M) and export the substrate
+scale table (events/s, allocs/run, peak heap, speedup) as CSV + JSON —
+the machine-readable source of the EXPERIMENTS.md scale table and CI's
+allocation-budget guard. -shards lists engine configurations per
+population (0 = classic single-threaded kernel, ≥1 = sharded multi-core
+kernel; sharded rows report wall-clock speedup against the shards=1
+row). -budget caps each row's wall clock: rows that overrun are marked
+truncated and excluded from speedup and benchguard comparisons. With
 -storage, each population also plays the DHT put/get-under-churn
 workload and exports it as "dht" rows in the same table:
 
-  treep-bench -scale 500,2000,10000 -lookups 60 -storage -out results/
+  treep-bench -scale 10k,100k,1M -shards 1,4 -budget 5m -out results/
+  treep-bench -scale 500,2000 -lookups 60 -storage -out results/
 
--cpuprofile/-memprofile write pprof profiles of any mode.
+-cpuprofile/-memprofile/-blockprofile write pprof profiles of any mode.
 
 Backends: %s. Scenarios: %s.
 
@@ -88,10 +94,13 @@ func main() {
 	compare := flag.String("compare", "", "comma-separated baselines to compare TreeP against (chord, flood); enables compare mode")
 	scen := flag.String("scenario", "churn", "compare mode: scenario script (churn, flashcrowd, zonefail, partition)")
 	out := flag.String("out", "results", "compare/scale mode: directory for the CSV/JSON records")
-	scale := flag.String("scale", "", "comma-separated populations (e.g. 500,2000,10000): run the canonical churn scenario per N and export the substrate scale table; enables scale mode")
+	scale := flag.String("scale", "", "comma-separated populations (e.g. 500,2000,100k,1M): run the canonical churn scenario per N and export the substrate scale table; enables scale mode")
+	shards := flag.String("shards", "0", "scale mode: comma-separated engine configurations per population (0 = classic kernel, ≥1 = sharded kernel with that many shards)")
+	budget := flag.Duration("budget", 0, "scale mode: wall-clock cap per row; rows that overrun are interrupted and marked truncated (0 = no cap)")
 	storage := flag.Bool("storage", false, "scale mode: additionally run the DHT put/get-under-churn workload per N (workload \"dht\" rows)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit (shard workers park at epoch barriers; this shows where)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -108,7 +117,12 @@ func main() {
 			fail("cpuprofile: %v", err)
 		}
 	}
-	cpuOn, memPath := *cpuprofile != "", *memprofile
+	if *blockprofile != "" {
+		// Rate 1 records every blocking event; the sharded kernel's barrier
+		// parks dominate, which is exactly what the profile is for.
+		runtime.SetBlockProfileRate(1)
+	}
+	cpuOn, memPath, blockPath := *cpuprofile != "", *memprofile, *blockprofile
 	flushed := false
 	flushProfiles = func() {
 		if flushed {
@@ -118,19 +132,25 @@ func main() {
 		if cpuOn {
 			pprof.StopCPUProfile()
 		}
-		if memPath == "" {
-			return
+		writeProfile := func(path, profile string, gc bool) {
+			if path == "" {
+				return
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "treep-bench: %s profile: %v\n", profile, err)
+				return
+			}
+			defer f.Close()
+			if gc {
+				runtime.GC()
+			}
+			if err := pprof.Lookup(profile).WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "treep-bench: %s profile: %v\n", profile, err)
+			}
 		}
-		f, err := os.Create(memPath)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "treep-bench: memprofile: %v\n", err)
-			return
-		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-			fmt.Fprintf(os.Stderr, "treep-bench: memprofile: %v\n", err)
-		}
+		writeProfile(memPath, "allocs", true)
+		writeProfile(blockPath, "block", false)
 	}
 	defer flushProfiles()
 
@@ -148,8 +168,11 @@ func main() {
 	if *storage && *scale == "" {
 		fail("-storage requires -scale")
 	}
+	if *scale == "" && (*shards != "0" || *budget != 0) {
+		fail("-shards and -budget require -scale")
+	}
 	if *scale != "" {
-		runScale(*scale, *out, *lookups, *storage)
+		runScale(*scale, *shards, *out, *lookups, *storage, *budget)
 		return
 	}
 	if *compare != "" {

@@ -19,15 +19,26 @@ import (
 )
 
 // ScalePoint is one row of the machine-generated substrate scale table
-// (EXPERIMENTS.md): one workload at one population, with the three
-// quantities the scale claims are judged on — events/s must stay flat as
-// N grows, allocs/run and peak heap must grow linearly at worst.
+// (EXPERIMENTS.md): one workload at one population on one engine
+// configuration, with the quantities the scale claims are judged on —
+// events/s must stay flat as N grows, allocs/run and peak heap must grow
+// linearly at worst, and sharded rows must show wall-clock speedup over
+// the single-shard reference when cores are available.
 type ScalePoint struct {
 	// Workload identifies the scenario: "" (the canonical churn timeline,
 	// kept empty for baseline compatibility) or "dht" (the
 	// put/get-under-churn storage workload).
-	Workload   string  `json:"workload,omitempty"`
-	N          int     `json:"n"`
+	Workload string `json:"workload,omitempty"`
+	N        int    `json:"n"`
+	// Shards is the engine configuration: 0 is the classic
+	// single-threaded kernel, ≥1 the sharded kernel with that many
+	// worker shards.
+	Shards int `json:"shards"`
+	// MaxProcs records GOMAXPROCS at measurement time. Speedup claims are
+	// only meaningful when MaxProcs covers the shard count; benchguard
+	// gates its speedup floor on this field so a single-core CI runner
+	// cannot fail (or trivially pass) a parallelism assertion.
+	MaxProcs   int     `json:"maxprocs"`
 	WallSec    float64 `json:"wall_sec"`
 	Events     uint64  `json:"events"`
 	EventsPerS float64 `json:"events_per_sec"`
@@ -37,10 +48,37 @@ type ScalePoint struct {
 	// PeakHeapBytes is the maximum live heap observed while the scenario
 	// ran (sampled HeapAlloc).
 	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// Speedup is wall-clock of this row's single-shard counterpart
+	// divided by this row's wall-clock — the parallel speedup at this
+	// shard count. Zero when no shards=1 row for the same (workload, N)
+	// exists in the run, or when either row was truncated.
+	Speedup float64 `json:"speedup,omitempty"`
+	// Truncated reports the -budget wall-clock cap expired mid-row: the
+	// virtual timeline did not finish and every measurement covers only
+	// the completed prefix. Truncated rows are incomparable — benchguard
+	// skips them in both directions.
+	Truncated bool `json:"truncated,omitempty"`
 	// FailPct is the workload's failure metric: failed-lookup percentage
 	// for churn, read-miss percentage for dht.
 	FailPct    float64 `json:"fail_pct"`
 	Violations float64 `json:"violations_end"`
+}
+
+// parsePop parses one -scale population, accepting plain integers and
+// k/M magnitude suffixes ("100k" = 100_000, "1M" = 1_000_000).
+func parsePop(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "k"), strings.HasSuffix(s, "K"):
+		mult, s = 1_000, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"), strings.HasSuffix(s, "M"):
+		mult, s = 1_000_000, s[:len(s)-1]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad population %q", s)
+	}
+	return n * mult, nil
 }
 
 // scaleChurnPhases is the canonical churn timeline used at every scale
@@ -101,9 +139,57 @@ func dhtChurnPhases() []scenario.Phase {
 	}
 }
 
+// runChurnPoint plays the canonical churn timeline at one population on
+// one engine configuration and returns its scale row.
+func runChurnPoint(n, shards, lookups int, budget time.Duration) ScalePoint {
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	mallocs0 := ms.Mallocs
+	w := watchHeap()
+	start := time.Now()
+	res := experiment.RunScenario(experiment.ScenarioOptions{
+		N:               n,
+		Seeds:           []int64{1},
+		Phases:          scaleChurnPhases(),
+		LookupsPerPhase: lookups,
+		Parallel:        1,
+		Shards:          shards,
+		Budget:          budget,
+	})
+	wall := time.Since(start)
+	peak := w.Stop()
+	runtime.ReadMemStats(&ms)
+
+	p := ScalePoint{
+		N:             n,
+		Shards:        shards,
+		MaxProcs:      runtime.GOMAXPROCS(0),
+		WallSec:       wall.Seconds(),
+		AllocsRun:     ms.Mallocs - mallocs0,
+		PeakHeapBytes: peak,
+		Truncated:     res.Trials[0].Truncated,
+	}
+	if r := res.Trials[0].Result; r != nil {
+		p.Events = r.Events
+		p.EventsPerS = float64(r.Events) / wall.Seconds()
+	}
+	fr := res.FailRateByPhase(proto.AlgoG)
+	if len(fr.Y) > 0 {
+		p.FailPct = fr.Y[len(fr.Y)-1]
+	}
+	vi := res.ViolationsByPhase()
+	if len(vi.Y) > 0 {
+		p.Violations = vi.Y[len(vi.Y)-1]
+	}
+	return p
+}
+
 // runStoragePoint plays the storage workload at one population and
-// returns its scale row (workload "dht").
-func runStoragePoint(n int) ScalePoint {
+// returns its scale row (workload "dht"). The DHT workload always runs
+// on the classic engine: it is the baseline-continuity row, and the
+// sharded engine's scaling story is told by the churn rows.
+func runStoragePoint(n int, budget time.Duration) ScalePoint {
 	var ms runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&ms)
@@ -112,6 +198,10 @@ func runStoragePoint(n int) ScalePoint {
 	start := time.Now()
 
 	c := simrt.New(simrt.Options{N: n, Seed: 1, Bulk: true})
+	if budget > 0 {
+		watchdog := time.AfterFunc(budget, c.Interrupt)
+		defer watchdog.Stop()
+	}
 	st := scenario.NewStorage(3)
 	st.AttachAll(c)
 	c.StartAll()
@@ -129,11 +219,13 @@ func runStoragePoint(n int) ScalePoint {
 	p := ScalePoint{
 		Workload:      "dht",
 		N:             n,
+		MaxProcs:      runtime.GOMAXPROCS(0),
 		WallSec:       wall.Seconds(),
 		Events:        res.Events,
 		EventsPerS:    float64(res.Events) / wall.Seconds(),
 		AllocsRun:     ms.Mallocs - mallocs0,
 		PeakHeapBytes: peak,
+		Truncated:     c.Interrupted(),
 		Violations:    float64(len(res.Final)),
 	}
 	if st.Gets > 0 {
@@ -142,73 +234,96 @@ func runStoragePoint(n int) ScalePoint {
 	return p
 }
 
-// runScale executes the churn scenario (and, with storage, the dht
-// workload) once per population and writes the scale table as CSV + JSON
-// under outDir.
-func runScale(spec, outDir string, lookups int, storage bool) {
+// fillSpeedups computes each sharded row's wall-clock speedup against its
+// single-shard counterpart at the same (workload, N). Truncated rows get
+// no speedup in either role: a row cut short by the budget is
+// incomparable, not fast.
+func fillSpeedups(points []ScalePoint) {
+	ref := make(map[string]float64) // (workload, n) -> shards=1 wall
+	for _, p := range points {
+		if p.Shards == 1 && !p.Truncated {
+			ref[p.Workload+"/"+strconv.Itoa(p.N)] = p.WallSec
+		}
+	}
+	for i := range points {
+		p := &points[i]
+		if p.Shards < 1 || p.Truncated {
+			continue
+		}
+		if base, ok := ref[p.Workload+"/"+strconv.Itoa(p.N)]; ok && p.WallSec > 0 {
+			p.Speedup = base / p.WallSec
+		}
+	}
+}
+
+// runScale executes the churn scenario once per (population, shard
+// count) — and, with storage, the dht workload once per population —
+// and writes the scale table as CSV + JSON under outDir.
+func runScale(spec, shardsSpec, outDir string, lookups int, storage bool, budget time.Duration) {
 	var ns []int
 	for _, f := range strings.Split(spec, ",") {
 		f = strings.TrimSpace(f)
 		if f == "" {
 			continue
 		}
-		n, err := strconv.Atoi(f)
-		if err != nil || n <= 0 {
-			fail("bad -scale population %q", f)
+		n, err := parsePop(f)
+		if err != nil {
+			fail("-scale: %v", err)
 		}
 		ns = append(ns, n)
 	}
 	if len(ns) == 0 {
 		fail("-scale needs at least one population")
 	}
+	var shardCounts []int
+	for _, f := range strings.Split(shardsSpec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		s, err := strconv.Atoi(f)
+		if err != nil || s < 0 {
+			fail("bad -shards count %q", f)
+		}
+		shardCounts = append(shardCounts, s)
+	}
+	if len(shardCounts) == 0 {
+		shardCounts = []int{0}
+	}
 
-	fmt.Printf("# Substrate scale — churn 15s@2+2, settle 12s, %d lookups/phase, seed 1\n\n", lookups)
-	fmt.Printf("| %8s | %7s | %9s | %9s | %11s | %9s | %6s | %10s |\n",
-		"workload", "N", "wall", "events/s", "allocs/run", "peak heap", "fail%", "violations")
+	fmt.Printf("# Substrate scale — churn 15s@2+2, settle 12s, %d lookups/phase, seed 1, GOMAXPROCS=%d\n",
+		lookups, runtime.GOMAXPROCS(0))
+	if budget > 0 {
+		fmt.Printf("# wall-clock budget %v per row: truncated rows marked T, excluded from speedup and benchguard\n", budget)
+	}
+	fmt.Println()
+	fmt.Printf("| %8s | %8s | %6s | %9s | %9s | %11s | %9s | %6s | %10s |\n",
+		"workload", "N", "shards", "wall", "events/s", "allocs/run", "peak heap", "fail%", "violations")
 
-	points := make([]ScalePoint, 0, len(ns))
-	var ms runtime.MemStats
+	points := make([]ScalePoint, 0, len(ns)*(len(shardCounts)+1))
 	for _, n := range ns {
-		runtime.GC()
-		runtime.ReadMemStats(&ms)
-		mallocs0 := ms.Mallocs
-		w := watchHeap()
-		start := time.Now()
-		res := experiment.RunScenario(experiment.ScenarioOptions{
-			N:               n,
-			Seeds:           []int64{1},
-			Phases:          scaleChurnPhases(),
-			LookupsPerPhase: lookups,
-			Parallel:        1,
-		})
-		wall := time.Since(start)
-		peak := w.Stop()
-		runtime.ReadMemStats(&ms)
-
-		p := ScalePoint{
-			N:             n,
-			WallSec:       wall.Seconds(),
-			AllocsRun:     ms.Mallocs - mallocs0,
-			PeakHeapBytes: peak,
+		for _, s := range shardCounts {
+			p := runChurnPoint(n, s, lookups, budget)
+			points = append(points, p)
+			printScaleRow(p)
 		}
-		if r := res.Trials[0].Result; r != nil {
-			p.Events = r.Events
-			p.EventsPerS = float64(r.Events) / wall.Seconds()
-		}
-		fr := res.FailRateByPhase(proto.AlgoG)
-		if len(fr.Y) > 0 {
-			p.FailPct = fr.Y[len(fr.Y)-1]
-		}
-		vi := res.ViolationsByPhase()
-		if len(vi.Y) > 0 {
-			p.Violations = vi.Y[len(vi.Y)-1]
-		}
-		points = append(points, p)
-		printScaleRow(p)
 		if storage {
-			sp := runStoragePoint(n)
+			sp := runStoragePoint(n, budget)
 			points = append(points, sp)
 			printScaleRow(sp)
+		}
+	}
+
+	fillSpeedups(points)
+	speedups := false
+	for _, p := range points {
+		if p.Shards >= 2 && p.Speedup > 0 {
+			if !speedups {
+				fmt.Println()
+				speedups = true
+			}
+			fmt.Printf("speedup: %s N=%d %d shards: %.2fx vs 1 shard\n",
+				workloadName(p.Workload), p.N, p.Shards, p.Speedup)
 		}
 	}
 
@@ -219,14 +334,27 @@ func runScale(spec, outDir string, lookups int, storage bool) {
 		filepath.Join(outDir, "scale-churn.csv"), filepath.Join(outDir, "scale-churn.json"))
 }
 
-// printScaleRow prints one table row (workload "" renders as churn).
-func printScaleRow(p ScalePoint) {
-	wl := p.Workload
+func workloadName(wl string) string {
 	if wl == "" {
-		wl = "churn"
+		return "churn"
 	}
-	fmt.Printf("| %8s | %7d | %8.1fs | %9.0f | %11d | %8.1fM | %6.1f | %10.1f |\n",
-		wl, p.N, p.WallSec, p.EventsPerS, p.AllocsRun, float64(p.PeakHeapBytes)/(1<<20), p.FailPct, p.Violations)
+	return wl
+}
+
+// printScaleRow prints one table row (workload "" renders as churn;
+// classic-engine rows render shards as "-").
+func printScaleRow(p ScalePoint) {
+	shards := "-"
+	if p.Shards > 0 {
+		shards = strconv.Itoa(p.Shards)
+	}
+	trunc := " "
+	if p.Truncated {
+		trunc = "T"
+	}
+	fmt.Printf("| %8s | %8d | %6s | %7.1fs%s | %9.0f | %11d | %8.1fM | %6.1f | %10.1f |\n",
+		workloadName(p.Workload), p.N, shards, p.WallSec, trunc,
+		p.EventsPerS, p.AllocsRun, float64(p.PeakHeapBytes)/(1<<20), p.FailPct, p.Violations)
 }
 
 // writeScale exports the scale table as CSV + JSON.
@@ -253,20 +381,20 @@ func writeScale(outDir string, points []ScalePoint) error {
 		return err
 	}
 	cw := csv.NewWriter(cf)
-	_ = cw.Write([]string{"workload", "n", "wall_sec", "events", "events_per_sec", "allocs_run", "peak_heap_bytes", "fail_pct", "violations_end"})
+	_ = cw.Write([]string{"workload", "n", "shards", "maxprocs", "wall_sec", "events", "events_per_sec", "allocs_run", "peak_heap_bytes", "speedup", "truncated", "fail_pct", "violations_end"})
 	for _, p := range points {
-		wl := p.Workload
-		if wl == "" {
-			wl = "churn"
-		}
 		_ = cw.Write([]string{
-			wl,
+			workloadName(p.Workload),
 			strconv.Itoa(p.N),
+			strconv.Itoa(p.Shards),
+			strconv.Itoa(p.MaxProcs),
 			strconv.FormatFloat(p.WallSec, 'f', 3, 64),
 			strconv.FormatUint(p.Events, 10),
 			strconv.FormatFloat(p.EventsPerS, 'f', 1, 64),
 			strconv.FormatUint(p.AllocsRun, 10),
 			strconv.FormatUint(p.PeakHeapBytes, 10),
+			strconv.FormatFloat(p.Speedup, 'f', 3, 64),
+			strconv.FormatBool(p.Truncated),
 			strconv.FormatFloat(p.FailPct, 'f', 2, 64),
 			strconv.FormatFloat(p.Violations, 'f', 2, 64),
 		})

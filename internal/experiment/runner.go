@@ -222,13 +222,19 @@ func runTrial(o Options, seed int64) Trial {
 }
 
 // measure issues the lookups and advances virtual time until every one has
-// resolved or timed out.
+// resolved or timed out. On a sharded cluster each completion callback
+// runs on its origin node's shard worker, so the shared tallies take a
+// lock; counters and histogram merges are commutative, so completion
+// order cannot leak into the results.
 func measure(c *simrt.Cluster, pairs [][2]*core.Node, algo proto.Algo) *AlgoStep {
 	out := &AlgoStep{Hops: &metrics.Histogram{}}
+	var mu sync.Mutex
 	for _, p := range pairs {
 		origin, target := p[0], p[1]
 		targetID := target.ID()
 		origin.Lookup(targetID, algo, func(r core.LookupResult) {
+			mu.Lock()
+			defer mu.Unlock()
 			switch {
 			case r.Status == core.LookupFound && r.Best.ID == targetID:
 				out.Found++

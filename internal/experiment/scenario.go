@@ -40,6 +40,18 @@ type ScenarioOptions struct {
 	LookupsPerPhase int
 	// Parallel caps concurrent trials (default: GOMAXPROCS).
 	Parallel int
+	// Shards selects the simulation engine: 0 runs the classic
+	// single-threaded kernel, ≥1 runs the sharded multi-core kernel with
+	// that many shards (see simrt.Options.Shards for the determinism
+	// contract).
+	Shards int
+	// Budget caps each trial's wall-clock time. When it expires the
+	// trial's cluster is interrupted — the virtual clock freezes, the
+	// remaining timeline drains without advancing, and the trial is marked
+	// Truncated. Zero means no cap. Truncated trials report whatever was
+	// measured before the cut; consumers (benchguard, the scale table)
+	// must treat them as incomplete, not as fast.
+	Budget time.Duration
 }
 
 func (o ScenarioOptions) withDefaults() ScenarioOptions {
@@ -86,6 +98,9 @@ type ScenarioTrial struct {
 	Steps []PhaseStep
 	// Result is the engine's event accounting and mid-run samples.
 	Result *scenario.Result
+	// Truncated reports that the wall-clock Budget expired before the
+	// timeline finished; the measurements cover only the completed prefix.
+	Truncated bool
 }
 
 // ScenarioSweepResult aggregates all trials of a scenario experiment.
@@ -122,7 +137,15 @@ func runScenarioTrial(o ScenarioOptions, seed int64) ScenarioTrial {
 		Seed:   seed,
 		Config: core.Defaults(),
 		Bulk:   true,
+		Shards: o.Shards,
 	})
+	if c.Engine != nil {
+		defer c.Engine.Close()
+	}
+	if o.Budget > 0 {
+		watchdog := time.AfterFunc(o.Budget, c.Interrupt)
+		defer watchdog.Stop()
+	}
 	c.StartAll()
 	c.Run(o.WarmUp)
 
@@ -155,6 +178,7 @@ func runScenarioTrial(o ScenarioOptions, seed int64) ScenarioTrial {
 		}
 		trial.Steps = append(trial.Steps, step)
 	}
+	trial.Truncated = c.Interrupted()
 	return trial
 }
 

@@ -11,6 +11,19 @@
 // and the flooding baseline all run unmodified on top of it. Payloads
 // travel as Go values (zero-copy) for simulation speed; wire fidelity is
 // covered by the proto package's codec tests and by the real UDP transport.
+//
+// A network runs in one of two modes. Classic (New): one sim.Kernel, one
+// global latency/loss stream, strictly single-threaded — the reference
+// semantics every pre-sharding experiment was recorded under. Sharded
+// (NewSharded): endpoints are pinned to shards of a sim.Sharded engine,
+// every datagram travels through the engine's deterministic barrier
+// exchange keyed by (due time, origin endpoint, per-origin sequence), and
+// latency/loss draws come from per-origin streams so the draw sequence —
+// and therefore the entire run — is invariant under the shard count. The
+// two modes share the drop/accounting semantics but not their random
+// streams: classic consumes one global stream in global send order, which
+// no parallel schedule can reproduce, so classic and sharded runs of the
+// same seed are each internally deterministic but differ from each other.
 package netsim
 
 import (
@@ -44,6 +57,16 @@ type Stats struct {
 	Bytes        uint64 // wire bytes of all sent datagrams
 }
 
+// add folds another counter set in (sharded-mode aggregation).
+func (s *Stats) add(o Stats) {
+	s.Sent += o.Sent
+	s.Delivered += o.Delivered
+	s.LostRandom += o.LostRandom
+	s.LostDead += o.LostDead
+	s.LostFiltered += o.LostFiltered
+	s.Bytes += o.Bytes
+}
+
 // TraceEvent describes one datagram for the optional trace hook.
 type TraceEvent struct {
 	At       time.Duration
@@ -54,18 +77,30 @@ type TraceEvent struct {
 	Reason   string // "", "loss", "dead", "mtu", "filtered"
 }
 
-// Network is a simulated datagram network. It is not safe for concurrent
-// use; one network belongs to one sim.Kernel and runs on its event loop.
+// Network is a simulated datagram network. In classic mode it is not safe
+// for concurrent use; one network belongs to one sim.Kernel and runs on
+// its event loop. In sharded mode the per-endpoint state is struct-of-
+// arrays so shard workers touch disjoint contiguous slots, and the only
+// cross-shard traffic is the engine's barrier exchange; construction and
+// topology changes (Attach, Kill, Revive, SetLinkFilter, Stats) remain
+// control-plane-only, between engine runs.
 type Network struct {
 	kernel  *sim.Kernel
 	latency LatencyModel
 	// lossRate is the probability a datagram is silently dropped in flight.
 	lossRate float64
-	rng      *rand.Rand
-	// eps is indexed by address: Attach hands out sequential addresses
-	// starting at 1 (slot 0 is NoAddr), so endpoint resolution on the
-	// per-datagram path is an array index, not a map probe.
-	eps   []*endpoint
+	// rng draws loss and latency in classic mode: one global stream,
+	// consumed in global send order.
+	rng *rand.Rand
+
+	// Endpoint state, indexed by address (slot 0 = NoAddr): Attach hands
+	// out sequential addresses, so the per-datagram path is an array
+	// index, not a map probe. Struct-of-arrays rather than a slice of
+	// endpoint structs: the delivery path reads alive then handler, and
+	// in sharded mode the slabs keep each shard's slots contiguous.
+	handlers []Handler
+	epAlive  []bool
+
 	stats Stats
 	trace func(TraceEvent)
 	// mtu drops datagrams larger than this size when > 0, mirroring the
@@ -78,6 +113,27 @@ type Network struct {
 	// freeDeliveries pools in-flight datagram records so the per-datagram
 	// hot path (one delivery event per Send) does not allocate.
 	freeDeliveries *delivery
+
+	// Sharded mode (nil engine = classic).
+	engine *sim.Sharded
+	// floor is the latency model's minimum one-way delay — the engine's
+	// lookahead. Draws are clamped to it defensively; for the shipped
+	// models the clamp never binds.
+	floor time.Duration
+	// epShard pins each endpoint to its shard.
+	epShard []int32
+	// originSeq / originRng give each origin endpoint its own send
+	// ordinal and latency/loss stream. The ordinal is the exchange merge
+	// key; the stream makes draw order per-origin (each origin's sends
+	// are totally ordered by its own execution), so neither depends on
+	// how endpoints are placed across shards.
+	originSeq []uint64
+	originRng []*rand.Rand
+	// shardStats / shardFree are per-shard counter and free-list slabs:
+	// send-side counters belong to the origin's shard, arrival-side to
+	// the destination's, so no counter is written by two workers.
+	shardStats []Stats
+	shardFree  []*delivery
 }
 
 // recyclable matches payloads that want to be returned to a pool once
@@ -98,13 +154,17 @@ func (n *Network) release(payload interface{}) {
 }
 
 // delivery is one in-flight datagram, scheduled through the kernel's
-// closure-free dispatch path and recycled on arrival.
+// closure-free dispatch path and recycled on arrival. shard is the
+// destination shard whose free list owns the record (-1 in classic
+// mode): records never migrate between shards, so recycling needs no
+// atomics.
 type delivery struct {
 	net     *Network
-	ep      *endpoint
 	from    Addr
+	to      Addr
 	payload interface{}
 	size    int
+	shard   int32
 	next    *delivery
 }
 
@@ -113,31 +173,34 @@ type delivery struct {
 func deliverDatagram(arg interface{}) { arg.(*delivery).deliver() }
 
 func (d *delivery) deliver() {
-	n, ep, from, payload, size := d.net, d.ep, d.from, d.payload, d.size
-	d.net, d.ep, d.payload = nil, nil, nil
-	d.next = n.freeDeliveries
-	n.freeDeliveries = d
+	n, from, to, payload, size, shard := d.net, d.from, d.to, d.payload, d.size, d.shard
+	d.net, d.payload = nil, nil
+	if shard >= 0 {
+		d.next = n.shardFree[shard]
+		n.shardFree[shard] = d
+	} else {
+		d.next = n.freeDeliveries
+		n.freeDeliveries = d
+	}
 
+	stats := &n.stats
+	if shard >= 0 {
+		stats = &n.shardStats[shard]
+	}
 	// Liveness is checked at arrival, not at send: UDP gives the sender
 	// no feedback, so a datagram to a dead host leaves the sender
 	// normally and vanishes in the network.
-	if !ep.alive {
-		n.stats.LostDead++
+	if !n.epAlive[to] {
+		stats.LostDead++
 		if n.trace != nil {
-			n.trace(TraceEvent{At: n.kernel.Now(), From: from, To: ep.addr, Size: size, Payload: payload, Dropped: true, Reason: "dead"})
+			n.trace(TraceEvent{At: n.kernel.Now(), From: from, To: to, Size: size, Payload: payload, Dropped: true, Reason: "dead"})
 		}
 		n.release(payload)
 		return
 	}
-	n.stats.Delivered++
-	ep.handler(from, payload, size)
+	stats.Delivered++
+	n.handlers[to](from, payload, size)
 	n.release(payload)
-}
-
-type endpoint struct {
-	addr    Addr
-	handler Handler
-	alive   bool
 }
 
 // Option configures a Network.
@@ -156,14 +219,15 @@ func WithMTU(mtu int) Option { return func(n *Network) { n.mtu = mtu } }
 // WithTrace installs a hook invoked for every datagram send.
 func WithTrace(fn func(TraceEvent)) Option { return func(n *Network) { n.trace = fn } }
 
-// New creates a network bound to the kernel.
+// New creates a classic single-threaded network bound to the kernel.
 func New(k *sim.Kernel, opts ...Option) *Network {
 	n := &Network{
-		kernel:  k,
-		latency: UniformLatency{Min: 10 * time.Millisecond, Max: 60 * time.Millisecond},
-		rng:     k.Stream(0x6e6574), // "net"
-		eps:     []*endpoint{nil},   // slot 0 = NoAddr
-		mtu:     64 << 10,
+		kernel:   k,
+		latency:  UniformLatency{Min: 10 * time.Millisecond, Max: 60 * time.Millisecond},
+		rng:      k.Stream(0x6e6574), // "net"
+		handlers: []Handler{nil},     // slot 0 = NoAddr
+		epAlive:  []bool{false},
+		mtu:      64 << 10,
 	}
 	for _, o := range opts {
 		o(n)
@@ -171,36 +235,107 @@ func New(k *sim.Kernel, opts ...Option) *Network {
 	return n
 }
 
-// Kernel returns the kernel the network runs on.
+// NewSharded creates a sharded network: it builds the sim.Sharded engine
+// itself, because the engine's lookahead is the latency model's floor and
+// the model arrives through the options. The latency model must implement
+// Floorer with a positive floor (all shipped models do unless configured
+// with zero minimum latency). Tracing is control-plane machinery and is
+// not supported sharded.
+func NewSharded(seed int64, shards int, opts ...Option) *Network {
+	n := &Network{
+		latency:  UniformLatency{Min: 10 * time.Millisecond, Max: 60 * time.Millisecond},
+		handlers: []Handler{nil},
+		epAlive:  []bool{false},
+		mtu:      64 << 10,
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	if n.trace != nil {
+		panic("netsim: tracing is not supported in sharded mode")
+	}
+	f, ok := n.latency.(Floorer)
+	if !ok {
+		panic(fmt.Sprintf("netsim: latency model %T has no Floor; sharding needs a latency lower bound", n.latency))
+	}
+	n.floor = f.Floor()
+	if n.floor <= 0 {
+		panic("netsim: latency floor must be positive to shard (zero-latency links serialize the world)")
+	}
+	n.engine = sim.NewSharded(seed, shards, n.floor)
+	n.kernel = n.engine.Shard(0)
+	n.epShard = []int32{0}
+	n.originSeq = []uint64{0}
+	n.originRng = []*rand.Rand{nil}
+	n.shardStats = make([]Stats, shards)
+	n.shardFree = make([]*delivery, shards)
+	n.engine.SetExchange(n.exchange)
+	return n
+}
+
+// Kernel returns the kernel the network runs on (shard 0's in sharded
+// mode; prefer Engine there).
 func (n *Network) Kernel() *sim.Kernel { return n.kernel }
 
+// Engine returns the sharded engine, or nil in classic mode.
+func (n *Network) Engine() *sim.Sharded { return n.engine }
+
+// Floor returns the latency floor the sharded engine runs on (zero in
+// classic mode).
+func (n *Network) Floor() time.Duration { return n.floor }
+
 // Attach registers a new endpoint and returns its address. The handler is
-// invoked from the kernel's event loop for each delivered datagram.
-func (n *Network) Attach(h Handler) Addr {
+// invoked from the kernel's event loop for each delivered datagram. In
+// sharded mode the endpoint lands on shard 0; use AttachOn to place it.
+func (n *Network) Attach(h Handler) Addr { return n.AttachOn(0, h) }
+
+// AttachOn registers a new endpoint pinned to a shard (control plane
+// only). In classic mode the shard must be 0.
+func (n *Network) AttachOn(shard int, h Handler) Addr {
 	if h == nil {
 		panic("netsim: Attach with nil handler")
 	}
-	a := Addr(len(n.eps))
-	n.eps = append(n.eps, &endpoint{addr: a, handler: h, alive: true})
+	a := Addr(len(n.handlers))
+	n.handlers = append(n.handlers, h)
+	n.epAlive = append(n.epAlive, true)
+	if n.engine == nil {
+		if shard != 0 {
+			panic("netsim: AttachOn with nonzero shard on a classic network")
+		}
+		return a
+	}
+	if shard < 0 || shard >= n.engine.Shards() {
+		panic(fmt.Sprintf("netsim: AttachOn shard %d out of range", shard))
+	}
+	n.epShard = append(n.epShard, int32(shard))
+	n.originSeq = append(n.originSeq, 0)
+	// The origin stream's label embeds the address under a "net" prefix
+	// (disjoint from node-env streams labelled by bare address and from
+	// the four-byte control-plane labels); deriving it from the owning
+	// shard's kernel is a locality choice only — every shard kernel
+	// shares the seed, so placement cannot change the stream.
+	n.originRng = append(n.originRng, n.engine.Shard(shard).Stream(0x6e6574<<40|uint64(a)))
 	return a
 }
 
-// ep resolves an address to its endpoint, or nil.
-func (n *Network) ep(a Addr) *endpoint {
-	if a == NoAddr || int(a) >= len(n.eps) {
-		return nil
+// valid reports whether the address names an attached endpoint.
+func (n *Network) valid(a Addr) bool { return a != NoAddr && int(a) < len(n.handlers) }
+
+// ShardOf returns the shard an endpoint is pinned to (0 in classic mode).
+func (n *Network) ShardOf(a Addr) int {
+	if n.engine == nil || !n.valid(a) {
+		return 0
 	}
-	return n.eps[a]
+	return int(n.epShard[a])
 }
 
 // SetHandler replaces the handler of an existing endpoint (used by runtimes
 // that attach before constructing the protocol state machine).
 func (n *Network) SetHandler(a Addr, h Handler) {
-	ep := n.ep(a)
-	if ep == nil {
+	if !n.valid(a) {
 		panic(fmt.Sprintf("netsim: SetHandler on unknown %v", a))
 	}
-	ep.handler = h
+	n.handlers[a] = h
 }
 
 // Kill marks the endpoint dead: it stops receiving, and datagrams to it are
@@ -208,16 +343,16 @@ func (n *Network) SetHandler(a Addr, h Handler) {
 // arrival (the process is gone). Killing an unknown or dead endpoint is a
 // no-op so failure injectors can be sloppy.
 func (n *Network) Kill(a Addr) {
-	if ep := n.ep(a); ep != nil {
-		ep.alive = false
+	if n.valid(a) {
+		n.epAlive[a] = false
 	}
 }
 
 // Revive brings a killed endpoint back (node restart). The endpoint keeps
 // its address and handler.
 func (n *Network) Revive(a Addr) {
-	if ep := n.ep(a); ep != nil {
-		ep.alive = true
+	if n.valid(a) {
+		n.epAlive[a] = true
 	}
 }
 
@@ -225,6 +360,9 @@ func (n *Network) Revive(a Addr) {
 // set, a datagram is silently dropped when fn(from, to) is false. The
 // filter models partitions and asymmetric connectivity failures; it is
 // consulted at send time, like a routing black hole between the sides.
+// Sharded callers' filters must be read-only over state that only changes
+// on the control plane (SplitFilter and PartitionBy qualify): the filter
+// runs on shard workers.
 func (n *Network) SetLinkFilter(fn func(from, to Addr) bool) { n.linkFilter = fn }
 
 // SplitFilter builds a link filter that partitions endpoints into two
@@ -247,20 +385,29 @@ func SplitFilter(split idspace.ID, idOf func(Addr) (idspace.ID, bool)) func(from
 }
 
 // Alive reports whether the endpoint exists and is live.
-func (n *Network) Alive(a Addr) bool {
-	ep := n.ep(a)
-	return ep != nil && ep.alive
-}
+func (n *Network) Alive(a Addr) bool { return n.valid(a) && n.epAlive[a] }
 
 // Size returns the number of attached endpoints (live or dead).
-func (n *Network) Size() int { return len(n.eps) - 1 }
+func (n *Network) Size() int { return len(n.handlers) - 1 }
 
-// Stats returns a copy of the accumulated counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns a copy of the accumulated counters (summed across shards
+// in sharded mode; control plane only).
+func (n *Network) Stats() Stats {
+	out := n.stats
+	for i := range n.shardStats {
+		out.add(n.shardStats[i])
+	}
+	return out
+}
 
 // ResetStats zeroes the counters (used between experiment phases so that
 // steady-state maintenance traffic is not charged to the lookup phase).
-func (n *Network) ResetStats() { n.stats = Stats{} }
+func (n *Network) ResetStats() {
+	n.stats = Stats{}
+	for i := range n.shardStats {
+		n.shardStats[i] = Stats{}
+	}
+}
 
 // Send transmits one datagram. Delivery is best-effort: the datagram may be
 // dropped by the loss model, because the destination is dead, or because it
@@ -269,6 +416,10 @@ func (n *Network) ResetStats() { n.stats = Stats{} }
 // is a pooled record dispatched through the kernel's closure-free path, so
 // steady-state traffic does not allocate per datagram.
 func (n *Network) Send(from, to Addr, payload interface{}, size int) {
+	if n.engine != nil {
+		n.sendSharded(from, to, payload, size)
+		return
+	}
 	n.stats.Sent++
 	n.stats.Bytes += uint64(size)
 
@@ -278,8 +429,7 @@ func (n *Network) Send(from, to Addr, payload interface{}, size int) {
 		n.release(payload)
 		return
 	}
-	ep := n.ep(to)
-	if ep == nil {
+	if !n.valid(to) {
 		n.stats.LostDead++
 		n.traceDrop(from, to, payload, size, "dead")
 		n.release(payload)
@@ -303,13 +453,80 @@ func (n *Network) Send(from, to Addr, payload interface{}, size int) {
 	delay := n.latency.Delay(from, to, n.rng)
 	d := n.freeDeliveries
 	if d == nil {
-		d = &delivery{}
+		d = &delivery{shard: -1}
 	} else {
 		n.freeDeliveries = d.next
 		d.next = nil
 	}
-	d.net, d.ep, d.from, d.payload, d.size = n, ep, from, payload, size
+	d.net, d.from, d.to, d.payload, d.size = n, from, to, payload, size
 	n.kernel.Post(delay, deliverDatagram, d)
+}
+
+// sendSharded is Send on a sharded network: callable from the origin
+// endpoint's shard worker (or the control plane while parked). It mirrors
+// the classic drop semantics, but draws loss and latency from the origin's
+// own stream, stamps the origin's send ordinal, and hands the datagram to
+// the engine's barrier exchange instead of posting it directly — including
+// for intra-shard traffic, so all same-instant deliveries share one
+// placement-invariant order.
+func (n *Network) sendSharded(from, to Addr, payload interface{}, size int) {
+	os := int(n.epShard[from])
+	st := &n.shardStats[os]
+	st.Sent++
+	st.Bytes += uint64(size)
+
+	if n.mtu > 0 && size > n.mtu {
+		st.LostDead++
+		n.release(payload)
+		return
+	}
+	if !n.valid(to) {
+		st.LostDead++
+		n.release(payload)
+		return
+	}
+	if n.linkFilter != nil && !n.linkFilter(from, to) {
+		st.LostFiltered++
+		n.release(payload)
+		return
+	}
+	rng := n.originRng[from]
+	if n.lossRate > 0 && rng.Float64() < n.lossRate {
+		st.LostRandom++
+		n.release(payload)
+		return
+	}
+	delay := n.latency.Delay(from, to, rng)
+	if delay < n.floor {
+		delay = n.floor
+	}
+	seq := n.originSeq[from]
+	n.originSeq[from]++
+	k := n.engine.Shard(os)
+	n.engine.Exchange(os, int(n.epShard[to]), sim.XEvent{
+		At:      k.Now() + delay,
+		Origin:  uint64(from),
+		Seq:     seq,
+		To:      uint64(to),
+		Size:    int32(size),
+		Payload: payload,
+	})
+}
+
+// exchange is the engine's release hook: it runs on the destination
+// shard's worker and builds the in-flight delivery record from that
+// shard's own free list — the origin never touches destination-owned
+// memory, which is what keeps both free lists atomic-free.
+func (n *Network) exchange(shard int, k *sim.Kernel, ev sim.XEvent) {
+	d := n.shardFree[shard]
+	if d == nil {
+		d = &delivery{}
+	} else {
+		n.shardFree[shard] = d.next
+		d.next = nil
+	}
+	d.net, d.from, d.to, d.payload, d.size, d.shard = n, Addr(ev.Origin), Addr(ev.To), ev.Payload, int(ev.Size), int32(shard)
+	k.Post(ev.At-k.Now(), deliverDatagram, d)
 }
 
 func (n *Network) traceDrop(from, to Addr, payload interface{}, size int, reason string) {

@@ -332,7 +332,7 @@ func LookupLoopFreedom(samples int) Checker {
 		if len(alive) < 2 {
 			return nil
 		}
-		rng := x.C.Kernel.Stream(0x6c6f6f70) // "loop"
+		rng := x.C.Stream(0x6c6f6f70) // "loop"
 		var out []Violation
 		for i := 0; i < samples; i++ {
 			origin := alive[rng.Intn(len(alive))]

@@ -37,7 +37,7 @@ func (Churn) Name() string { return "churn" }
 
 // Run implements Phase.
 func (c Churn) Run(e *Engine) {
-	now := e.C.Kernel.Now()
+	now := e.C.Now()
 	end := now + c.For
 	nextJoin, nextLeave := maxDuration, maxDuration
 	if d := e.expDelay(c.JoinRate); d < maxDuration {

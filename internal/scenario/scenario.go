@@ -120,9 +120,9 @@ type Engine struct {
 // leaves, which bootstrap a reviver uses) draws from a dedicated kernel
 // stream, so runs are reproducible from the cluster seed.
 func NewEngine(c *simrt.Cluster, opts Options) *Engine {
-	e := &Engine{C: c, opts: opts, rng: c.Kernel.Stream(0x7363656e)} // "scen"
+	e := &Engine{C: c, opts: opts, rng: c.Stream(0x7363656e)} // "scen"
 	if opts.SampleEvery > 0 {
-		e.nextSample = c.Kernel.Now() + opts.SampleEvery
+		e.nextSample = c.Now() + opts.SampleEvery
 	}
 	return e
 }
@@ -145,7 +145,7 @@ func (e *Engine) Play(phases ...Phase) *Result {
 		final = e.CheckNow()
 	}
 	e.res.Final = final
-	e.res.Events = e.C.Kernel.Executed()
+	e.res.Events = e.C.Events()
 	return &e.res
 }
 
@@ -168,26 +168,29 @@ func (e *Engine) CheckNow() []Violation {
 
 // advance moves virtual time forward by d, taking invariant samples on the
 // configured cadence.
-func (e *Engine) advance(d time.Duration) { e.advanceUntil(e.C.Kernel.Now() + d) }
+func (e *Engine) advance(d time.Duration) { e.advanceUntil(e.C.Now() + d) }
 
 // advanceUntil moves virtual time to t (absolute), sampling on the way.
+// After a wall-clock Interrupt the cluster clock freezes, so the loop
+// checks the flag explicitly rather than spinning on a time that will
+// never arrive.
 func (e *Engine) advanceUntil(t time.Duration) {
-	for e.C.Kernel.Now() < t {
+	for e.C.Now() < t && !e.C.Interrupted() {
 		next := t
 		if e.opts.SampleEvery > 0 && e.nextSample < next {
 			next = e.nextSample
 		}
-		_ = e.C.Kernel.RunUntil(next)
-		if e.opts.SampleEvery > 0 && e.C.Kernel.Now() >= e.nextSample {
+		e.C.RunUntil(next)
+		if e.opts.SampleEvery > 0 && e.C.Now() >= e.nextSample {
 			e.takeSample()
-			e.nextSample = e.C.Kernel.Now() + e.opts.SampleEvery
+			e.nextSample = e.C.Now() + e.opts.SampleEvery
 		}
 	}
 }
 
 func (e *Engine) takeSample() {
 	e.res.Samples = append(e.res.Samples, Sample{
-		At:         e.C.Kernel.Now(),
+		At:         e.C.Now(),
 		Phase:      e.curPhase,
 		Alive:      len(e.C.AliveNodes()),
 		Violations: e.CheckNow(),

@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"treep/internal/simrt"
+)
+
+// TestShardEquivalenceChurn is the end-to-end equivalence oracle for the
+// sharded kernel: the full churn scenario — Poisson joins and fail-stop
+// leaves driven by the scenario engine, with the invariant checkers
+// sampling mid-run, exactly as CI runs them — must reach a bit-identical
+// cluster digest at every shard count. The checkers run unmodified
+// against the sharded engine; any divergence in delivery order, timer
+// interleaving, or random-draw sequencing across shard placements shows
+// up as a digest mismatch against the single-shard reference.
+func TestShardEquivalenceChurn(t *testing.T) {
+	seeds := []int64{2, 29, 101}
+	n := 150
+	if testing.Short() {
+		seeds = seeds[:2]
+		n = 64
+	}
+	timeline := []Phase{
+		Settle{For: 4 * time.Second},
+		Churn{For: 10 * time.Second, JoinRate: 2, LeaveRate: 2},
+		Settle{For: 4 * time.Second},
+	}
+	for _, seed := range seeds {
+		var want uint64
+		var wantRes *Result
+		for _, shards := range []int{1, 2, 4, 8} {
+			c := simrt.New(simrt.Options{N: n, Seed: seed, Bulk: true, Shards: shards})
+			c.StartAll()
+			c.Run(4 * time.Second)
+			eng := NewEngine(c, Options{
+				Checkers:    AllCheckers(),
+				SampleEvery: 2 * time.Second,
+			})
+			res := eng.Play(timeline...)
+			got := c.StateDigest()
+			c.Engine.Close()
+			if shards == 1 {
+				want, wantRes = got, res
+				continue
+			}
+			if got != want {
+				t.Errorf("seed %d: digest at %d shards = %#x, want %#x (1 shard)",
+					seed, shards, got, want)
+			}
+			if res.Joins != wantRes.Joins || res.Leaves != wantRes.Leaves {
+				t.Errorf("seed %d: %d shards churned %d joins/%d leaves, want %d/%d",
+					seed, shards, res.Joins, res.Leaves, wantRes.Joins, wantRes.Leaves)
+			}
+			if len(res.Samples) != len(wantRes.Samples) {
+				t.Errorf("seed %d: %d shards took %d samples, want %d",
+					seed, shards, len(res.Samples), len(wantRes.Samples))
+				continue
+			}
+			for i, s := range res.Samples {
+				if w := wantRes.Samples[i]; s.Alive != w.Alive || len(s.Violations) != len(w.Violations) {
+					t.Errorf("seed %d: %d shards sample %d = (alive %d, violations %d), want (%d, %d)",
+						seed, shards, i, s.Alive, len(s.Violations), w.Alive, len(w.Violations))
+				}
+			}
+		}
+	}
+}

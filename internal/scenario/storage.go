@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"treep/internal/core"
@@ -26,6 +27,14 @@ type Storage struct {
 	PutTimeOnly bool
 
 	services map[uint64]*dht.Service
+
+	// mu guards the ledger, the counters and wave bookkeeping against
+	// concurrent completion callbacks: on a sharded cluster a Put/Get
+	// callback runs on the issuing node's shard worker, and two requests
+	// issued through different shards may complete in the same epoch.
+	// The protected results are commutative (counters, a sorted+deduped
+	// key set), so determinism does not depend on completion order.
+	mu sync.Mutex
 
 	// The ledger: every key the scenario successfully wrote, with the raw
 	// key bytes for re-reading. keys stays sorted for deterministic
@@ -161,6 +170,8 @@ func (p StoreRecords) Run(e *Engine) {
 			pending++
 			st.Puts++
 			s.Put(key, value, func(err error) {
+				st.mu.Lock()
+				defer st.mu.Unlock()
 				pending--
 				if err != nil {
 					st.PutFails++
@@ -169,8 +180,14 @@ func (p StoreRecords) Run(e *Engine) {
 				st.ledger(key)
 			})
 		}
-		deadline := e.C.Kernel.Now() + 30*time.Second
-		for pending > 0 && e.C.Kernel.Now() < deadline {
+		deadline := e.C.Now() + 30*time.Second
+		for e.C.Now() < deadline && !e.C.Interrupted() {
+			st.mu.Lock()
+			done := pending == 0
+			st.mu.Unlock()
+			if done {
+				break
+			}
 			e.advance(100 * time.Millisecond)
 		}
 	}
@@ -209,7 +226,7 @@ func (w StorageWorkload) Run(e *Engine) {
 	if prefix == "" {
 		prefix = "wl"
 	}
-	now := e.C.Kernel.Now()
+	now := e.C.Now()
 	end := now + w.For
 	next := [4]time.Duration{maxDuration, maxDuration, maxDuration, maxDuration}
 	rates := [4]float64{w.PutRate, w.GetRate, w.JoinRate, w.LeaveRate}

@@ -28,6 +28,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -61,7 +62,10 @@ type Kernel struct {
 	// maxEvents aborts runaway simulations (protocol loops); 0 = unlimited.
 	maxEvents uint64
 	seed      int64
-	stopped   bool
+	// stopped is atomic so wall-clock watchdogs (bench -budget) may call
+	// Stop from another goroutine; everything else on the kernel remains
+	// single-threaded.
+	stopped atomic.Bool
 
 	// streams caches the per-label random streams so hot paths can call
 	// Stream repeatedly without re-allocating a generator.
@@ -223,8 +227,8 @@ func (k *Kernel) Step() bool {
 // Run executes events until the queue drains, the budget is exhausted, or
 // Stop is called. It returns nil on a drained queue or voluntary stop.
 func (k *Kernel) Run() error {
-	k.stopped = false
-	for !k.stopped {
+	k.stopped.Store(false)
+	for !k.stopped.Load() {
 		if k.maxEvents > 0 && k.executed >= k.maxEvents {
 			return ErrBudget
 		}
@@ -242,8 +246,8 @@ func (k *Kernel) Run() error {
 // events scheduled exactly at the deadline (including from callbacks firing
 // at the deadline) are executed.
 func (k *Kernel) RunUntil(deadline time.Duration) error {
-	k.stopped = false
-	for !k.stopped {
+	k.stopped.Store(false)
+	for !k.stopped.Load() {
 		if k.maxEvents > 0 && k.executed >= k.maxEvents {
 			return ErrBudget
 		}
@@ -269,7 +273,8 @@ func (k *Kernel) RunUntil(deadline time.Duration) error {
 func (k *Kernel) RunFor(d time.Duration) error { return k.RunUntil(k.now + d) }
 
 // Stop makes the innermost Run/RunUntil return after the current event.
-func (k *Kernel) Stop() { k.stopped = true }
+// It is safe to call from another goroutine.
+func (k *Kernel) Stop() { k.stopped.Store(true) }
 
 // Pending returns the number of live (scheduled, non-cancelled) events.
 func (k *Kernel) Pending() int { return k.live }

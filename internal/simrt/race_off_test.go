@@ -1,0 +1,8 @@
+//go:build !race
+
+package simrt
+
+// raceEnabled reports whether the race detector is compiled in; the
+// sharded alloc-pin test skips under it (the detector instruments
+// allocations).
+const raceEnabled = false

@@ -7,6 +7,7 @@ package simrt
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"treep/internal/core"
@@ -38,11 +39,26 @@ type Options struct {
 	// false the cluster starts as disconnected level-0 nodes (protocol
 	// bootstrap tests).
 	Bulk bool
+	// Shards selects the execution engine. 0 (the default) is the classic
+	// single-threaded kernel — bit-identical to every pre-sharding run.
+	// ≥ 1 runs the sharded engine: nodes are partitioned across shards by
+	// ID range and advanced in lockstep epochs with deterministic barrier
+	// exchange, so any Shards ≥ 1 value produces the same end state as
+	// Shards == 1 for a given seed (the equivalence the oracle test
+	// enforces). Classic and sharded runs of the same seed differ — the
+	// classic network consumes one global latency/loss stream in global
+	// send order, which no parallel schedule can reproduce.
+	Shards int
 }
 
 // Cluster is a simulated TreeP deployment.
 type Cluster struct {
+	// Kernel is the classic single-threaded kernel; nil in sharded mode
+	// (use the dispatch methods Now/Run/RunUntil/Stream/Events, which
+	// cover both engines).
 	Kernel *sim.Kernel
+	// Engine is the sharded engine; nil in classic mode.
+	Engine *sim.Sharded
 	Net    *netsim.Network
 	Nodes  []*core.Node
 
@@ -67,6 +83,23 @@ type Cluster struct {
 	baseCfg   core.Config
 	gen       *nodeprof.Generator
 	spawnRand *rand.Rand
+
+	// interrupted is set by Interrupt (wall-clock budget watchdogs); once
+	// set, Run/RunUntil become no-ops so scenario drivers wind down at
+	// the next control-plane check instead of burning more virtual time.
+	interrupted atomic.Bool
+}
+
+// shardOfID places a node ID on a shard by contiguous ID range: with the
+// balanced assigner spreading IDs uniformly, populations divide evenly,
+// and the mapping is independent of attach order so re-running a seed at
+// a different shard count keeps every node's identity and streams.
+func shardOfID(id uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	stride := ^uint64(0)/uint64(shards) + 1
+	return int(id / stride)
 }
 
 // New builds a cluster.
@@ -74,29 +107,39 @@ func New(opts Options) *Cluster {
 	if opts.N <= 0 {
 		panic("simrt: N must be positive")
 	}
-	k := sim.New(opts.Seed)
-	net := netsim.New(k, opts.NetOpts...)
+	var net *netsim.Network
+	var k *sim.Kernel
+	if opts.Shards > 0 {
+		net = netsim.NewSharded(opts.Seed, opts.Shards, opts.NetOpts...)
+	} else {
+		k = sim.New(opts.Seed)
+		net = netsim.New(k, opts.NetOpts...)
+	}
 	classes := opts.Classes
 	if classes == nil {
 		classes = nodeprof.DefaultClasses()
 	}
 	gen := nodeprof.NewGenerator(classes, opts.Seed^0x70726f66) // "prof"
-	assigner := opts.Assigner
-	if assigner == nil {
-		assigner = idspace.BalancedAssigner{Rand: k.Stream(0x696473), JitterFrac: 0.8} // "ids"
-	}
 
 	c := &Cluster{
-		Kernel:    k,
-		Net:       net,
-		byAddr:    make([]*core.Node, 1, opts.N+1),
-		alive:     make([]bool, 1, opts.N+1),
-		baseCfg:   opts.Config,
-		gen:       gen,
-		spawnRand: k.Stream(0x7370776e), // "spwn"
+		Kernel:  k,
+		Engine:  net.Engine(),
+		Net:     net,
+		byAddr:  make([]*core.Node, 1, opts.N+1),
+		alive:   make([]bool, 1, opts.N+1),
+		baseCfg: opts.Config,
+		gen:     gen,
+	}
+	// Every control-plane stream goes through c.Stream, which derives
+	// identically in both modes, so a seed's node IDs, profiles, anchors
+	// and workload are the same population classic or sharded.
+	c.spawnRand = c.Stream(0x7370776e) // "spwn"
+	assigner := opts.Assigner
+	if assigner == nil {
+		assigner = idspace.BalancedAssigner{Rand: c.Stream(0x696473), JitterFrac: 0.8} // "ids"
 	}
 
-	anchorRand := k.Stream(0x616e6368) // "anch"
+	anchorRand := c.Stream(0x616e6368) // "anch"
 	for i := 0; i < opts.N; i++ {
 		cfg := opts.Config
 		cfg.ID = assigner.Assign(i, opts.N, fmt.Sprintf("10.0.%d.%d:7000", i/256, i%256))
@@ -117,9 +160,17 @@ func New(opts Options) *Cluster {
 }
 
 // attach wires one configured node into the network and bookkeeping maps.
+// In sharded mode the node lands on the shard owning its ID range, and
+// its environment (clock, timers, rng) binds to that shard's kernel —
+// the same-seed derivation keeps the rng identical at any shard count.
 func (c *Cluster) attach(cfg core.Config) *core.Node {
-	addr := c.Net.Attach(func(netsim.Addr, interface{}, int) {})
-	env := &simEnv{cluster: c, addr: uint64(addr), rng: c.Kernel.Stream(uint64(addr))}
+	shard := 0
+	if c.Engine != nil {
+		shard = shardOfID(uint64(cfg.ID), c.Engine.Shards())
+	}
+	addr := c.Net.AttachOn(shard, func(netsim.Addr, interface{}, int) {})
+	kern := c.kernelFor(shard)
+	env := &simEnv{cluster: c, addr: uint64(addr), rng: kern.Stream(uint64(addr)), kern: kern}
 	node := core.NewNode(cfg, env)
 	c.Net.SetHandler(addr, func(from netsim.Addr, payload interface{}, size int) {
 		if msg, ok := payload.(proto.Message); ok {
@@ -176,8 +227,82 @@ func (c *Cluster) StartAll() {
 	}
 }
 
+// kernelFor returns the kernel owning a shard (the classic kernel when
+// unsharded).
+func (c *Cluster) kernelFor(shard int) *sim.Kernel {
+	if c.Engine != nil {
+		return c.Engine.Shard(shard)
+	}
+	return c.Kernel
+}
+
+// Shards returns the shard count (0 = classic engine).
+func (c *Cluster) Shards() int {
+	if c.Engine != nil {
+		return c.Engine.Shards()
+	}
+	return 0
+}
+
+// Now returns the cluster's virtual clock: the kernel clock, or the
+// sharded engine's barrier clock (control plane only).
+func (c *Cluster) Now() time.Duration {
+	if c.Engine != nil {
+		return c.Engine.Now()
+	}
+	return c.Kernel.Now()
+}
+
+// RunUntil advances virtual time to the target on whichever engine the
+// cluster runs. After Interrupt it is a no-op, so scenario drivers wind
+// down at their next control-plane check.
+func (c *Cluster) RunUntil(t time.Duration) {
+	if c.interrupted.Load() {
+		return
+	}
+	if c.Engine != nil {
+		_ = c.Engine.RunUntil(t)
+		return
+	}
+	_ = c.Kernel.RunUntil(t)
+}
+
 // Run advances virtual time by d.
-func (c *Cluster) Run(d time.Duration) { _ = c.Kernel.RunFor(d) }
+func (c *Cluster) Run(d time.Duration) { c.RunUntil(c.Now() + d) }
+
+// Events returns the number of events executed so far (summed across
+// shards; control plane only).
+func (c *Cluster) Events() uint64 {
+	if c.Engine != nil {
+		return c.Engine.Executed()
+	}
+	return c.Kernel.Executed()
+}
+
+// Stream returns the deterministic random stream for a label, identical
+// across engines and shard counts for a given seed (control plane only).
+func (c *Cluster) Stream(label uint64) *rand.Rand {
+	if c.Engine != nil {
+		return c.Engine.Stream(label)
+	}
+	return c.Kernel.Stream(label)
+}
+
+// Interrupt aborts the run at the next event (classic) or epoch barrier
+// (sharded) and makes all further Run/RunUntil calls no-ops. It is the
+// one cluster method safe to call from another goroutine: wall-clock
+// budget watchdogs use it to cap a row's runtime.
+func (c *Cluster) Interrupt() {
+	c.interrupted.Store(true)
+	if c.Engine != nil {
+		c.Engine.Interrupt()
+		return
+	}
+	c.Kernel.Stop()
+}
+
+// Interrupted reports whether Interrupt cut the run short.
+func (c *Cluster) Interrupted() bool { return c.interrupted.Load() }
 
 // Kill removes a node from the network (fail-stop, no goodbye): its
 // endpoint stops receiving and its timers stop firing.
@@ -298,17 +423,23 @@ func (c *Cluster) NodeByAddr(addr uint64) *core.Node {
 
 // Rand returns a deterministic random stream for workload decisions,
 // distinct from all node streams.
-func (c *Cluster) Rand() *rand.Rand { return c.Kernel.Stream(0x776b6c64) } // "wkld"
+func (c *Cluster) Rand() *rand.Rand { return c.Stream(0x776b6c64) } // "wkld"
 
-// simEnv adapts the cluster to core.Env for one node.
+// simEnv adapts the cluster to core.Env for one node. kern is the
+// kernel the node's shard runs on (the classic kernel when unsharded):
+// its clock and timers must be the node's own shard's, both for
+// correctness (a node's events execute on its shard) and because the
+// shard kernel's clock is exact mid-epoch while the engine's barrier
+// clock lags it.
 type simEnv struct {
 	cluster *Cluster
 	addr    uint64
 	rng     *rand.Rand
+	kern    *sim.Kernel
 }
 
 func (e *simEnv) Addr() uint64       { return e.addr }
-func (e *simEnv) Now() time.Duration { return e.cluster.Kernel.Now() }
+func (e *simEnv) Now() time.Duration { return e.kern.Now() }
 func (e *simEnv) Rand() *rand.Rand   { return e.rng }
 
 func (e *simEnv) Send(to uint64, msg proto.Message) {
@@ -326,7 +457,7 @@ func (e *simEnv) SetTimer(d time.Duration, fn func()) core.Timer {
 			fn()
 		}
 	}
-	return e.cluster.Kernel.Schedule(d, guarded)
+	return e.kern.Schedule(d, guarded)
 }
 
 func (e *simEnv) SetPeriodic(d time.Duration, fn func()) core.Timer {
@@ -337,5 +468,5 @@ func (e *simEnv) SetPeriodic(d time.Duration, fn func()) core.Timer {
 			fn()
 		}
 	}
-	return e.cluster.Kernel.SchedulePeriodic(d, guarded)
+	return e.kern.SchedulePeriodic(d, guarded)
 }
