@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"treep/internal/chord"
+	"treep/internal/core"
 	"treep/internal/experiment"
 	"treep/internal/flood"
 	"treep/internal/nodeprof"
@@ -268,6 +269,67 @@ func BenchmarkDHTChurn(b *testing.B) {
 
 func BenchmarkDHTChurn2k(b *testing.B) {
 	benchDHTChurn(b, 2000)
+}
+
+// benchZipfBalanced is the skewed-read smoke point: a Zipf(1.0) read
+// storm against the full balancer stack (load observability + hot-key
+// fan-out), the regime the capacity balancer exists for. The timeline is
+// mirrored by treep-bench's -zipf scale rows, so CI's allocation guard
+// and this benchmark track the same workload. Reported metrics are the
+// read-miss percentage, the fraction of reads absorbed by reader-side
+// caches, and the end-state violation count with both balance checkers
+// gating.
+func benchZipfBalanced(b *testing.B, n int) {
+	b.Helper()
+	b.ReportAllocs()
+	rate := float64(n) / 2
+	if rate < 100 {
+		rate = 100
+	}
+	for i := 0; i < b.N; i++ {
+		c := simrt.New(simrt.Options{N: n, Seed: 1, Bulk: true, Config: core.Config{Balancer: true}})
+		st := scenario.NewStorage(3)
+		st.HotCache = true
+		st.AttachAll(c)
+		c.StartAll()
+		opts := scenario.Options{
+			Checkers:    append(scenario.AllCheckers(), scenario.BalanceCheckers()...),
+			Storage:     st,
+			FinalGrace:  3 * time.Second,
+			FinalChecks: 4,
+		}
+		res := scenario.Run(c, opts,
+			scenario.Settle{For: 8 * time.Second},
+			scenario.StoreRecords{Count: 64},
+			scenario.Settle{For: 2 * time.Second},
+			scenario.ZipfReads{For: 20 * time.Second, Rate: rate, Theta: 1.0, Readers: 64},
+		)
+		miss := 0.0
+		if st.Gets > 0 {
+			miss = 100 * float64(st.GetMiss) / float64(st.Gets)
+		}
+		b.ReportMetric(miss, "getmiss%")
+		var serves uint64
+		for _, nd := range c.Nodes {
+			if s := st.Service(nd.Addr()); s != nil {
+				serves += s.Stats.CacheServes
+			}
+		}
+		absorbed := 0.0
+		if st.Gets > 0 {
+			absorbed = 100 * float64(serves) / float64(st.Gets)
+		}
+		b.ReportMetric(absorbed, "cached%")
+		b.ReportMetric(float64(len(res.Final)), "violations@end")
+	}
+}
+
+func BenchmarkZipfBalanced(b *testing.B) {
+	benchZipfBalanced(b, 300)
+}
+
+func BenchmarkZipfBalanced2k(b *testing.B) {
+	benchZipfBalanced(b, 2000)
 }
 
 func BenchmarkScenarioFlashCrowd(b *testing.B) {

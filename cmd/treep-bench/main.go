@@ -50,10 +50,15 @@ kernel; sharded rows report wall-clock speedup against the shards=1
 row). -budget caps each row's wall clock: rows that overrun are marked
 truncated and excluded from speedup and benchguard comparisons. With
 -storage, each population also plays the DHT put/get-under-churn
-workload and exports it as "dht" rows in the same table:
+workload and exports it as "dht" rows in the same table; with -zipf,
+the skewed Zipf(1.0) read workload with the load balancer on as "zipf"
+rows. -shards applies only to the churn rows: the dht and zipf rows
+always run on the classic single-threaded kernel (their shard column is
+0), so listing more shard counts multiplies the churn rows but never
+the workload rows:
 
   treep-bench -scale 10k,100k,1M -shards 1,4 -budget 5m -out results/
-  treep-bench -scale 500,2000 -lookups 60 -storage -out results/
+  treep-bench -scale 500,2000 -lookups 60 -storage -zipf -out results/
 
 -cpuprofile/-memprofile/-blockprofile write pprof profiles of any mode.
 
@@ -98,6 +103,7 @@ func main() {
 	shards := flag.String("shards", "0", "scale mode: comma-separated engine configurations per population (0 = classic kernel, ≥1 = sharded kernel with that many shards)")
 	budget := flag.Duration("budget", 0, "scale mode: wall-clock cap per row; rows that overrun are interrupted and marked truncated (0 = no cap)")
 	storage := flag.Bool("storage", false, "scale mode: additionally run the DHT put/get-under-churn workload per N (workload \"dht\" rows)")
+	zipf := flag.Bool("zipf", false, "scale mode: additionally run the skewed Zipf(1.0) read workload with the load balancer on per N (workload \"zipf\" rows)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	blockprofile := flag.String("blockprofile", "", "write a goroutine blocking profile to this file on exit (shard workers park at epoch barriers; this shows where)")
@@ -168,11 +174,14 @@ func main() {
 	if *storage && *scale == "" {
 		fail("-storage requires -scale")
 	}
+	if *zipf && *scale == "" {
+		fail("-zipf requires -scale")
+	}
 	if *scale == "" && (*shards != "0" || *budget != 0) {
 		fail("-shards and -budget require -scale")
 	}
 	if *scale != "" {
-		runScale(*scale, *shards, *out, *lookups, *storage, *budget)
+		runScale(*scale, *shards, *out, *lookups, *storage, *zipf, *budget)
 		return
 	}
 	if *compare != "" {

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"treep/internal/core"
 	"treep/internal/experiment"
 	"treep/internal/proto"
 	"treep/internal/scenario"
@@ -234,6 +235,72 @@ func runStoragePoint(n int, budget time.Duration) ScalePoint {
 	return p
 }
 
+// zipfReadPhases mirrors BenchmarkZipfBalanced2k's skewed-read timeline:
+// ledger records, then a Zipf(1.0) read storm whose aggregate rate scales
+// with the population (N/2 reads per virtual second, floor 100).
+func zipfReadPhases(n int) []scenario.Phase {
+	rate := float64(n) / 2
+	if rate < 100 {
+		rate = 100
+	}
+	return []scenario.Phase{
+		scenario.Settle{For: 8 * time.Second},
+		scenario.StoreRecords{Count: 64},
+		scenario.Settle{For: 2 * time.Second},
+		scenario.ZipfReads{For: 20 * time.Second, Rate: rate, Theta: 1.0, Readers: 64},
+	}
+}
+
+// runZipfPoint plays the skewed-read workload with the balancer on at one
+// population and returns its scale row (workload "zipf"). Like dht rows
+// it always runs the classic engine; the overlay invariants plus both
+// balance checkers gate the end state.
+func runZipfPoint(n int, budget time.Duration) ScalePoint {
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	mallocs0 := ms.Mallocs
+	w := watchHeap()
+	start := time.Now()
+
+	c := simrt.New(simrt.Options{N: n, Seed: 1, Bulk: true, Config: core.Config{Balancer: true}})
+	if budget > 0 {
+		watchdog := time.AfterFunc(budget, c.Interrupt)
+		defer watchdog.Stop()
+	}
+	st := scenario.NewStorage(3)
+	st.HotCache = true
+	st.AttachAll(c)
+	c.StartAll()
+	res := scenario.Run(c, scenario.Options{
+		Checkers:    append(scenario.AllCheckers(), scenario.BalanceCheckers()...),
+		Storage:     st,
+		FinalGrace:  3 * time.Second,
+		FinalChecks: 4,
+	}, zipfReadPhases(n)...)
+
+	wall := time.Since(start)
+	peak := w.Stop()
+	runtime.ReadMemStats(&ms)
+
+	p := ScalePoint{
+		Workload:      "zipf",
+		N:             n,
+		MaxProcs:      runtime.GOMAXPROCS(0),
+		WallSec:       wall.Seconds(),
+		Events:        res.Events,
+		EventsPerS:    float64(res.Events) / wall.Seconds(),
+		AllocsRun:     ms.Mallocs - mallocs0,
+		PeakHeapBytes: peak,
+		Truncated:     c.Interrupted(),
+		Violations:    float64(len(res.Final)),
+	}
+	if st.Gets > 0 {
+		p.FailPct = 100 * float64(st.GetMiss) / float64(st.Gets)
+	}
+	return p
+}
+
 // fillSpeedups computes each sharded row's wall-clock speedup against its
 // single-shard counterpart at the same (workload, N). Truncated rows get
 // no speedup in either role: a row cut short by the budget is
@@ -257,9 +324,10 @@ func fillSpeedups(points []ScalePoint) {
 }
 
 // runScale executes the churn scenario once per (population, shard
-// count) — and, with storage, the dht workload once per population —
-// and writes the scale table as CSV + JSON under outDir.
-func runScale(spec, shardsSpec, outDir string, lookups int, storage bool, budget time.Duration) {
+// count) — and, with storage/zipf, the dht and skewed-read workloads
+// once per population — and writes the scale table as CSV + JSON under
+// outDir.
+func runScale(spec, shardsSpec, outDir string, lookups int, storage, zipf bool, budget time.Duration) {
 	var ns []int
 	for _, f := range strings.Split(spec, ",") {
 		f = strings.TrimSpace(f)
@@ -311,6 +379,11 @@ func runScale(spec, shardsSpec, outDir string, lookups int, storage bool, budget
 			sp := runStoragePoint(n, budget)
 			points = append(points, sp)
 			printScaleRow(sp)
+		}
+		if zipf {
+			zp := runZipfPoint(n, budget)
+			points = append(points, zp)
+			printScaleRow(zp)
 		}
 	}
 

@@ -46,6 +46,14 @@ func (n *Node) startElectionCountdown(level uint8) {
 	if n.electionTimer != nil {
 		return
 	}
+	// Election races run on the STATIC profile, like demotion: capacity
+	// decides who should hold hierarchy roles; load is redistributed at
+	// the traffic layer (the DHT's hot-key fan-out), never by reshaping
+	// the hierarchy. Folding live load into the countdown was tried:
+	// the reshaped topologies looped ~1% of lookups to TTL death (255
+	// hops of wandering each), inflating the very per-node load the
+	// balancer exists to cap. See updateLoad for the full ledger of
+	// rejected load→topology couplings.
 	d := n.cfg.Profile.ElectionCountdown(n.cfg.ElectionMin, n.cfg.ElectionMax, n.env.Rand())
 	n.electionTimer = n.env.SetTimer(d, func() {
 		n.electionTimer = nil
@@ -486,6 +494,12 @@ func (n *Node) maybeStartDemotion() {
 		// status even without children.
 		return
 	}
+	// Demotion stays on the STATIC profile even with the balancer on:
+	// a funnel node's message load is positional — whoever holds the
+	// level inherits it — so load-accelerated demotion just moves the
+	// hotspot to the next victim and thrashes elections. Load steers
+	// who wins promotions (election countdown, routing bias), not how
+	// long an incumbent survives.
 	n.demotionTimer = n.env.SetTimer(n.cfg.Profile.DemotionCountdown(n.cfg.DemotionMin, n.cfg.DemotionMax), func() {
 		n.demotionTimer = nil
 		n.demotionExpired()

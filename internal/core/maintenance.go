@@ -75,6 +75,9 @@ func (n *Node) pushUpdates() {
 // lost members.
 func (n *Node) sweepTick() {
 	now := n.env.Now()
+	if n.cfg.Balancer {
+		n.updateLoad(now)
+	}
 	freshDegree := n.farewellCheck(now)
 	res := n.table.Sweep(now, n.cfg.EntryTTL)
 	for addr, ps := range n.peers {

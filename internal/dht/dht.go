@@ -34,6 +34,7 @@
 package dht
 
 import (
+	"encoding/binary"
 	"errors"
 	"hash/maphash"
 	"sort"
@@ -91,6 +92,12 @@ type Stats struct {
 	Dropped    uint64 // local copies released after handoff
 	Consults   uint64 // fetch misses that consulted replicas
 	Repairs    uint64 // records adopted from a replica on read-repair
+
+	CacheServes   uint64 // reads answered from the hot-key cache
+	CacheStores   uint64 // cache entries stored or refreshed
+	Fanouts       uint64 // hot-key copies pushed to reader-side caches
+	Invalidations uint64 // store-time re-pushes to an active fan-out set
+	HorizonProbes uint64 // table-training lookups fired by cache hits
 }
 
 // Service layers the replicated store on a TreeP node. Create one per node
@@ -126,8 +133,52 @@ type Service struct {
 	// through SetMaintainInterval, which re-arms.
 	MaintainInterval time.Duration
 
+	// HotCache enables hot-key replica fan-out: owners count reads per
+	// key per maintenance window, and keys read at least HotThreshold
+	// times are pushed (fire-and-forget DHTReplicate) to their recent
+	// readers and the strongest ring contacts. Receivers outside the
+	// key's replica set file the copy in a bounded TTL'd cache instead of
+	// the authoritative store; readers serve fresh cached copies locally,
+	// and a store on a fanned-out key re-pushes the new version to the
+	// fan-out set (versioned invalidation — the ordinary (version,
+	// origin) merge makes the newer copy win everywhere). Off by
+	// default; the durability story is unchanged either way because
+	// cached copies never count as replicas.
+	HotCache bool
+	// HotThreshold is the reads-per-window level that marks an owned key
+	// hot (default 4 per 2s window — low on purpose: the owner only ever
+	// sees the reads its fan-out has NOT absorbed, and a key worth two
+	// full lookups a second is already worth a paced push).
+	HotThreshold int
+	// FanoutWidth caps how many reader-side copies one hot key maintains
+	// (default hotReaderSlots, so every remembered reader is covered — a
+	// reader outside the fan-out set re-fetches through the lookup
+	// funnel every CacheTTL, which is the load the fan-out exists to
+	// absorb).
+	FanoutWidth int
+	// CacheTTL bounds the staleness of cached copies between refresh
+	// pushes (default 30s). The bound only bites for keys that are read
+	// but not hot: hot keys' copies are refreshed (and invalidated on
+	// store) by owner pushes every few maintenance windows, far inside
+	// the TTL.
+	CacheTTL time.Duration
+
 	maintTimer core.Timer
 	scratch    []proto.NodeRef
+
+	// cache and cacheKeys are the reader-side hot-key cache (same
+	// map+sorted-keys shape as recs: deterministic iteration, bounded by
+	// maxCacheEntries).
+	cache     map[idspace.ID]*cacheEntry
+	cacheKeys []idspace.ID
+
+	// hot and hotKeys track read popularity of locally owned keys.
+	hot     map[idspace.ID]*hotKey
+	hotKeys []idspace.ID
+
+	// horizonHits counts local cache hits toward the next horizon
+	// refresh (see horizonEvery).
+	horizonHits uint64
 
 	// nudgePending debounces ring-change nudges: a merge zip reports a
 	// burst of new contacts, and one maintenance pass covers them all.
@@ -159,6 +210,72 @@ type storeMemo struct {
 	origin  uint64
 }
 
+// cacheEntry is one reader-side copy of a hot record. It lives outside
+// recs: it is never replicated, never handed off, and never counted by
+// the durability machinery — it only short-circuits reads while fresh.
+type cacheEntry struct {
+	value   []byte
+	version uint64
+	origin  uint64
+	expires time.Duration
+}
+
+// hotKey is the owner-side popularity state for one stored key.
+type hotKey struct {
+	// reads counts fetches in the current maintenance window.
+	reads int
+	// readers rings the most recent distinct reader addresses; they are
+	// the primary fan-out audience.
+	readers   [hotReaderSlots]uint64
+	readerIdx int
+	// fanout is the address set the last push went to; stores re-push
+	// here (invalidation) and refresh pushes keep its caches warm.
+	fanout []uint64
+	// cool counts the remaining lease windows; the key stays fanned-out
+	// until it reaches zero (refresh pushes suppress the reads that
+	// would re-mark it hot, so the lease is the hysteresis).
+	cool int
+	// age counts windows since the fan-out set was (re)built, pacing
+	// refresh pushes to every fanoutRefreshEvery windows.
+	age int
+}
+
+const (
+	// hotReaderSlots rings the distinct readers remembered per hot key.
+	// Sized to cover a realistic repeat-reader population: every reader
+	// the ring remembers gets refresh pushes and never re-enters the
+	// lookup funnel for the key, so coverage here converts directly into
+	// hierarchy load removed.
+	hotReaderSlots = 64
+	// hotLinger is the warm lease: how many maintenance windows a
+	// fan-out set is kept refreshed after the last window that tripped
+	// HotThreshold. Long on purpose — a working fan-out hides its own
+	// demand from the owner, so a short lease would oscillate
+	// (fan → quiet → drop → burst → fan).
+	hotLinger = 30
+	// fanoutNeighborSeed caps the capacity-weighted standby copies kept
+	// at ring contacts alongside the reader-side set.
+	fanoutNeighborSeed = 2
+	// fanoutRefreshEvery paces refresh pushes to one per this many
+	// maintenance windows — often enough to keep fanned copies well
+	// inside the cache TTL, without flooding a push per window.
+	fanoutRefreshEvery = 4
+	// maxHotKeys bounds the per-owner popularity table.
+	maxHotKeys = 64
+	// maxCacheEntries bounds the reader-side cache.
+	maxCacheEntries = 128
+	// horizonEvery paces the cache-hit-driven horizon refresh: every
+	// this many locally served cache hits, the node fires one pure
+	// lookup at a rotating uniform coordinate. Absorbing reads into
+	// caches starves the overlay of the long-range table entries that
+	// lookup replies incidentally train (direct refs from distant
+	// high-level responders); without the refresh those entries age out
+	// and the residual cold-key lookups run ~15% longer paths. The
+	// refresh budget is proportional to the traffic a cache absorbs,
+	// so idle caches cost nothing.
+	horizonEvery = 16
+)
+
 var sigSeed = maphash.MakeSeed()
 
 // Attach creates the service on a fresh service plane and hooks it into
@@ -177,6 +294,11 @@ func AttachPlane(p *svc.Plane) *Service {
 		RequestTimeout:    2 * time.Second,
 		Retries:           2,
 		MaintainInterval:  2 * time.Second,
+		HotThreshold:      4,
+		FanoutWidth:       hotReaderSlots,
+		CacheTTL:          30 * time.Second,
+		cache:             map[idspace.ID]*cacheEntry{},
+		hot:               map[idspace.ID]*hotKey{},
 	}
 	p.Handle(proto.TDHTStore, s.handleStore)
 	p.Handle(proto.TDHTFetch, s.handleFetch)
@@ -291,6 +413,28 @@ func (s *Service) Get(key []byte, cb func([]byte, error)) {
 // intend a PutIf against what they read.
 func (s *Service) GetRecord(key []byte, cb func(Record, error)) {
 	k := idspace.HashKey(key)
+	// Hot-key short-circuit: a fresh cached copy answers locally — this
+	// is where a flash crowd's traffic disappears from the owner's inbox.
+	// Staleness is bounded by CacheTTL, and the owner's refresh pushes
+	// keep a fanned-out key's caches both warm and current. The callback
+	// still fires asynchronously (zero-delay timer) so callers see one
+	// calling convention on hit and miss alike.
+	if s.HotCache {
+		if ce, ok := s.cache[k]; ok && s.node.Now() < ce.expires {
+			s.Stats.CacheServes++
+			rec := Record{
+				Value:   append([]byte(nil), ce.value...),
+				Version: ce.version,
+				Origin:  ce.origin,
+			}
+			s.node.SetTimer(0, func() { cb(rec, nil) })
+			s.horizonHits++
+			if s.horizonHits%horizonEvery == 0 {
+				s.refreshHorizon()
+			}
+			return
+		}
+	}
 	req := &proto.DHTFetch{Key: k}
 	s.plane.CallKey(k, proto.AlgoG, req, s.callOpts(),
 		func(_ proto.NodeRef, resp proto.SvcResponse, err error) {
@@ -305,11 +449,18 @@ func (s *Service) GetRecord(key []byte, cb func(Record, error)) {
 			}
 			// Copy out: the reply message may be pooled and is recycled when
 			// this delivery ends.
-			cb(Record{
+			rec := Record{
 				Value:   append([]byte(nil), rep.Value...),
 				Version: rep.Version,
 				Origin:  rep.Origin,
-			}, nil)
+			}
+			if s.HotCache {
+				// Every successful remote read primes the local cache, so a
+				// repeat reader stops asking the owner even before any
+				// fan-out reaches it.
+				s.cacheMerge(k, rec.Value, rec.Version, rec.Origin)
+			}
+			cb(rec, nil)
 		})
 }
 
@@ -359,6 +510,264 @@ func (s *Service) drop(k idspace.ID) {
 		s.keys = append(s.keys[:i], s.keys[i+1:]...)
 	}
 	s.Stats.Dropped++
+}
+
+// --- hot-key cache ----------------------------------------------------------
+
+// cacheMerge files a pushed or fetched copy in the reader-side cache by
+// the same (version, origin) order as the authoritative store; an equal
+// or newer copy also refreshes the entry's TTL (the owner's periodic
+// re-push rides this to keep hot caches warm). Strictly older copies
+// neither overwrite nor refresh.
+func (s *Service) cacheMerge(k idspace.ID, value []byte, version, origin uint64) {
+	now := s.node.Now()
+	ce, ok := s.cache[k]
+	if ok {
+		if version < ce.version || (version == ce.version && origin < ce.origin) {
+			return
+		}
+	} else {
+		if len(s.cacheKeys) >= maxCacheEntries {
+			s.evictCache(now)
+			if len(s.cacheKeys) >= maxCacheEntries {
+				return
+			}
+		}
+		ce = &cacheEntry{}
+		s.cache[k] = ce
+		i := sort.Search(len(s.cacheKeys), func(i int) bool { return s.cacheKeys[i] >= k })
+		s.cacheKeys = append(s.cacheKeys, 0)
+		copy(s.cacheKeys[i+1:], s.cacheKeys[i:])
+		s.cacheKeys[i] = k
+	}
+	ce.value = append(ce.value[:0], value...)
+	ce.version, ce.origin = version, origin
+	ce.expires = now + s.CacheTTL
+	s.Stats.CacheStores++
+}
+
+// evictCache clears expired entries; if nothing has expired it drops the
+// entry closest to expiry (smallest key on ties), so admission under a
+// full cache is deterministic.
+func (s *Service) evictCache(now time.Duration) {
+	n := 0
+	var victim idspace.ID
+	var victimAt time.Duration
+	hasVictim := false
+	for _, k := range s.cacheKeys {
+		ce := s.cache[k]
+		if ce.expires <= now {
+			delete(s.cache, k)
+			continue
+		}
+		if !hasVictim || ce.expires < victimAt {
+			victim, victimAt, hasVictim = k, ce.expires, true
+		}
+		s.cacheKeys[n] = k
+		n++
+	}
+	if n == len(s.cacheKeys) && hasVictim {
+		delete(s.cache, victim)
+		i := sort.Search(n, func(i int) bool { return s.cacheKeys[i] >= victim })
+		copy(s.cacheKeys[i:], s.cacheKeys[i+1:])
+		n--
+	}
+	s.cacheKeys = s.cacheKeys[:n]
+}
+
+// CacheLen returns the number of live cache entries, for tests.
+func (s *Service) CacheLen() int { return len(s.cacheKeys) }
+
+// CachedHashed returns the cached copy for an already-hashed key if it
+// is still fresh, for tests and diagnostics.
+func (s *Service) CachedHashed(k idspace.ID) (Record, bool) {
+	if ce, ok := s.cache[k]; ok && s.node.Now() < ce.expires {
+		return Record{Value: ce.value, Version: ce.version, Origin: ce.origin}, true
+	}
+	return Record{}, false
+}
+
+// noteRead counts a fetch against the owner-side popularity table and
+// remembers the reader for the fan-out audience.
+func (s *Service) noteRead(k idspace.ID, from uint64) {
+	if _, owned := s.recs[k]; !owned {
+		return
+	}
+	hk, ok := s.hot[k]
+	if !ok {
+		if len(s.hotKeys) >= maxHotKeys {
+			return
+		}
+		hk = &hotKey{}
+		s.hot[k] = hk
+		i := sort.Search(len(s.hotKeys), func(i int) bool { return s.hotKeys[i] >= k })
+		s.hotKeys = append(s.hotKeys, 0)
+		copy(s.hotKeys[i+1:], s.hotKeys[i:])
+		s.hotKeys[i] = k
+	}
+	hk.reads++
+	if from == 0 || from == s.node.Addr() {
+		return
+	}
+	for _, a := range hk.readers {
+		if a == from {
+			return
+		}
+	}
+	hk.readers[hk.readerIdx] = from
+	hk.readerIdx = (hk.readerIdx + 1) % hotReaderSlots
+}
+
+// dropHot forgets the popularity state at index i of hotKeys.
+func (s *Service) dropHot(i int, k idspace.ID) {
+	delete(s.hot, k)
+	s.hotKeys = append(s.hotKeys[:i], s.hotKeys[i+1:]...)
+}
+
+// fanoutTick runs once per maintenance window: reads are windowed, and
+// keys at or above HotThreshold (re)build their fan-out set and take a
+// long warm lease. A fanned-out key's cached copies absorb the reads
+// that would re-mark it hot — the owner goes quiet precisely because the
+// fan-out works — so the lease, not the owner-visible read rate, decides
+// how long copies are maintained: refresh pushes go out every
+// fanoutRefreshEvery windows (re-arming the readers' cache TTLs and
+// carrying any version the set has not seen), and when the lease runs
+// out the pushes stop, the copies age out, and genuinely surviving
+// demand re-trips the threshold within a window or two. Iteration is
+// over the sorted key slice, deterministic.
+// refreshHorizon fires one pure lookup (no fetch) at a deterministic
+// rotating coordinate. The reply's direct ref from a distant responder
+// is exactly the long-range table entry that ordinary lookup traffic
+// would have trained before the cache absorbed it; see horizonEvery.
+func (s *Service) refreshHorizon() {
+	s.Stats.HorizonProbes++
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], s.node.Addr())
+	binary.LittleEndian.PutUint64(b[8:], s.horizonHits)
+	s.node.Lookup(idspace.HashKey(b[:]), proto.AlgoG, func(core.LookupResult) {})
+}
+
+func (s *Service) fanoutTick() {
+	i := 0
+	for i < len(s.hotKeys) {
+		k := s.hotKeys[i]
+		hk := s.hot[k]
+		reads := hk.reads
+		hk.reads = 0
+		rec, owned := s.recs[k]
+		if !owned {
+			// Handed off or dropped: the new owner rebuilds its own
+			// popularity picture.
+			s.dropHot(i, k)
+			continue
+		}
+		if reads >= s.HotThreshold {
+			hk.cool = hotLinger
+			hk.fanout = s.fanoutTargets(k, hk)
+			hk.age = 0 // push immediately below, then every refresh interval
+		} else if hk.cool > 0 {
+			hk.cool--
+		}
+		if hk.cool > 0 && len(hk.fanout) > 0 {
+			if hk.age%fanoutRefreshEvery == 0 {
+				// Rebuild from the current reader ring before pushing: a
+				// reader that missed (and got ringed) after the key went
+				// hot must join the set, or it re-fetches through the
+				// funnel every TTL for the whole lease.
+				hk.fanout = s.fanoutTargets(k, hk)
+				s.pushFanout(k, rec, hk)
+			}
+			hk.age++
+		}
+		if hk.cool == 0 {
+			s.dropHot(i, k)
+			continue
+		}
+		i++
+	}
+}
+
+// fanoutTargets assembles the addresses a hot key's copies go to: the
+// recent distinct readers (they asked; their caches pay off on their
+// very next read), plus a couple of the highest-scoring fresh level-0
+// contacts — capacity-weighted standby copies that answer fetches
+// mid-ownership-transition. The seed is deliberately tiny: a copy at a
+// node nobody reads through is pure push traffic, so the reader ring is
+// the audience and capacity only breaks the tie for the standby slots.
+func (s *Service) fanoutTargets(k idspace.ID, hk *hotKey) []uint64 {
+	width := s.FanoutWidth
+	if width <= 0 {
+		width = 1
+	}
+	out := hk.fanout[:0]
+	self := s.node.Addr()
+	add := func(addr uint64) {
+		if addr == 0 || addr == self || len(out) >= width {
+			return
+		}
+		for _, a := range out {
+			if a == addr {
+				return
+			}
+		}
+		out = append(out, addr)
+	}
+	// Ring order starting at readerIdx: oldest remembered reader first,
+	// most recent last — a stable order for a deterministically filled
+	// ring.
+	for j := 0; j < hotReaderSlots; j++ {
+		add(hk.readers[(hk.readerIdx+j)%hotReaderSlots])
+	}
+	if seed := len(out) + fanoutNeighborSeed; seed < width {
+		width = seed
+	}
+	l0 := s.node.Table().Level0
+	now, ttl := s.node.Now(), s.node.Config().EntryTTL
+	refs := l0.AppendNeighborsFreshK(s.scratch[:0], k, now, ttl, fanoutNeighborSeed, true)
+	refs = l0.AppendNeighborsFreshK(refs, k, now, ttl, fanoutNeighborSeed, false)
+	s.scratch = refs
+	// Insertion sort by score descending (ID, Addr tiebreak): the
+	// strongest nearby nodes take the standby slots.
+	for a := 1; a < len(refs); a++ {
+		for b := a; b > 0 && scoreBetter(refs[b], refs[b-1]); b-- {
+			refs[b-1], refs[b] = refs[b], refs[b-1]
+		}
+	}
+	for _, r := range refs {
+		add(r.Addr)
+	}
+	return out
+}
+
+// scoreBetter orders fan-out candidates by advertised score descending
+// with deterministic tiebreaks.
+func scoreBetter(a, b proto.NodeRef) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	return a.Addr < b.Addr
+}
+
+// pushFanout sends fire-and-forget copies of rec to the key's fan-out
+// set. Receivers outside the replica set cache them (handleReplicate);
+// the occasional true replica in the set just re-merges a version it
+// already has.
+func (s *Service) pushFanout(k idspace.ID, rec *record, hk *hotKey) {
+	for _, addr := range hk.fanout {
+		m := &proto.DHTReplicate{
+			From:    s.node.Ref(),
+			Key:     k,
+			Value:   append([]byte(nil), rec.value...),
+			Version: rec.version,
+			Origin:  rec.origin,
+			Cache:   true,
+		}
+		s.Stats.Fanouts++
+		s.node.Send(addr, m)
+	}
 }
 
 // --- handlers ---------------------------------------------------------------
@@ -422,6 +831,16 @@ func (s *Service) finishStore(key idspace.ID, value []byte, base uint64, cond bo
 		if rec, ok := s.recs[key]; ok {
 			s.pushReplicas(key, rec)
 			rec.pushedSig, rec.pushedVersion = s.ringSig(), rec.version
+			// Versioned invalidation: a fanned-out key's cached copies
+			// must not serve the old value for a full CacheTTL. The new
+			// version goes straight to the fan-out set; cacheMerge at the
+			// receivers makes it win by version order.
+			if s.HotCache {
+				if hk, ok := s.hot[key]; ok && len(hk.fanout) > 0 {
+					s.Stats.Invalidations++
+					s.pushFanout(key, rec, hk)
+				}
+			}
 		}
 		ack.Status, ack.Version, ack.Origin = proto.StoreOK, version, from
 	}
@@ -437,9 +856,26 @@ func (s *Service) finishStore(key idspace.ID, value []byte, base uint64, cond bo
 func (s *Service) handleFetch(from uint64, req proto.SvcRequest, respond func(proto.SvcResponse)) {
 	m := req.(*proto.DHTFetch)
 	s.Stats.GetsServed++
+	if s.HotCache && !m.Local {
+		s.noteRead(m.Key, from)
+	}
 	if rec, ok := s.recs[m.Key]; ok {
 		respond(s.fetchReply(rec))
 		return
+	}
+	// Not holding the record: a fresh cached copy still answers (a reader
+	// that got routed here benefits from the fan-out too). Versioned
+	// staleness bounds apply as for the local-serve path.
+	if s.HotCache {
+		if ce, ok := s.cache[m.Key]; ok && s.node.Now() < ce.expires {
+			s.Stats.CacheServes++
+			rep := proto.AcquireDHTFetchReply()
+			rep.Found = true
+			rep.Value = append(rep.Value[:0], ce.value...)
+			rep.Version, rep.Origin = ce.version, ce.origin
+			respond(rep)
+			return
+		}
 	}
 	if m.Local || !s.ActiveRepair {
 		rep := proto.AcquireDHTFetchReply()
@@ -515,8 +951,29 @@ func (s *Service) fetchReply(rec *record) *proto.DHTFetchReply {
 }
 
 // handleReplicate merges a pushed copy; ReqID zero is fire-and-forget.
+// With the hot-key cache on, a fire-and-forget push for a key outside
+// this node's replica set is a fan-out copy, filed in the cache rather
+// than the authoritative store — it must not become a durable orphan the
+// maintenance loop then tries to hand back. Acked pushes (handoff) and
+// pushes we are genuinely in the replica set for merge as before.
 func (s *Service) handleReplicate(from uint64, req proto.SvcRequest, respond func(proto.SvcResponse)) {
 	m := req.(*proto.DHTReplicate)
+	if m.Cache {
+		// Fan-out copy: cache it, never adopt it as an authoritative
+		// replica — adopting would leave this node believing a "closer
+		// owner" exists and re-handing the record off every maintenance
+		// tick. The one exception is a key this node already holds for
+		// real (it is in the replica set and the push carries a newer
+		// version): the ordinary merge keeps the authoritative copy
+		// current.
+		if _, held := s.recs[m.Key]; held {
+			s.merge(m.Key, m.Value, m.Version, m.Origin)
+		} else {
+			s.cacheMerge(m.Key, m.Value, m.Version, m.Origin)
+		}
+		respond(nil)
+		return
+	}
 	stored := s.merge(m.Key, m.Value, m.Version, m.Origin)
 	if m.ReqID == 0 {
 		respond(nil)
@@ -534,6 +991,9 @@ func (s *Service) handleReplicate(from uint64, req proto.SvcRequest, respond fun
 // neighbourhood or the version changed since the last push; records a
 // known closer node should own are handed off.
 func (s *Service) maintainTick() {
+	if s.HotCache {
+		s.fanoutTick()
+	}
 	if !s.ActiveRepair || len(s.keys) == 0 {
 		return
 	}

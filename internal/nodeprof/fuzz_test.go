@@ -1,0 +1,66 @@
+package nodeprof
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzProfileMergeUpdate drives the profile update algebra — Clamp,
+// WithLoad, Merge, EWMA — with arbitrary inputs and asserts the
+// invariants every consumer (elections, demotions, child policies)
+// depends on: no negative capacities, loads and scores confined to
+// [0, 1], Merge commutative and closed over well-formed profiles.
+func FuzzProfileMergeUpdate(f *testing.F) {
+	f.Add(4.0, 8192, 6400, 200, int64(time.Hour), 0.3, 0.1,
+		2.0, 2048, 1600, 50, int64(time.Minute), 0.9, 0.7, 0.5)
+	f.Add(-1.0, -5, -5, -5, int64(-1), -2.0, 3.0,
+		1e300, 1<<30, 1<<30, 1<<30, int64(1)<<62, 0.0, 0.0, -0.5)
+	f.Add(0.0, 0, 0, 0, int64(0), 0.0, 0.0,
+		0.0, 0, 0, 0, int64(0), 0.0, 0.0, 2.0)
+
+	f.Fuzz(func(t *testing.T,
+		cpuA float64, memA, bwA, stA int, upA int64, sysA, netA float64,
+		cpuB float64, memB, bwB, stB int, upB int64, sysB, netB float64,
+		load float64) {
+
+		a := Profile{CPUGHz: cpuA, MemoryMB: memA, BandwidthKB: bwA,
+			StorageGB: stA, Uptime: time.Duration(upA), SysLoad: sysA, NetLoad: netA}
+		b := Profile{CPUGHz: cpuB, MemoryMB: memB, BandwidthKB: bwB,
+			StorageGB: stB, Uptime: time.Duration(upB), SysLoad: sysB, NetLoad: netB}
+
+		wellFormed := func(name string, p Profile) {
+			t.Helper()
+			if p.CPUGHz < 0 || p.MemoryMB < 0 || p.BandwidthKB < 0 || p.StorageGB < 0 || p.Uptime < 0 {
+				t.Fatalf("%s: negative capacity: %+v", name, p)
+			}
+			if p.SysLoad < 0 || p.SysLoad > 1 || p.NetLoad < 0 || p.NetLoad > 1 {
+				t.Fatalf("%s: load outside [0,1]: %+v", name, p)
+			}
+			if s := p.Score(); s < 0 || s > 1 || s != s {
+				t.Fatalf("%s: score %v outside [0,1]: %+v", name, s, p)
+			}
+		}
+
+		wellFormed("Clamp(a)", a.Clamp())
+		wellFormed("Clamp(b)", b.Clamp())
+		wellFormed("a.WithLoad", a.Clamp().WithLoad(sysA, load))
+
+		m := Merge(a, b)
+		wellFormed("Merge(a,b)", m)
+		if m2 := Merge(b, a); m != m2 {
+			t.Fatalf("Merge not commutative: %+v vs %+v", m, m2)
+		}
+		// Merging a profile into an already-merged pair must stay
+		// well-formed (the runtime folds repeatedly).
+		wellFormed("Merge(Merge(a,b),a)", Merge(m, a))
+
+		var e EWMA
+		e.Observe(load)
+		e.Observe(sysA)
+		e.Observe(netB)
+		if v := e.Value(); v < 0 || v > 1 || v != v {
+			t.Fatalf("EWMA value %v outside [0,1]", v)
+		}
+		wellFormed("WithLoad(EWMA)", a.Clamp().WithLoad(a.SysLoad, e.Value()))
+	})
+}

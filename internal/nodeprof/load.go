@@ -1,0 +1,130 @@
+package nodeprof
+
+// load.go holds the dynamic side of node profiling: an EWMA load
+// estimator the overlay feeds with observed message rates, and the
+// clamp/merge algebra that keeps profiles well-formed as they are
+// updated at runtime. The static Profile describes what a node *could*
+// do; the estimator tracks what it is currently being asked to do, and
+// WithLoad folds the two into the effective profile that drives
+// promotion, demotion and child-capacity decisions.
+
+// EWMA is an exponentially weighted moving average over load samples in
+// [0, 1]. The zero value is usable: the first observation seeds the
+// average directly (no bias toward zero), later ones decay with Alpha.
+type EWMA struct {
+	// Alpha is the smoothing factor in (0, 1]; zero means DefaultAlpha.
+	Alpha float64
+
+	value  float64
+	seeded bool
+}
+
+// DefaultAlpha smooths over roughly the last 1/0.25 = 4 observations —
+// fast enough to track a flash crowd arriving within a few sweep
+// periods, slow enough that a single bursty sweep does not flip a
+// node's score.
+const DefaultAlpha = 0.25
+
+// Observe folds one load sample into the average. Samples are clamped
+// to [0, 1] first, so the average can never leave the unit interval no
+// matter what the caller measured.
+func (e *EWMA) Observe(sample float64) {
+	sample = clamp01(sample)
+	if !e.seeded {
+		e.value = sample
+		e.seeded = true
+		return
+	}
+	a := e.Alpha
+	if a <= 0 || a > 1 {
+		a = DefaultAlpha
+	}
+	e.value += a * (sample - e.value)
+}
+
+// Value returns the current average, always in [0, 1].
+func (e *EWMA) Value() float64 { return e.value }
+
+// Seeded reports whether Observe has run at least once.
+func (e *EWMA) Seeded() bool { return e.seeded }
+
+// Reset forgets all observations; the next Observe re-seeds.
+func (e *EWMA) Reset() {
+	e.value = 0
+	e.seeded = false
+}
+
+// Clamp returns the profile with every field forced into its legal
+// range: capacities non-negative, load factors in [0, 1]. Profiles
+// cross the runtime as plain structs, so any arithmetic that could
+// overshoot (merge, load updates, fuzzed inputs) runs through Clamp
+// before the result is scored.
+func (p Profile) Clamp() Profile {
+	if p.CPUGHz < 0 {
+		p.CPUGHz = 0
+	}
+	if p.MemoryMB < 0 {
+		p.MemoryMB = 0
+	}
+	if p.BandwidthKB < 0 {
+		p.BandwidthKB = 0
+	}
+	if p.StorageGB < 0 {
+		p.StorageGB = 0
+	}
+	if p.Uptime < 0 {
+		p.Uptime = 0
+	}
+	p.SysLoad = clamp01(p.SysLoad)
+	p.NetLoad = clamp01(p.NetLoad)
+	return p
+}
+
+// WithLoad returns the profile with its load factors replaced by the
+// given observations (clamped to [0, 1]). The static load fields
+// describe the node's background occupancy at configuration time;
+// WithLoad is how the runtime overrides them with what it measures.
+func (p Profile) WithLoad(sys, net float64) Profile {
+	p.SysLoad = clamp01(sys)
+	p.NetLoad = clamp01(net)
+	return p
+}
+
+// Merge combines two observations of the same node's profile into one:
+// capacity dimensions take the maximum (a capability once demonstrated
+// is real — a smaller later reading reflects contention, which the
+// load factors carry), uptime takes the maximum for the same reason,
+// and load factors average (two samples of a fluctuating quantity).
+// The result is clamped, so merging well-formed profiles is closed
+// over well-formed profiles, and Merge is commutative.
+func Merge(a, b Profile) Profile {
+	return Profile{
+		CPUGHz:      maxf(a.CPUGHz, b.CPUGHz),
+		MemoryMB:    maxi(a.MemoryMB, b.MemoryMB),
+		BandwidthKB: maxi(a.BandwidthKB, b.BandwidthKB),
+		StorageGB:   maxi(a.StorageGB, b.StorageGB),
+		Uptime:      maxi(a.Uptime, b.Uptime),
+		SysLoad:     (clamp01(a.SysLoad) + clamp01(b.SysLoad)) / 2,
+		NetLoad:     (clamp01(a.NetLoad) + clamp01(b.NetLoad)) / 2,
+	}.Clamp()
+}
+
+func maxf(a, b float64) float64 {
+	if a != a {
+		a = 0
+	}
+	if b != b {
+		b = 0
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxi[T ~int | ~int64](a, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,170 @@
+package nodeprof
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestEWMAConvergesToConstant checks the core property the balancer
+// relies on: feeding a constant load sample drives the average to that
+// value geometrically, so profiles converge rather than oscillate.
+func TestEWMAConvergesToConstant(t *testing.T) {
+	for _, target := range []float64{0, 0.1, 0.5, 0.93, 1} {
+		var e EWMA
+		e.Observe(0.7) // arbitrary seed away from the target
+		for i := 0; i < 64; i++ {
+			e.Observe(target)
+		}
+		if d := math.Abs(e.Value() - target); d > 1e-6 {
+			t.Errorf("EWMA after 64 samples of %.2f: value %.6f (off by %g)", target, e.Value(), d)
+		}
+	}
+}
+
+// TestEWMAStaysWithinSampleBounds: the average is a convex combination
+// of its samples, so it can never leave [min(samples), max(samples)] —
+// and in particular can never go negative or exceed 1, whatever the
+// caller feeds it.
+func TestEWMAStaysWithinSampleBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		var e EWMA
+		e.Alpha = rng.Float64() // includes 0 (→ default) and values near 1
+		lo, hi := 1.0, 0.0
+		for i := 0; i < 200; i++ {
+			// Raw samples include out-of-range garbage; the estimator
+			// clamps, so the effective sample range is within [0,1].
+			s := rng.Float64()*4 - 2
+			cl := s
+			if cl < 0 {
+				cl = 0
+			}
+			if cl > 1 {
+				cl = 1
+			}
+			if cl < lo {
+				lo = cl
+			}
+			if cl > hi {
+				hi = cl
+			}
+			e.Observe(s)
+			if v := e.Value(); v < lo-1e-12 || v > hi+1e-12 {
+				t.Fatalf("trial %d sample %d: value %.6f outside sample bounds [%.6f, %.6f]",
+					trial, i, v, lo, hi)
+			}
+			if v := e.Value(); v < 0 || v > 1 {
+				t.Fatalf("trial %d: value %.6f outside [0,1]", trial, v)
+			}
+		}
+	}
+}
+
+// TestEWMAReset checks the estimator re-seeds after Reset instead of
+// blending new samples into forgotten history.
+func TestEWMAReset(t *testing.T) {
+	var e EWMA
+	e.Observe(1)
+	e.Reset()
+	if e.Seeded() || e.Value() != 0 {
+		t.Fatalf("after Reset: seeded=%v value=%v", e.Seeded(), e.Value())
+	}
+	e.Observe(0.25)
+	if e.Value() != 0.25 {
+		t.Fatalf("first post-reset sample should seed directly, got %v", e.Value())
+	}
+}
+
+// TestProfileConvergesUnderChurn is the satellite's headline property:
+// a node whose measured load fluctuates around a mean sees its
+// effective score settle into a band around the steady-state score,
+// never negative, never above the unloaded score. This is the
+// stability statement that makes load-driven promotion safe — scores
+// track load without thrashing.
+func TestProfileConvergesUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := Profile{CPUGHz: 4, MemoryMB: 8192, BandwidthKB: 6400, StorageGB: 200, Uptime: 10 * 24 * time.Hour}
+	unloaded := base.Score()
+	steady := base.WithLoad(base.SysLoad, 0.5).Score()
+
+	var e EWMA
+	// Churn: noisy load samples with mean 0.5.
+	for i := 0; i < 500; i++ {
+		e.Observe(0.5 + (rng.Float64()-0.5)*0.4)
+	}
+	got := base.WithLoad(base.SysLoad, e.Value()).Score()
+	if got < 0 || got > 1 {
+		t.Fatalf("score %v outside [0,1]", got)
+	}
+	if got > unloaded {
+		t.Fatalf("loaded score %v exceeds unloaded score %v", got, unloaded)
+	}
+	if d := math.Abs(got - steady); d > 0.05 {
+		t.Fatalf("score %v did not converge near steady-state %v (off by %v)", got, steady, d)
+	}
+}
+
+// TestClampNoNegativeCapacities: whatever garbage arrives, Clamp
+// produces a profile whose every capacity is non-negative, loads are in
+// [0,1], and Score stays in [0,1].
+func TestClampNoNegativeCapacities(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		p := Profile{
+			CPUGHz:      rng.Float64()*40 - 20,
+			MemoryMB:    rng.Intn(1<<20) - 1<<19,
+			BandwidthKB: rng.Intn(1<<20) - 1<<19,
+			StorageGB:   rng.Intn(4096) - 2048,
+			Uptime:      time.Duration(rng.Int63n(int64(100*24*time.Hour))) - 50*24*time.Hour,
+			SysLoad:     rng.Float64()*6 - 3,
+			NetLoad:     rng.Float64()*6 - 3,
+		}.Clamp()
+		if p.CPUGHz < 0 || p.MemoryMB < 0 || p.BandwidthKB < 0 || p.StorageGB < 0 || p.Uptime < 0 {
+			t.Fatalf("negative capacity after Clamp: %+v", p)
+		}
+		if p.SysLoad < 0 || p.SysLoad > 1 || p.NetLoad < 0 || p.NetLoad > 1 {
+			t.Fatalf("load outside [0,1] after Clamp: %+v", p)
+		}
+		if s := p.Score(); s < 0 || s > 1 {
+			t.Fatalf("Score %v outside [0,1] for %+v", s, p)
+		}
+	}
+}
+
+// TestMergeProperties: Merge is commutative, idempotent on clamped
+// profiles, and never invents capacity beyond the larger input.
+func TestMergeProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	randProfile := func() Profile {
+		return Profile{
+			CPUGHz:      rng.Float64() * 16,
+			MemoryMB:    rng.Intn(65536),
+			BandwidthKB: rng.Intn(100000),
+			StorageGB:   rng.Intn(2000),
+			Uptime:      time.Duration(rng.Int63n(int64(60 * 24 * time.Hour))),
+			SysLoad:     rng.Float64(),
+			NetLoad:     rng.Float64(),
+		}
+	}
+	for i := 0; i < 300; i++ {
+		a, b := randProfile(), randProfile()
+		ab, ba := Merge(a, b), Merge(b, a)
+		if ab != ba {
+			t.Fatalf("Merge not commutative:\n a=%+v\n b=%+v\nab=%+v\nba=%+v", a, b, ab, ba)
+		}
+		if aa := Merge(a, a); aa != a.Clamp() {
+			t.Fatalf("Merge not idempotent: a=%+v merge=%+v", a, aa)
+		}
+		if ab.CPUGHz > math.Max(a.CPUGHz, b.CPUGHz)+1e-12 {
+			t.Fatalf("Merge invented CPU capacity: %v from %v, %v", ab.CPUGHz, a.CPUGHz, b.CPUGHz)
+		}
+		if ab.MemoryMB > max(a.MemoryMB, b.MemoryMB) {
+			t.Fatalf("Merge invented memory: %v", ab.MemoryMB)
+		}
+		if s := ab.Score(); s < 0 || s > 1 {
+			t.Fatalf("merged Score %v outside [0,1]", s)
+		}
+	}
+}

@@ -148,7 +148,7 @@ func (g *Generator) pick() Class {
 }
 
 func clamp01(v float64) float64 {
-	if v < 0 {
+	if v < 0 || v != v { // NaN guard: a poisoned sample must not stick
 		return 0
 	}
 	if v > 1 {

@@ -624,7 +624,9 @@ func (m *DHTFetchReply) decodeBody(r *reader) {
 func (*DHTReplicate) Type() MsgType { return TDHTReplicate }
 
 // EncodedSize implements Message.
-func (m *DHTReplicate) EncodedSize() int { return nodeRefSize + 8 + 8 + 2 + len(m.Value) + 8 + 8 }
+func (m *DHTReplicate) EncodedSize() int {
+	return nodeRefSize + 8 + 8 + 2 + len(m.Value) + 8 + 8 + 1
+}
 
 func (m *DHTReplicate) encodeBody(w *writer) {
 	w.ref(m.From)
@@ -633,6 +635,7 @@ func (m *DHTReplicate) encodeBody(w *writer) {
 	w.bytes(m.Value)
 	w.u64(m.Version)
 	w.u64(m.Origin)
+	w.boolean(m.Cache)
 }
 
 func (m *DHTReplicate) decodeBody(r *reader) {
@@ -642,6 +645,7 @@ func (m *DHTReplicate) decodeBody(r *reader) {
 	m.Value = r.bytesField()
 	m.Version = r.u64()
 	m.Origin = r.u64()
+	m.Cache = r.boolean()
 }
 
 // Type implements Message.

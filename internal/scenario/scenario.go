@@ -110,6 +110,9 @@ type Engine struct {
 	res        Result
 	curPhase   string
 	nextSample time.Duration
+	// readers is the shared repeat-reader pool for skewed-read phases
+	// (lazily built by the first such phase, reused by the rest).
+	readers *readerPool
 	// ctx is the shared invariant-checking context, reset per pass so all
 	// checkers in one CheckNow share a single sorted alive-list and the
 	// walk scratch buffers.

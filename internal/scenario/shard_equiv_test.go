@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"treep/internal/core"
 	"treep/internal/simrt"
 )
 
@@ -52,6 +53,83 @@ func TestShardEquivalenceChurn(t *testing.T) {
 			if res.Joins != wantRes.Joins || res.Leaves != wantRes.Leaves {
 				t.Errorf("seed %d: %d shards churned %d joins/%d leaves, want %d/%d",
 					seed, shards, res.Joins, res.Leaves, wantRes.Joins, wantRes.Leaves)
+			}
+			if len(res.Samples) != len(wantRes.Samples) {
+				t.Errorf("seed %d: %d shards took %d samples, want %d",
+					seed, shards, len(res.Samples), len(wantRes.Samples))
+				continue
+			}
+			for i, s := range res.Samples {
+				if w := wantRes.Samples[i]; s.Alive != w.Alive || len(s.Violations) != len(w.Violations) {
+					t.Errorf("seed %d: %d shards sample %d = (alive %d, violations %d), want (%d, %d)",
+						seed, shards, i, s.Alive, len(s.Violations), w.Alive, len(w.Violations))
+				}
+			}
+		}
+	}
+}
+
+// TestShardBalancerEquivalence is the seed-sweep equivalence oracle for
+// the balancer stack: the full skewed-read timeline — Zipf reads, a
+// flash crowd, hot-key fan-out, horizon-refresh probes and the balance
+// checkers sampling mid-run — must reach a bit-identical cluster digest
+// at every shard count, across a wide seed sweep. Everything the
+// balancer added (load EWMAs, cache fan-out, versioned invalidation,
+// deterministic horizon lookups) rides the same virtual-time kernel as
+// the rest of the overlay, so any hidden wall-clock or map-order
+// dependence shows up here as a digest mismatch.
+func TestShardBalancerEquivalence(t *testing.T) {
+	seeds := int64(16)
+	shardCounts := []int{1, 2, 4}
+	if testing.Short() {
+		seeds = 4
+		shardCounts = []int{1, 2}
+	}
+	timeline := []Phase{
+		Settle{For: 4 * time.Second},
+		StoreRecords{Count: 32},
+		Settle{For: 2 * time.Second},
+		ZipfReads{For: 8 * time.Second, Rate: 200, Theta: 1.0, Readers: 32},
+		FlashCrowdReads{For: 4 * time.Second, Rate: 200, Readers: 32},
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		var want uint64
+		var wantRes *Result
+		var wantGets, wantServes uint64
+		for _, shards := range shardCounts {
+			c := simrt.New(simrt.Options{
+				N: 300, Seed: seed, Bulk: true, Shards: shards,
+				Config: core.Config{Balancer: true},
+			})
+			st := NewStorage(3)
+			st.HotCache = true
+			st.AttachAll(c)
+			c.StartAll()
+			eng := NewEngine(c, Options{
+				Storage:     st,
+				Checkers:    BalanceCheckers(),
+				SampleEvery: 2 * time.Second,
+			})
+			res := eng.Play(timeline...)
+			got := c.StateDigest()
+			var serves uint64
+			for _, nd := range c.Nodes {
+				if s := st.Service(nd.Addr()); s != nil {
+					serves += s.Stats.CacheServes
+				}
+			}
+			c.Engine.Close()
+			if shards == shardCounts[0] {
+				want, wantRes, wantGets, wantServes = got, res, st.Gets, serves
+				continue
+			}
+			if got != want {
+				t.Errorf("seed %d: digest at %d shards = %#x, want %#x (%d shards)",
+					seed, shards, got, want, shardCounts[0])
+			}
+			if st.Gets != wantGets || serves != wantServes {
+				t.Errorf("seed %d: %d shards read %d gets/%d cache serves, want %d/%d",
+					seed, shards, st.Gets, serves, wantGets, wantServes)
 			}
 			if len(res.Samples) != len(wantRes.Samples) {
 				t.Errorf("seed %d: %d shards took %d samples, want %d",

@@ -25,6 +25,11 @@ type Storage struct {
 	// implementation's put-time-only replication, for the durability
 	// ablation in EXPERIMENTS.md.
 	PutTimeOnly bool
+	// HotCache enables hot-key replica fan-out and reader-side caching on
+	// every attached service — the storage half of the load balancer
+	// (core's side is Config.Balancer). Off by default so pre-balancer
+	// timelines stay bit-identical.
+	HotCache bool
 
 	services map[uint64]*dht.Service
 
@@ -79,6 +84,9 @@ func (st *Storage) Attach(n *core.Node) {
 	if st.PutTimeOnly {
 		s.ActiveRepair = false
 	}
+	if st.HotCache {
+		s.HotCache = true
+	}
 	st.services[n.Addr()] = s
 }
 
@@ -91,6 +99,9 @@ func (st *Storage) Bind(s *dht.Service) {
 	}
 	if st.PutTimeOnly {
 		s.ActiveRepair = false
+	}
+	if st.HotCache {
+		s.HotCache = true
 	}
 }
 

@@ -1,0 +1,265 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"treep/internal/core"
+	"treep/internal/simrt"
+)
+
+// zipf_test.go is the skewed-workload acceptance suite for the load
+// balancer: the Zipf sampler's distribution, the headline p99-load cut
+// under Zipf(1.0) reads, the flash-crowd regime, and the balance
+// checkers staying quiet across a seed sweep of healthy balanced runs.
+
+// TestZipfRankDistribution checks the sampler against the analytic
+// Zipf(1.0) mass function: rank r's expected share of draws is
+// 1/((r+1)·H_n).
+func TestZipfRankDistribution(t *testing.T) {
+	const n, draws = 100, 200000
+	z := NewZipf(n, 1.0)
+	if z.N() != n {
+		t.Fatalf("N() = %d, want %d", z.N(), n)
+	}
+	rng := rand.New(rand.NewSource(42))
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Rank(rng.Float64())]++
+	}
+	var h float64
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	for _, r := range []int{0, 1, 2, 9} {
+		want := float64(draws) / (float64(r+1) * h)
+		got := float64(counts[r])
+		if got < 0.9*want || got > 1.1*want {
+			t.Errorf("rank %d drawn %d times, want %.0f ±10%%", r, counts[r], want)
+		}
+	}
+	if !(counts[0] > counts[9] && counts[9] > counts[99]) {
+		t.Errorf("head/tail ordering violated: counts[0]=%d counts[9]=%d counts[99]=%d",
+			counts[0], counts[9], counts[99])
+	}
+}
+
+// TestZipfSamplerEdgeCases pins the clamping rules: degenerate n and
+// theta fall back to a single rank / the canonical exponent, and the
+// extremes of the uniform input map to the first and last rank.
+func TestZipfSamplerEdgeCases(t *testing.T) {
+	z := NewZipf(0, -1)
+	if z.N() != 1 || z.Rank(0) != 0 || z.Rank(0.999999) != 0 {
+		t.Fatalf("degenerate sampler: N=%d Rank(0)=%d Rank(~1)=%d", z.N(), z.Rank(0), z.Rank(0.999999))
+	}
+	z = NewZipf(8, 1.0)
+	if z.Rank(0) != 0 {
+		t.Errorf("Rank(0) = %d, want 0", z.Rank(0))
+	}
+	if got := z.Rank(0.9999999); got != 7 {
+		t.Errorf("Rank(~1) = %d, want 7", got)
+	}
+}
+
+// balanceArm summarises one measured arm of a balance experiment.
+type balanceArm struct {
+	// Load is the per-node message-load distribution over the measured
+	// window.
+	Load LoadStats
+	// ReaderHops is the mix-controlled static path length from the actual
+	// reader pool to every ledgered key (see StaticHops), over RWalks
+	// delivered walks.
+	ReaderHops float64
+	RWalks     int
+	// GetsW / ServesW count client reads and reader-side cache serves
+	// during the measured window.
+	GetsW, ServesW uint64
+}
+
+// armCluster builds the standard balance-experiment fixture: every node
+// carries a DHT service, records are ledgered, the overlay is settled.
+func armCluster(n int, seed int64, balanced bool, records int) (*simrt.Cluster, *Storage, *Engine) {
+	opts := simrt.Options{N: n, Seed: seed, Bulk: true}
+	if balanced {
+		opts.Config = core.Config{Balancer: true}
+	}
+	c := simrt.New(opts)
+	st := NewStorage(3)
+	st.HotCache = balanced
+	st.AttachAll(c)
+	c.StartAll()
+	e := NewEngine(c, Options{Storage: st})
+	Settle{For: 8 * time.Second}.Run(e)
+	StoreRecords{Count: records}.Run(e)
+	Settle{For: 2 * time.Second}.Run(e)
+	return c, st, e
+}
+
+func totalCacheServes(c *simrt.Cluster, st *Storage) uint64 {
+	var sum uint64
+	for _, nd := range c.Nodes {
+		if s := st.Service(nd.Addr()); s != nil {
+			sum += s.Stats.CacheServes
+		}
+	}
+	return sum
+}
+
+// measureArm plays the warmup phase, snapshots, plays the measurement
+// phase, and summarises the window.
+func measureArm(c *simrt.Cluster, st *Storage, e *Engine, warm, measure Phase) balanceArm {
+	warm.Run(e)
+	prev := SnapshotLoad(c)
+	gets0 := st.Gets
+	serves0 := totalCacheServes(c, st)
+	measure.Run(e)
+	arm := balanceArm{
+		Load:    LoadPercentiles(LoadDeltas(c, prev)),
+		GetsW:   st.Gets - gets0,
+		ServesW: totalCacheServes(c, st) - serves0,
+	}
+	var readers []*core.Node
+	for _, a := range e.readers.addrs {
+		if nd := c.NodeByAddr(a); nd != nil {
+			readers = append(readers, nd)
+		}
+	}
+	arm.ReaderHops, arm.RWalks = StaticHops(c, readers, st.keys)
+	return arm
+}
+
+// zipfArm runs one Zipf(1.0) read arm end to end.
+func zipfArm(n int, seed int64, balanced bool, rate float64) balanceArm {
+	c, st, e := armCluster(n, seed, balanced, 64)
+	return measureArm(c, st, e,
+		ZipfReads{For: 12 * time.Second, Rate: rate, Theta: 1.0, Readers: 64},
+		ZipfReads{For: 20 * time.Second, Rate: rate, Theta: 1.0, Readers: 64})
+}
+
+// checkBalanceArm asserts the headline acceptance pair on an off/on arm
+// couple: the balancer cuts the p99 per-node load by at least minCut
+// while stretching the mix-controlled reader path length by at most
+// maxStretch.
+func checkBalanceArm(t *testing.T, name string, off, on balanceArm, minCut, maxStretch float64) {
+	t.Helper()
+	t.Logf("%s off: load %v readerHops=%.2f (%d walks)", name, off.Load, off.ReaderHops, off.RWalks)
+	t.Logf("%s on:  load %v readerHops=%.2f (%d walks) servesW=%d/%d",
+		name, on.Load, on.ReaderHops, on.RWalks, on.ServesW, on.GetsW)
+	if on.Load.P99 == 0 {
+		t.Fatalf("%s: balanced arm measured no load", name)
+	}
+	cut := float64(off.Load.P99) / float64(on.Load.P99)
+	if cut < minCut {
+		t.Errorf("%s: p99 load cut %.2fx (off %d / on %d), want >= %.1fx",
+			name, cut, off.Load.P99, on.Load.P99, minCut)
+	}
+	stretch := on.ReaderHops/off.ReaderHops - 1
+	if stretch > maxStretch {
+		t.Errorf("%s: balancer stretched reader paths %.1f%% (%.2f -> %.2f), want <= %.0f%%",
+			name, 100*stretch, off.ReaderHops, on.ReaderHops, 100*maxStretch)
+	}
+}
+
+// TestZipfBalancerCutsTailLoad is the headline acceptance test: under a
+// Zipf(1.0) read storm at N=2000, turning the balancer on (load
+// observability + hot-key fan-out cache) must cut the p99 per-node
+// message load at least 3x while keeping the mix-controlled lookup path
+// length within 10% of the unbalanced baseline. Both arms run the
+// identical workload from the identical seed; only the balancer flag
+// differs.
+func TestZipfBalancerCutsTailLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("N=2000 acceptance run; TestZipfBalancerSmoke covers short mode")
+	}
+	for _, seed := range []int64{1, 2} {
+		off := zipfArm(2000, seed, false, 1500)
+		on := zipfArm(2000, seed, true, 1500)
+		checkBalanceArm(t, fmt.Sprintf("zipf/seed%d", seed), off, on, 3.0, 0.10)
+		if on.ServesW*10 < on.GetsW*9 {
+			t.Errorf("seed %d: cache absorbed only %d of %d window reads, want >= 90%%",
+				seed, on.ServesW, on.GetsW)
+		}
+	}
+}
+
+// TestZipfBalancerSmoke is the scaled-down variant that runs in -short
+// suites: same workload shape at N=300, looser (but still meaningful)
+// bounds.
+func TestZipfBalancerSmoke(t *testing.T) {
+	off := zipfArm(300, 1, false, 200)
+	on := zipfArm(300, 1, true, 200)
+	checkBalanceArm(t, "zipf-smoke", off, on, 1.5, 0.15)
+	if on.ServesW == 0 {
+		t.Error("balanced smoke arm never served from reader caches")
+	}
+}
+
+// TestFlashCrowdFanout pins the flash-crowd regime: the entire read rate
+// aimed at ONE key. Without the balancer the key's owner absorbs nearly
+// every lookup (max load is tens of times the mean); with fan-out the
+// reader-side caches take the whole crowd and the hottest node stays
+// within an order of magnitude of its peers.
+func TestFlashCrowdFanout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flash-crowd acceptance run")
+	}
+	for _, seed := range []int64{1, 2} {
+		flash := func(balanced bool) balanceArm {
+			c, st, e := armCluster(800, seed, balanced, 64)
+			return measureArm(c, st, e,
+				FlashCrowdReads{For: 8 * time.Second, Rate: 800, Readers: 64},
+				FlashCrowdReads{For: 15 * time.Second, Rate: 800, Readers: 64})
+		}
+		off := flash(false)
+		on := flash(true)
+		t.Logf("flash/seed%d off: load %v", seed, off.Load)
+		t.Logf("flash/seed%d on:  load %v servesW=%d/%d", seed, on.Load, on.ServesW, on.GetsW)
+		if on.Load.Max == 0 {
+			t.Fatalf("seed %d: balanced arm measured no load", seed)
+		}
+		if cut := float64(off.Load.Max) / float64(on.Load.Max); cut < 10 {
+			t.Errorf("seed %d: hottest-node cut %.1fx (off max %d / on max %d), want >= 10x",
+				seed, cut, off.Load.Max, on.Load.Max)
+		}
+		if on.ServesW != on.GetsW {
+			t.Errorf("seed %d: crowd window served %d of %d reads from caches, want all",
+				seed, on.ServesW, on.GetsW)
+		}
+	}
+}
+
+// TestBalanceCheckersHealthyUnderZipf sweeps 16 seeds of the balanced
+// Zipf timeline with both balance checkers sampling every 2 s: a healthy
+// balanced overlay must never trip them. (The companion trip tests in
+// checker_test.go prove the same checkers DO fire on injected
+// violations, so this quietness is evidence, not a tautology.)
+func TestBalanceCheckersHealthyUnderZipf(t *testing.T) {
+	seeds := int64(16)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		c := simrt.New(simrt.Options{N: 300, Seed: seed, Bulk: true, Config: core.Config{Balancer: true}})
+		st := NewStorage(3)
+		st.HotCache = true
+		st.AttachAll(c)
+		c.StartAll()
+		e := NewEngine(c, Options{Storage: st, Checkers: BalanceCheckers(), SampleEvery: 2 * time.Second})
+		res := e.Play(
+			Settle{For: 8 * time.Second},
+			StoreRecords{Count: 32},
+			Settle{For: 2 * time.Second},
+			ZipfReads{For: 16 * time.Second, Rate: 200, Theta: 1.0, Readers: 32},
+		)
+		for _, s := range res.Samples {
+			for _, v := range s.Violations {
+				t.Errorf("seed %d: %s at %v during %s: %s", seed, v.Checker, s.At, s.Phase, v.Detail)
+			}
+		}
+		for _, v := range res.Final {
+			t.Errorf("seed %d: final %s: %s", seed, v.Checker, v.Detail)
+		}
+	}
+}
