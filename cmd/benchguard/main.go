@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // point mirrors the fields of treep-bench's ScalePoint that the guard
@@ -49,6 +50,16 @@ type key struct {
 	workload string
 	n        int
 	shards   int
+}
+
+// canonWorkload maps the user-facing workload name to the JSON field
+// value: the canonical churn timeline writes workload "" and prints as
+// "churn", so flags accept either spelling.
+func canonWorkload(w string) string {
+	if w == "churn" {
+		return ""
+	}
+	return w
 }
 
 func (k key) String() string {
@@ -88,9 +99,11 @@ func main() {
 	baseline := flag.String("baseline", "ci/bench-baseline.json", "checked-in baseline scale table")
 	current := flag.String("current", "results/scale-churn.json", "freshly generated scale table")
 	maxRegress := flag.Float64("max-regress", 0.15, "allowed fractional allocs/run growth before failing")
-	minSpeedup := flag.Float64("min-speedup", 0, "minimum parallel speedup the guarded sharded row must reach (0 disables)")
-	speedupN := flag.Int("speedup-n", 10000, "population of the speedup-guarded churn row")
-	speedupShards := flag.Int("speedup-shards", 4, "shard count of the speedup-guarded churn row")
+	minSpeedup := flag.Float64("min-speedup", 0, "minimum speedup the guarded row must reach (0 disables)")
+	speedupN := flag.Int("speedup-n", 10000, "population of the speedup-guarded row")
+	speedupShards := flag.Int("speedup-shards", 4, "shard count of the speedup-guarded row")
+	speedupWorkload := flag.String("speedup-workload", "churn", "workload of the speedup-guarded row")
+	only := flag.String("only", "", "comma-separated workloads to guard (empty = all; \"churn\" names the canonical timeline)")
 	flag.Parse()
 
 	base, err := load(*baseline)
@@ -102,6 +115,26 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(1)
+	}
+	if *only != "" {
+		// Different CI steps generate different slices of the table (the
+		// simulated scale run vs the real-socket udp run); -only scopes both
+		// files to the named workloads so each step guards its own rows
+		// without tripping the missing-row check on the other step's.
+		keep := make(map[string]bool)
+		for _, w := range strings.Split(*only, ",") {
+			keep[canonWorkload(strings.TrimSpace(w))] = true
+		}
+		for k := range base {
+			if !keep[k.workload] {
+				delete(base, k)
+			}
+		}
+		for k := range cur {
+			if !keep[k.workload] {
+				delete(cur, k)
+			}
+		}
 	}
 
 	failed := false
@@ -148,7 +181,7 @@ func main() {
 	}
 
 	if *minSpeedup > 0 {
-		k := key{"", *speedupN, *speedupShards}
+		k := key{canonWorkload(*speedupWorkload), *speedupN, *speedupShards}
 		switch c, ok := cur[k]; {
 		case !ok:
 			fmt.Fprintf(os.Stderr, "benchguard: speedup floor set but %s missing from current run\n", k)

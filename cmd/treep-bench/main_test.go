@@ -55,6 +55,17 @@ func TestConflictingFlagsExit2(t *testing.T) {
 		{"bad-population", []string{"-scale", "abc"}},
 		{"bad-shard-count", []string{"-scale", "100", "-shards", "-3"}},
 		{"stray-operand", []string{"extra"}},
+		{"udp-and-scale", []string{"-udp", "-scale", "500"}},
+		{"udp-and-compare", []string{"-udp", "-compare", "chord"}},
+		{"udp-variant-without-udp", []string{"-udp-variant", "batch"}},
+		{"udp-for-without-udp", []string{"-udp-for", "2s"}},
+		{"udp-workers-without-udp", []string{"-udp-workers", "4"}},
+		{"bad-udp-variant", []string{"-udp", "-udp-variant", "fast"}},
+		{"udp-one-node", []string{"-udp", "-n", "1"}},
+		{"udp-zero-workers", []string{"-udp", "-udp-workers", "0"}},
+		{"udp-negative-window", []string{"-udp", "-udp-for", "-1s"}},
+		{"udp-rate-without-udp", []string{"-udp-rate", "100"}},
+		{"udp-negative-rate", []string{"-udp", "-udp-rate", "-5"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -111,5 +122,48 @@ func TestScaleZipfRow(t *testing.T) {
 	}
 	if !zipf || !churn {
 		t.Errorf("exported rows missing workloads (zipf=%v churn=%v):\n%s", zipf, churn, data)
+	}
+}
+
+// TestUDPBenchRow runs a real (tiny) -udp invocation end to end: a
+// 3-node loopback cluster, one worker, a short window — and checks the
+// exported table carries the udp workload row keyed the way benchguard
+// compares it, with traffic actually measured.
+func TestUDPBenchRow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real UDP cluster")
+	}
+	dir := t.TempDir()
+	out, code := runBench(t, "-udp", "-n", "3", "-udp-for", "500ms",
+		"-udp-workers", "1", "-udp-records", "2", "-udp-variant", "batch", "-out", dir)
+	if code != 0 {
+		t.Fatalf("udp run exited %d\noutput:\n%s", code, out)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "udp-bench.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []struct {
+		Workload string  `json:"workload"`
+		N        int     `json:"n"`
+		Shards   int     `json:"shards"`
+		Events   uint64  `json:"events"`
+		FailPct  float64 `json:"fail_pct"`
+	}
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("udp-bench.json has %d rows, want 1 (batch only):\n%s", len(rows), data)
+	}
+	r := rows[0]
+	if r.Workload != "udp" || r.N != 3 || r.Shards != 0 {
+		t.Errorf("udp row keyed (%q, n=%d, shards=%d), want (\"udp\", 3, 0)", r.Workload, r.N, r.Shards)
+	}
+	if r.Events == 0 {
+		t.Errorf("udp row measured zero datagrams:\n%s", data)
+	}
+	if r.FailPct > 50 {
+		t.Errorf("udp row read-miss %.1f%%: cluster unhealthy\noutput:\n%s", r.FailPct, out)
 	}
 }

@@ -432,10 +432,17 @@ func printScaleRow(p ScalePoint) {
 
 // writeScale exports the scale table as CSV + JSON.
 func writeScale(outDir string, points []ScalePoint) error {
+	return writeScaleAs(outDir, "scale-churn", points)
+}
+
+// writeScaleAs exports a scale table under outDir as <base>.csv and
+// <base>.json (the udp bench writes its rows beside the simulator's scale
+// table without clobbering it).
+func writeScaleAs(outDir, base string, points []ScalePoint) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
-	jf, err := os.Create(filepath.Join(outDir, "scale-churn.json"))
+	jf, err := os.Create(filepath.Join(outDir, base+".json"))
 	if err != nil {
 		return err
 	}
@@ -449,7 +456,7 @@ func writeScale(outDir string, points []ScalePoint) error {
 		return err
 	}
 
-	cf, err := os.Create(filepath.Join(outDir, "scale-churn.csv"))
+	cf, err := os.Create(filepath.Join(outDir, base+".csv"))
 	if err != nil {
 		return err
 	}

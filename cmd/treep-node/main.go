@@ -30,7 +30,11 @@ func main() {
 	defer node.Close()
 
 	self := udptransport.UintToAddr(node.Addr())
-	fmt.Printf("treep-node listening on %s (overlay id %v)\n", self, node.ID())
+	wirePath := "single-datagram syscalls"
+	if node.Batched() {
+		wirePath = "batched syscalls (sendmmsg/recvmmsg)"
+	}
+	fmt.Printf("treep-node listening on %s (overlay id %v, %s)\n", self, node.ID(), wirePath)
 	fmt.Printf("others can join with: treep-node -join %s\n", self)
 
 	if *join != "" {
@@ -55,8 +59,10 @@ func main() {
 	for {
 		select {
 		case <-tick.C:
-			fmt.Printf("[%s] level=%d peers=%d records=%d\n",
-				time.Now().Format("15:04:05"), node.Level(), node.PeerCount(), node.StoredRecords())
+			ws := node.WireStats()
+			fmt.Printf("[%s] level=%d peers=%d records=%d wire[in=%d out=%d sys=%d/%d drop=%d badpkt=%d]\n",
+				time.Now().Format("15:04:05"), node.Level(), node.PeerCount(), node.StoredRecords(),
+				ws.Recv, ws.Sent, ws.RecvSyscalls, ws.SendSyscalls, ws.Drops, ws.DecodeErrs+ws.Oversize)
 		case <-sigs:
 			// Graceful shutdown: Close announces the departure to every
 			// peer before the socket goes away, so the overlay repairs

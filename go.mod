@@ -1,3 +1,9 @@
 module treep
 
 go 1.24
+
+// Dependency-free by design. The batched UDP I/O (recvmmsg/sendmmsg)
+// is implemented directly over syscall.RawConn in internal/udptransport
+// instead of pinning golang.org/x/net (whose ipv4.PacketConn wraps the
+// same two syscalls); DESIGN.md §14 records the trade-off, and the CI
+// darwin cross-compile step proves the non-Linux fallback builds.

@@ -500,6 +500,11 @@ func (n *Node) applyEntries(from uint64, sender proto.NodeRef, entries []proto.E
 				up = proto.AcquirePong()
 				up.From = n.Ref()
 			}
+			if len(up.Entries) >= proto.MaxKeepAliveEntries {
+				// Wire-safety clamp (see composeUpdateInto): the forward
+				// must stay sendable over real UDP.
+				continue
+			}
 			up.Entries = append(up.Entries, proto.Entry{
 				Ref: e.Ref, Level: e.Ref.MaxLevel, Flags: proto.FNeighbor,
 				Version: n.table.Version(), AgeDs: proto.AgeFrom(now, validated),

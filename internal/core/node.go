@@ -884,6 +884,13 @@ func (n *Node) composeUpdateInto(out []proto.Entry, peer uint64, forChild bool) 
 	for _, e := range structural {
 		out = appendEntryDedup(out, e)
 	}
+	if len(out) > proto.MaxKeepAliveEntries {
+		// Wire-safety clamp: a keep-alive must fit proto.MaxDatagram on
+		// the real-socket plane. §III.e bounds tables to dozens of
+		// entries, so this never fires in practice; dropped entries
+		// simply ride a later piggyback.
+		out = out[:proto.MaxKeepAliveEntries]
+	}
 	return out
 }
 

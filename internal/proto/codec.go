@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"treep/internal/idspace"
 )
@@ -31,20 +32,78 @@ var (
 // prefixes from forcing huge allocations.
 const maxListLen = 4096
 
-// Encode serialises a message, header included.
+// MaxDatagram is the largest wire encoding a transport will carry: the
+// maximum UDP-over-IPv4 payload (65535 - 20 IP - 8 UDP). The simulator
+// has no packet size limit, but the real-socket plane rejects larger
+// encodes instead of letting the kernel truncate or refuse them silently.
+const MaxDatagram = 65507
+
+// MaxKeepAliveEntries is how many entries a Ping/Pong can carry and still
+// fit in MaxDatagram. Keep-alive composition clamps to this bound so an
+// update can never compose an unsendable datagram (in practice updates
+// are a few dozen entries; the clamp is the safety rail, not the norm).
+const MaxKeepAliveEntries = (MaxDatagram - headerSize - nodeRefSize - 4 - 2) / entrySize
+
+// Encode serialises a message into a fresh buffer, header included.
 func Encode(m Message) []byte {
-	w := &writer{buf: make([]byte, 0, headerSize+m.EncodedSize())}
+	return EncodeAppend(make([]byte, 0, headerSize+m.EncodedSize()), m)
+}
+
+// writerPool and readerPool recycle the codec cursors. A stack-local
+// cursor would be free, but escape analysis can't keep one on the stack
+// across the encodeBody/decodeBody interface call, so without pooling
+// every encode and decode pays one heap allocation just for the cursor.
+var (
+	writerPool = sync.Pool{New: func() interface{} { return new(writer) }}
+	readerPool = sync.Pool{New: func() interface{} { return new(reader) }}
+)
+
+// EncodeAppend serialises a message, header included, appending to dst and
+// returning the extended slice. With a dst of sufficient capacity the
+// encode allocates nothing, which is what lets the batched UDP transport
+// serialise a whole send queue into one recycled arena.
+func EncodeAppend(dst []byte, m Message) []byte {
+	w := writerPool.Get().(*writer)
+	w.buf = dst
 	w.u8(wireMagic)
 	w.u8(wireVersion)
 	w.u8(uint8(m.Type()))
 	m.encodeBody(w)
-	return w.buf
+	out := w.buf
+	w.buf = nil
+	writerPool.Put(w)
+	return out
 }
 
 // Decode parses one datagram into a fresh message value. The whole buffer
 // must be consumed: trailing garbage is an error, as a corrupted datagram
 // must not half-parse.
 func Decode(b []byte) (Message, error) {
+	return decode(b, false)
+}
+
+// DecodePooled parses one datagram like Decode, but draws pooled message
+// types (keep-alives, probes, DHT responses) from their pools and reuses
+// the pooled value's slice capacity, so a transport's steady-state decode
+// path allocates nothing. Every decoded field is copied out of b: the
+// caller may reuse b the moment DecodePooled returns. The returned
+// message must be handed back via ReleaseDecoded once dispatch is done
+// (non-recyclable types make that a no-op).
+func DecodePooled(b []byte) (Message, error) {
+	return decode(b, true)
+}
+
+// ReleaseDecoded returns a DecodePooled message to its pool after the
+// handler is finished with it — the transport's end-of-dispatch hook,
+// mirroring netsim's end-of-datagram release. The message (and any slice
+// it carries) must not be touched afterwards.
+func ReleaseDecoded(m Message) {
+	if r, ok := m.(Recyclable); ok {
+		r.Recycle()
+	}
+}
+
+func decode(b []byte, pooled bool) (Message, error) {
 	if len(b) < headerSize {
 		return nil, ErrShort
 	}
@@ -55,17 +114,29 @@ func Decode(b []byte) (Message, error) {
 		return nil, fmt.Errorf("%w: %d", ErrVersion, b[1])
 	}
 	t := MsgType(b[2])
-	m := newMessage(t)
+	var m Message
+	if pooled {
+		m = acquireMessage(t)
+	} else {
+		m = newMessage(t)
+	}
 	if m == nil {
 		return nil, fmt.Errorf("%w: %d", ErrType, b[2])
 	}
-	r := &reader{buf: b[headerSize:]}
+	r := readerPool.Get().(*reader)
+	r.buf, r.err = b[headerSize:], nil
 	m.decodeBody(r)
-	if r.err != nil {
-		return nil, r.err
+	if r.err == nil && len(r.buf) != 0 {
+		r.err = ErrTrail
 	}
-	if len(r.buf) != 0 {
-		return nil, ErrTrail
+	err := r.err
+	r.buf, r.err = nil, nil
+	readerPool.Put(r)
+	if err != nil {
+		if pooled {
+			ReleaseDecoded(m)
+		}
+		return nil, err
 	}
 	return m, nil
 }
@@ -266,7 +337,11 @@ func (r *reader) entry() Entry {
 	}
 }
 
-func (r *reader) entries() []Entry {
+// entriesInto decodes an entry list, appending into dst so pooled
+// messages reuse their recycled capacity. A nil dst (the fresh Decode
+// path) behaves exactly like the old allocate-per-decode reader,
+// including returning nil for an empty list.
+func (r *reader) entriesInto(dst []Entry) []Entry {
 	n := int(r.u16())
 	if r.err != nil {
 		return nil
@@ -276,13 +351,15 @@ func (r *reader) entries() []Entry {
 		return nil
 	}
 	if n == 0 {
-		return nil
+		return dst
 	}
-	out := make([]Entry, n)
-	for i := range out {
-		out[i] = r.entry()
+	if cap(dst) < n {
+		dst = make([]Entry, 0, n)
 	}
-	return out
+	for i := 0; i < n; i++ {
+		dst = append(dst, r.entry())
+	}
+	return dst
 }
 
 func (r *reader) refs() []NodeRef {
@@ -304,7 +381,10 @@ func (r *reader) refs() []NodeRef {
 	return out
 }
 
-func (r *reader) bytesField() []byte {
+// bytesInto decodes a length-prefixed byte field, appending into dst (see
+// entriesInto). The bytes are always copied out of the wire buffer: a
+// decoded message never aliases the datagram it came from.
+func (r *reader) bytesInto(dst []byte) []byte {
 	n := int(r.u16())
 	if r.err != nil {
 		return nil
@@ -314,12 +394,11 @@ func (r *reader) bytesField() []byte {
 		return nil
 	}
 	if n == 0 {
-		return nil
+		return dst
 	}
-	out := make([]byte, n)
-	copy(out, r.buf)
+	dst = append(dst, r.buf[:n]...)
 	r.buf = r.buf[n:]
-	return out
+	return dst
 }
 
 // --- per-message encode/decode/size ----------------------------------------
@@ -340,7 +419,11 @@ func (*Ping) Type() MsgType { return TPing }
 func (m *Ping) EncodedSize() int { return nodeRefSize + 4 + 2 + len(m.Entries)*entrySize }
 
 func (m *Ping) encodeBody(w *writer) { w.ref(m.From); w.u32(m.Seq); w.entries(m.Entries) }
-func (m *Ping) decodeBody(r *reader) { m.From = r.ref(); m.Seq = r.u32(); m.Entries = r.entries() }
+func (m *Ping) decodeBody(r *reader) {
+	m.From = r.ref()
+	m.Seq = r.u32()
+	m.Entries = r.entriesInto(m.Entries[:0])
+}
 
 // Type implements Message.
 func (*Pong) Type() MsgType { return TPong }
@@ -349,7 +432,11 @@ func (*Pong) Type() MsgType { return TPong }
 func (m *Pong) EncodedSize() int { return nodeRefSize + 4 + 2 + len(m.Entries)*entrySize }
 
 func (m *Pong) encodeBody(w *writer) { w.ref(m.From); w.u32(m.Seq); w.entries(m.Entries) }
-func (m *Pong) decodeBody(r *reader) { m.From = r.ref(); m.Seq = r.u32(); m.Entries = r.entries() }
+func (m *Pong) decodeBody(r *reader) {
+	m.From = r.ref()
+	m.Seq = r.u32()
+	m.Entries = r.entriesInto(m.Entries[:0])
+}
 
 // Type implements Message.
 func (*JoinRequest) Type() MsgType { return TJoinRequest }
@@ -549,7 +636,7 @@ func (m *DHTStore) decodeBody(r *reader) {
 	m.From = r.ref()
 	m.ReqID = r.u64()
 	m.Key = idspace.ID(r.u64())
-	m.Value = r.bytesField()
+	m.Value = r.bytesInto(m.Value[:0])
 	m.Base = r.u64()
 	m.Cond = r.boolean()
 }
@@ -615,7 +702,7 @@ func (m *DHTFetchReply) decodeBody(r *reader) {
 	m.From = r.ref()
 	m.ReqID = r.u64()
 	m.Found = r.boolean()
-	m.Value = r.bytesField()
+	m.Value = r.bytesInto(m.Value[:0])
 	m.Version = r.u64()
 	m.Origin = r.u64()
 }
@@ -642,7 +729,7 @@ func (m *DHTReplicate) decodeBody(r *reader) {
 	m.From = r.ref()
 	m.ReqID = r.u64()
 	m.Key = idspace.ID(r.u64())
-	m.Value = r.bytesField()
+	m.Value = r.bytesInto(m.Value[:0])
 	m.Version = r.u64()
 	m.Origin = r.u64()
 	m.Cache = r.boolean()

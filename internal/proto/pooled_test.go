@@ -1,0 +1,198 @@
+package proto
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestEncodeAppendMatchesEncode fuzzes byte-equality between the fresh
+// and appending encode paths over every message type: EncodeAppend onto
+// an arbitrary prefix must produce exactly Encode's bytes after the
+// prefix, leaving the prefix intact. This is the correctness contract
+// that lets the UDP transport serialise a whole send queue into one
+// arena and slice datagrams back out of it.
+func TestEncodeAppendMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		prefix := make([]byte, rng.Intn(64))
+		rng.Read(prefix)
+		for _, m := range sampleMessages(rng) {
+			fresh := Encode(m)
+			appended := EncodeAppend(append([]byte(nil), prefix...), m)
+			if !bytes.Equal(appended[:len(prefix)], prefix) {
+				t.Fatalf("%v: EncodeAppend clobbered its prefix", m.Type())
+			}
+			if !bytes.Equal(appended[len(prefix):], fresh) {
+				t.Fatalf("%v: EncodeAppend bytes differ from Encode:\n append: %x\n  fresh: %x",
+					m.Type(), appended[len(prefix):], fresh)
+			}
+		}
+	}
+}
+
+// TestEncodeAppendZeroAlloc pins the arena promise: appending into a
+// buffer with sufficient capacity performs no allocation.
+func TestEncodeAppendZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	rng := rand.New(rand.NewSource(12))
+	msgs := sampleMessages(rng)
+	buf := make([]byte, 0, 1<<20)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = buf[:0]
+		for _, m := range msgs {
+			buf = EncodeAppend(buf, m)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("EncodeAppend into a pre-sized arena allocated %.1f times per run", allocs)
+	}
+}
+
+// pooledWireTypes is the authoritative list of message types DecodePooled
+// must draw from a pool. It mirrors the pool declarations in pool.go; a
+// type added there must be added here (and vice versa) or
+// TestDecodePooledCoversTypes fails.
+var pooledWireTypes = map[MsgType]bool{
+	THello:           true,
+	TPing:            true,
+	TPong:            true,
+	TChildReport:     true,
+	TBusLinkReq:      true,
+	TBusLinkAck:      true,
+	TRingProbe:       true,
+	TRingProbeAck:    true,
+	TMergeIntro:      true,
+	TDHTStoreAck:     true,
+	TDHTFetchReply:   true,
+	TDHTReplicateAck: true,
+}
+
+// TestDecodePooledCoversTypes pins every wire type to a working pooled
+// decode: acquireMessage and newMessage must stay in lockstep, the pooled
+// decode must re-encode to the identical bytes, and exactly the types
+// listed in pooledWireTypes must come back Recyclable.
+func TestDecodePooledCoversTypes(t *testing.T) {
+	for ty := TInvalid + 1; ty < tMaxMsgType; ty++ {
+		m := acquireMessage(ty)
+		if m == nil {
+			t.Fatalf("acquireMessage(%v) returned nil but newMessage knows the type", ty)
+		}
+		if m.Type() != ty {
+			t.Fatalf("acquireMessage(%v) returned a %v", ty, m.Type())
+		}
+		_, recyclable := m.(Recyclable)
+		if recyclable != pooledWireTypes[ty] {
+			t.Fatalf("%v: recyclable=%v, pooledWireTypes says %v", ty, recyclable, pooledWireTypes[ty])
+		}
+		ReleaseDecoded(m)
+	}
+
+	// Round-trip every sample through the pooled path twice, so the second
+	// pass decodes into recycled objects with dirty slice capacity.
+	rng := rand.New(rand.NewSource(13))
+	for pass := 0; pass < 2; pass++ {
+		for _, m := range sampleMessages(rng) {
+			b := Encode(m)
+			got, err := DecodePooled(b)
+			if err != nil {
+				t.Fatalf("%v: pooled decode: %v", m.Type(), err)
+			}
+			if reenc := Encode(got); !bytes.Equal(reenc, b) {
+				t.Fatalf("%v: pooled decode re-encodes differently:\n in: %x\nout: %x", m.Type(), b, reenc)
+			}
+			ReleaseDecoded(got)
+		}
+	}
+}
+
+// TestDecodePooledReleasesOnError checks that a failed pooled decode does
+// not leak the acquired object mid-parse (it must go back to the pool) and
+// reports the same error the fresh path does.
+func TestDecodePooledReleasesOnError(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, m := range sampleMessages(rng) {
+		full := Encode(m)
+		for cut := headerSize; cut < len(full); cut++ {
+			pm, err := DecodePooled(full[:cut])
+			if err == nil {
+				t.Fatalf("%v: pooled decode of %d/%d bytes succeeded", m.Type(), cut, len(full))
+			}
+			if pm != nil {
+				t.Fatalf("%v: pooled decode returned both a message and %v", m.Type(), err)
+			}
+		}
+	}
+}
+
+// TestPooledDecodeLifetime is the aliasing contract of DecodePooled: a
+// decoded message owns its bytes (the source buffer may be reused
+// immediately), two live pooled messages never share storage, and a
+// message's contents stay stable until ReleaseDecoded — only after
+// release may its storage be recycled into the next decode.
+func TestPooledDecodeLifetime(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	mkPing := func(seq uint32) []byte {
+		return Encode(&Ping{From: sampleRef(rng), Seq: seq, Entries: sampleEntries(rng, 6)})
+	}
+
+	// Decode A, then trash its source buffer: A must be unaffected.
+	bufA := mkPing(1)
+	mA, err := DecodePooled(bufA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pingA := mA.(*Ping)
+	wantA := Encode(pingA)
+	for i := range bufA {
+		bufA[i] = 0xFF
+	}
+	if !bytes.Equal(Encode(pingA), wantA) {
+		t.Fatal("pooled message aliases its source buffer")
+	}
+
+	// Decode B while A is live: they must come from distinct pool objects,
+	// and writing through B must not reach A.
+	mB, err := DecodePooled(mkPing(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pingB := mB.(*Ping)
+	if pingA == pingB {
+		t.Fatal("two live pooled decodes returned the same object")
+	}
+	for i := range pingB.Entries {
+		pingB.Entries[i].Version = 0xDEADBEEF
+	}
+	pingB.Seq = 999
+	if !bytes.Equal(Encode(pingA), wantA) {
+		t.Fatal("live pooled messages share entry storage")
+	}
+	ReleaseDecoded(mA)
+	ReleaseDecoded(mB)
+
+	// After release the storage is fair game: steady-state decode/release
+	// cycles must reuse it rather than allocating per message.
+	if raceEnabled {
+		return // allocation counts are unreliable under the race detector
+	}
+	warm := mkPing(3)
+	// Prime the pool so seed capacities exist before counting.
+	if m, err := DecodePooled(warm); err != nil {
+		t.Fatal(err)
+	} else {
+		ReleaseDecoded(m)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		m, err := DecodePooled(warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ReleaseDecoded(m)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pooled decode allocated %.1f times per message", allocs)
+	}
+}

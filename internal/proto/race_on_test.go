@@ -1,0 +1,7 @@
+//go:build race
+
+package proto
+
+// raceEnabled reports whether the race detector is compiled in; alloc
+// assertions are skipped under -race (instrumentation allocates).
+const raceEnabled = true

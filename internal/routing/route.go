@@ -1,7 +1,7 @@
 package routing
 
 import (
-	"sort"
+	"slices"
 
 	"treep/internal/idspace"
 	"treep/internal/proto"
@@ -513,16 +513,28 @@ func maxAlternates(p Params) int {
 
 // sortByDistanceTo orders refs by Euclidean distance to x (ties by ID then
 // address) so that candidate iteration is deterministic and NG's "first
-// improving" choice is the nearest improving.
+// improving" choice is the nearest improving. slices.SortFunc rather than
+// sort.Slice: the latter builds a reflection-based swapper per call, and
+// this runs on every lookup hop.
 func sortByDistanceTo(refs []proto.NodeRef, x idspace.ID) {
-	sort.Slice(refs, func(i, j int) bool {
-		di, dj := idspace.Dist(refs[i].ID, x), idspace.Dist(refs[j].ID, x)
-		if di != dj {
-			return di < dj
+	slices.SortFunc(refs, func(a, b proto.NodeRef) int {
+		da, db := idspace.Dist(a.ID, x), idspace.Dist(b.ID, x)
+		switch {
+		case da != db:
+			if da < db {
+				return -1
+			}
+			return 1
+		case a.ID != b.ID:
+			if a.ID < b.ID {
+				return -1
+			}
+			return 1
+		case a.Addr < b.Addr:
+			return -1
+		case a.Addr > b.Addr:
+			return 1
 		}
-		if refs[i].ID != refs[j].ID {
-			return refs[i].ID < refs[j].ID
-		}
-		return refs[i].Addr < refs[j].Addr
+		return 0
 	})
 }

@@ -1,0 +1,12 @@
+//go:build !(linux && (amd64 || arm64))
+
+package udptransport
+
+import "net"
+
+// newBatchIO on platforms without a verified mmsg path: the portable
+// single-datagram fallback. Same observable behaviour, one syscall per
+// datagram (see the fallback matrix in DESIGN.md §14).
+func newBatchIO(conn *net.UDPConn) (batchIO, error) {
+	return newSingleIO(conn), nil
+}

@@ -1,0 +1,9 @@
+//go:build linux
+
+package udptransport
+
+// sysSendmmsg is sendmmsg(2)'s syscall number on linux/amd64. The stdlib
+// syscall package's frozen number table predates the syscall (Linux 3.0)
+// on this port, so the constant lives here; SYS_RECVMMSG is old enough to
+// be in the table on every port.
+const sysSendmmsg = 307

@@ -1,0 +1,9 @@
+//go:build linux
+
+package udptransport
+
+import "syscall"
+
+// sysSendmmsg is sendmmsg(2)'s syscall number on linux/arm64, where the
+// stdlib table does carry it (the port's table postdates Linux 3.0).
+const sysSendmmsg = syscall.SYS_SENDMMSG

@@ -5,9 +5,21 @@
 // real network program and not a simulation artifact.
 //
 // Concurrency model: each node owns one goroutine (the event loop). The
-// socket reader and timer callbacks post closures into the loop channel;
-// all protocol state is touched only from the loop, exactly matching the
+// socket reader pushes typed {from, msg} records into an inbound ring and
+// timer callbacks post closures into the control channel; all protocol
+// state is touched only from the loop, exactly matching the
 // single-threaded contract of core.Node.
+//
+// Data path (PR 9): socket I/O is batched — recvmmsg/sendmmsg on Linux
+// via the batchIO layer, a single-datagram fallback elsewhere. Outbound
+// messages are serialised with proto.EncodeAppend into one recycled
+// arena and every env.Send made while handling one inbound burst or
+// timer tick is coalesced into a single WriteBatch flush. Inbound
+// datagrams decode into pooled messages (proto.DecodePooled) that are
+// released back to their pools when the handler returns — the same
+// end-of-dispatch recycling contract netsim uses. Stats are atomic
+// counters; nothing on the per-message path takes a lock or allocates in
+// steady state.
 package udptransport
 
 import (
@@ -16,6 +28,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"treep/internal/core"
@@ -42,23 +55,91 @@ func UintToAddr(u uint64) *net.UDPAddr {
 	}
 }
 
+// Options tunes a transport. The zero value is the production
+// configuration.
+type Options struct {
+	// SingleDatagram runs the pre-batch data path — the ablation arm of
+	// treep-bench -udp, kept in-tree so the batched path's win stays
+	// measurable: one blocking syscall per datagram, a fresh buffer per
+	// encode, a fresh message per decode (no pooling, no recycling), and
+	// a closure per inbound dispatch.
+	SingleDatagram bool
+}
+
+// maxQueuedSends bounds the send queue between flushes: a pathological
+// handler that emits hundreds of datagrams flushes inline rather than
+// growing the arena without bound.
+const maxQueuedSends = 64
+
+// maxCoalesce bounds how many already-arrived inbound messages one loop
+// wakeup dispatches before flushing replies, so a continuous inbound
+// stream cannot starve timers or delay its own replies indefinitely.
+const maxCoalesce = 32
+
+// inMsg is one inbound ring slot: a decoded message and its source.
+// The ring is a typed channel — dispatch allocates no closure.
+type inMsg struct {
+	from uint64
+	msg  proto.Message
+}
+
+// Snapshot is the transport's wire-level counter state (Stats() any
+// time, or read after Close in tests).
+type Snapshot struct {
+	// Recv counts datagrams the socket delivered; Sent counts datagrams
+	// queued and flushed to the socket.
+	Recv, Sent uint64
+	// DecodeErrs counts received datagrams that failed to parse.
+	DecodeErrs uint64
+	// Drops counts received datagrams discarded before dispatch because
+	// the source address is not a packable IPv4 endpoint (from == 0) —
+	// previously these were miscounted as clean receives.
+	Drops uint64
+	// Oversize counts sends rejected because the encoding exceeds
+	// proto.MaxDatagram — previously these were silent kernel-level
+	// truncation mysteries.
+	Oversize uint64
+	// RecvSyscalls/SendSyscalls count kernel entries on each side;
+	// syscalls-per-message is the batch path's headline ratio.
+	RecvSyscalls, SendSyscalls uint64
+	// Flushes counts send-queue flushes (each ≥1 send syscall).
+	Flushes uint64
+}
+
 // Transport runs one TreeP node on one UDP socket.
 type Transport struct {
 	conn  *net.UDPConn
+	io    batchIO
 	node  *core.Node
 	start time.Time
+	// legacy selects the pre-batch data path (see Options.SingleDatagram).
+	legacy bool
 
 	loop chan func()
+	msgs chan inMsg
 	done chan struct{}
 
 	closeOnce sync.Once
-	wg        sync.WaitGroup
+	loopWG    sync.WaitGroup
+	readWG    sync.WaitGroup
 
-	// Stats counters (read via Snapshot after Close for tests).
-	mu        sync.Mutex
-	recvCount uint64
-	sendCount uint64
-	decodeErr uint64
+	// Send queue: written only by the event-loop goroutine (every
+	// env.Send happens inside a handler, timer or Do closure running on
+	// the loop), so it needs no lock. arena is the flat EncodeAppend
+	// buffer, pkts the per-datagram offsets.
+	arena []byte
+	pkts  []spkt
+
+	// Stats counters: atomics, not a mutex — the send and receive paths
+	// touch them from different goroutines on every single message.
+	recvCount    atomic.Uint64
+	sendCount    atomic.Uint64
+	decodeErr    atomic.Uint64
+	dropCount    atomic.Uint64
+	oversize     atomic.Uint64
+	recvSyscalls atomic.Uint64
+	sendSyscalls atomic.Uint64
+	flushCount   atomic.Uint64
 }
 
 // timer adapts time.Timer to core.Timer, posting the callback into the
@@ -87,16 +168,41 @@ func (e *env) Addr() uint64       { return e.addr }
 func (e *env) Now() time.Duration { return time.Since(e.tr.start) }
 func (e *env) Rand() *rand.Rand   { return e.rng }
 
+// Send queues one datagram on the transport's send queue; the event loop
+// flushes the whole queue in one WriteBatch when the current inbound
+// burst or timer tick finishes. Encoding appends into the recycled arena
+// (zero-copy, zero-alloc in steady state), and a recyclable message goes
+// back to its pool here — serialisation is the end of its life, the
+// send-side mirror of the receive path's end-of-dispatch release.
 func (e *env) Send(to uint64, msg proto.Message) {
+	t := e.tr
 	if to == 0 {
 		return
 	}
-	buf := proto.Encode(msg)
-	e.tr.mu.Lock()
-	e.tr.sendCount++
-	e.tr.mu.Unlock()
-	// Best-effort, UDP semantics: errors are dropped datagrams.
-	_, _ = e.tr.conn.WriteToUDP(buf, UintToAddr(to))
+	if proto.WireSize(msg) > proto.MaxDatagram {
+		// A datagram the socket cannot carry: reject it loudly (counted)
+		// instead of letting the kernel truncate or refuse it silently.
+		t.oversize.Add(1)
+		proto.ReleaseDecoded(msg)
+		return
+	}
+	if t.legacy {
+		// Ablation arm: fresh buffer, immediate blocking write, no
+		// recycling — exactly one syscall and the pre-batch allocation
+		// profile per datagram.
+		_, _ = t.conn.WriteToUDP(proto.Encode(msg), UintToAddr(to))
+		t.sendCount.Add(1)
+		t.sendSyscalls.Add(1)
+		return
+	}
+	off := len(t.arena)
+	t.arena = proto.EncodeAppend(t.arena, msg)
+	t.pkts = append(t.pkts, spkt{off: off, n: len(t.arena) - off, to: to})
+	t.sendCount.Add(1)
+	proto.ReleaseDecoded(msg)
+	if len(t.pkts) >= maxQueuedSends {
+		t.flush()
+	}
 }
 
 func (e *env) SetTimer(d time.Duration, fn func()) core.Timer {
@@ -135,22 +241,32 @@ func (p *periodicTimer) Cancel() bool {
 
 func (e *env) SetPeriodic(d time.Duration, fn func()) core.Timer {
 	p := &periodicTimer{}
-	var arm func()
-	arm = func() {
+	// One timer and two closures for the timer's whole life: the first arm
+	// creates the AfterFunc, every later arm is a Reset. Keep-alive ticks
+	// are the transport's highest-frequency timer — allocating a fresh
+	// timer per tick would put several allocations per tick on the hot
+	// path for nothing.
+	var tick func()
+	arm := func() {
 		p.mu.Lock()
 		defer p.mu.Unlock()
 		if p.stopped {
 			return
 		}
-		p.t = time.AfterFunc(d, func() {
-			// Deliver the tick on the loop, then re-arm from the loop so
-			// ticks cannot pile up faster than the node consumes them.
-			select {
-			case e.tr.loop <- func() { fn(); arm() }:
-			case <-e.tr.done:
-			}
-		})
+		if p.t == nil {
+			p.t = time.AfterFunc(d, func() {
+				// Deliver the tick on the loop, then re-arm from the loop so
+				// ticks cannot pile up faster than the node consumes them.
+				select {
+				case e.tr.loop <- tick:
+				case <-e.tr.done:
+				}
+			})
+		} else {
+			p.t.Reset(d)
+		}
 	}
+	tick = func() { fn(); arm() }
 	arm()
 	return p
 }
@@ -159,6 +275,11 @@ func (e *env) SetPeriodic(d time.Duration, fn func()) core.Timer {
 // node with the given configuration. The node's overlay address derives
 // from the bound socket address.
 func Listen(cfg core.Config, bind string, seed int64) (*Transport, error) {
+	return ListenOpts(cfg, bind, seed, Options{})
+}
+
+// ListenOpts is Listen with transport options.
+func ListenOpts(cfg core.Config, bind string, seed int64, opts Options) (*Transport, error) {
 	laddr, err := net.ResolveUDPAddr("udp4", bind)
 	if err != nil {
 		return nil, fmt.Errorf("udptransport: resolve %q: %w", bind, err)
@@ -167,11 +288,26 @@ func Listen(cfg core.Config, bind string, seed int64) (*Transport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("udptransport: listen %q: %w", bind, err)
 	}
+	var io batchIO
+	if opts.SingleDatagram {
+		io = newSingleIO(conn)
+	} else if io, err = newBatchIO(conn); err != nil {
+		io = newSingleIO(conn)
+	}
+	return newTransport(cfg, conn, seed, io, opts.SingleDatagram)
+}
+
+// newTransport assembles a transport around an already-bound socket and a
+// chosen batchIO implementation (tests inject scripted ones here).
+func newTransport(cfg core.Config, conn *net.UDPConn, seed int64, io batchIO, legacy bool) (*Transport, error) {
 	tr := &Transport{
-		conn:  conn,
-		start: time.Now(),
-		loop:  make(chan func(), 1024),
-		done:  make(chan struct{}),
+		conn:   conn,
+		io:     io,
+		start:  time.Now(),
+		legacy: legacy,
+		loop:   make(chan func(), 1024),
+		msgs:   make(chan inMsg, 1024),
+		done:   make(chan struct{}),
 	}
 	self := AddrToUint(conn.LocalAddr().(*net.UDPAddr))
 	if self == 0 {
@@ -181,7 +317,8 @@ func Listen(cfg core.Config, bind string, seed int64) (*Transport, error) {
 	e := &env{tr: tr, addr: self, rng: rand.New(rand.NewSource(seed ^ int64(self)))}
 	tr.node = core.NewNode(cfg, e)
 
-	tr.wg.Add(2)
+	tr.readWG.Add(1)
+	tr.loopWG.Add(1)
 	go tr.readLoop()
 	go tr.eventLoop()
 	return tr, nil
@@ -193,6 +330,10 @@ func (t *Transport) Node() *core.Node { return t.node }
 
 // OverlayAddr returns the node's packed overlay address.
 func (t *Transport) OverlayAddr() uint64 { return t.node.Addr() }
+
+// Batched reports whether the kernel batch path (recvmmsg/sendmmsg) is
+// active, as opposed to the single-datagram fallback.
+func (t *Transport) Batched() bool { return t.io.Batched() }
 
 // Do runs fn on the node's event loop and waits for it, giving callers a
 // safe window into protocol state.
@@ -221,27 +362,63 @@ func (t *Transport) Join(bootstrap uint64) error {
 	return t.Do(func(n *core.Node) { n.Join(bootstrap) })
 }
 
-// Close shuts the transport down and waits for its goroutines.
+// Close shuts the transport down and waits for its goroutines. The event
+// loop drains and flushes its final send queue (e.g. a Leave announced
+// just before Close) before the socket goes away, so graceful-departure
+// datagrams reach the wire.
 func (t *Transport) Close() {
-	t.closeOnce.Do(func() {
-		close(t.done)
-		t.conn.Close()
-	})
-	t.wg.Wait()
+	t.closeOnce.Do(func() { close(t.done) })
+	t.loopWG.Wait()
+	t.conn.Close() // unblocks the read loop
+	t.readWG.Wait()
 }
 
-// Snapshot returns transport-level counters.
-func (t *Transport) Snapshot() (recv, sent, decodeErrs uint64) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.recvCount, t.sendCount, t.decodeErr
+// Stats returns the transport's wire counters.
+func (t *Transport) Stats() Snapshot {
+	return Snapshot{
+		Recv:         t.recvCount.Load(),
+		Sent:         t.sendCount.Load(),
+		DecodeErrs:   t.decodeErr.Load(),
+		Drops:        t.dropCount.Load(),
+		Oversize:     t.oversize.Load(),
+		RecvSyscalls: t.recvSyscalls.Load(),
+		SendSyscalls: t.sendSyscalls.Load(),
+		Flushes:      t.flushCount.Load(),
+	}
 }
 
+// flush writes the queued sends in one WriteBatch. Event-loop goroutine
+// only.
+func (t *Transport) flush() {
+	if len(t.pkts) == 0 {
+		return
+	}
+	n := t.io.WriteBatch(t.arena, t.pkts)
+	t.sendSyscalls.Add(uint64(n))
+	t.flushCount.Add(1)
+	t.pkts = t.pkts[:0]
+	if cap(t.arena) > 1<<20 {
+		// A rare huge flush must not pin a megabyte arena forever.
+		t.arena = nil
+	} else {
+		t.arena = t.arena[:0]
+	}
+}
+
+// readLoop drains the socket in batches, decodes into pooled messages and
+// feeds the inbound ring. Decoded messages own every byte they carry
+// (DecodePooled copies out of the slot), so the slots are reusable the
+// moment the loop moves on — the ring can lag the socket safely.
 func (t *Transport) readLoop() {
-	defer t.wg.Done()
-	buf := make([]byte, 64<<10)
+	defer t.readWG.Done()
 	for {
-		n, raddr, err := t.conn.ReadFromUDP(buf)
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+		slots, nsys, err := t.io.ReadBatch()
+		t.recvSyscalls.Add(uint64(nsys))
 		if err != nil {
 			select {
 			case <-t.done:
@@ -251,38 +428,89 @@ func (t *Transport) readLoop() {
 			// Transient read errors on UDP are ignorable.
 			continue
 		}
-		from := AddrToUint(raddr)
-		msg, derr := proto.Decode(buf[:n])
-		t.mu.Lock()
-		t.recvCount++
-		if derr != nil {
-			t.decodeErr++
+		t.recvCount.Add(uint64(len(slots)))
+		for i := range slots {
+			s := &slots[i]
+			if s.from == 0 {
+				// A datagram whose source cannot be represented in the
+				// overlay address space is a drop, not a clean receive.
+				t.dropCount.Add(1)
+				continue
+			}
+			if t.legacy {
+				// Ablation arm: fresh-allocation decode and a dispatch
+				// closure per datagram, the pre-batch inbound profile.
+				msg, derr := proto.Decode(s.buf[:s.n])
+				if derr != nil {
+					t.decodeErr.Add(1)
+					continue
+				}
+				from := s.from
+				select {
+				case t.loop <- func() { t.node.HandleMessage(from, msg) }:
+				case <-t.done:
+					return
+				}
+				continue
+			}
+			msg, derr := proto.DecodePooled(s.buf[:s.n])
+			if derr != nil {
+				t.decodeErr.Add(1)
+				continue
+			}
+			select {
+			case t.msgs <- inMsg{from: s.from, msg: msg}:
+			case <-t.done:
+				proto.ReleaseDecoded(msg)
+				return
+			}
 		}
-		t.mu.Unlock()
-		if derr != nil || from == 0 {
-			continue
-		}
+	}
+}
+
+// dispatch hands one inbound message to the node and releases it back to
+// its pool — the end-of-dispatch hook; handlers must not retain pooled
+// messages or their slices (the same contract netsim enforces).
+func (t *Transport) dispatch(m inMsg) {
+	t.node.HandleMessage(m.from, m.msg)
+	proto.ReleaseDecoded(m.msg)
+}
+
+// drainInbound dispatches whatever else already arrived, bounded by
+// maxCoalesce, so one flush covers the whole burst.
+func (t *Transport) drainInbound() {
+	for i := 0; i < maxCoalesce-1; i++ {
 		select {
-		case t.loop <- func() { t.node.HandleMessage(from, msg) }:
-		case <-t.done:
+		case m := <-t.msgs:
+			t.dispatch(m)
+		default:
 			return
 		}
 	}
 }
 
 func (t *Transport) eventLoop() {
-	defer t.wg.Done()
+	defer t.loopWG.Done()
 	for {
 		select {
+		case m := <-t.msgs:
+			t.dispatch(m)
+			t.drainInbound()
+			t.flush()
 		case fn := <-t.loop:
 			fn()
+			t.flush()
 		case <-t.done:
-			// Drain whatever is queued, then stop the node.
+			// Drain whatever is queued, flush the final sends, then stop
+			// the node.
 			for {
 				select {
+				case m := <-t.msgs:
+					t.dispatch(m)
 				case fn := <-t.loop:
 					fn()
 				default:
+					t.flush()
 					t.node.Stop()
 					return
 				}

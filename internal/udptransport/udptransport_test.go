@@ -38,6 +38,12 @@ func TestAddrPacking(t *testing.T) {
 
 // startNodes brings up n UDP nodes on loopback, joined through the first.
 func startNodes(t *testing.T, n int) []*Transport {
+	return startNodesOpts(t, n, Options{})
+}
+
+// startNodesOpts is startNodes with transport options (the batch-vs-single
+// ablation tests force the fallback path through here).
+func startNodesOpts(t *testing.T, n int, opts Options) []*Transport {
 	t.Helper()
 	trs := make([]*Transport, 0, n)
 	for i := 0; i < n; i++ {
@@ -51,7 +57,7 @@ func startNodes(t *testing.T, n int) []*Transport {
 		cfg.ElectionMin = 50 * time.Millisecond
 		cfg.ElectionMax = 200 * time.Millisecond
 		cfg.LookupTimeout = 2 * time.Second
-		tr, err := Listen(cfg, "127.0.0.1:0", int64(i+1))
+		tr, err := ListenOpts(cfg, "127.0.0.1:0", int64(i+1), opts)
 		if err != nil {
 			t.Fatalf("listen %d: %v", i, err)
 		}
@@ -117,13 +123,18 @@ func TestUDPOverlayFormsAndResolves(t *testing.T) {
 		t.Fatal("lookup never resolved over UDP")
 	}
 
-	// Wire health: traffic flowed and everything decoded.
-	recv, sent, decodeErrs := trs[3].Snapshot()
-	if recv == 0 || sent == 0 {
-		t.Fatalf("no traffic: recv=%d sent=%d", recv, sent)
+	// Wire health: traffic flowed, everything decoded, and the batch
+	// plane actually amortised syscalls (each syscall moved ≥1 message,
+	// and on the mmsg path some moved several).
+	st := trs[3].Stats()
+	if st.Recv == 0 || st.Sent == 0 {
+		t.Fatalf("no traffic: %+v", st)
 	}
-	if decodeErrs != 0 {
-		t.Fatalf("%d decode errors on the wire", decodeErrs)
+	if st.DecodeErrs != 0 {
+		t.Fatalf("%d decode errors on the wire", st.DecodeErrs)
+	}
+	if st.SendSyscalls > st.Sent || st.SendSyscalls == 0 {
+		t.Fatalf("send syscalls %d vs %d datagrams: flush accounting broken", st.SendSyscalls, st.Sent)
 	}
 }
 

@@ -531,6 +531,21 @@ func (u *UDPNode) PeerCount() int {
 	return c
 }
 
+// WireStats is the transport's cumulative datagram accounting: messages
+// in and out, the syscalls they cost (the batch path amortises several
+// datagrams per syscall), and the receive-side reject counters.
+type WireStats = udptransport.Snapshot
+
+// WireStats returns the node's wire counters. Safe from any goroutine;
+// the counters are lock-free atomics, so reading them does not touch the
+// node's event loop.
+func (u *UDPNode) WireStats() WireStats { return u.tr.Stats() }
+
+// Batched reports whether the kernel batch I/O path (recvmmsg/sendmmsg)
+// is active, as opposed to the portable one-datagram-per-syscall
+// fallback.
+func (u *UDPNode) Batched() bool { return u.tr.Batched() }
+
 // StoredRecords returns the number of DHT records this node holds.
 func (u *UDPNode) StoredRecords() int {
 	var c int
